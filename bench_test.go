@@ -1,0 +1,606 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§IV,
+// Figures 5-19) as testing.B benchmarks. Each BenchmarkFigNN condenses the
+// corresponding figure's sweep into sub-benchmarks; the cmd/messi-bench
+// tool runs the full sweeps and prints the paper-style tables.
+//
+// Workloads are scaled down (20K series instead of the paper's 100M) so
+// `go test -bench=.` completes in minutes; see EXPERIMENTS.md for how the
+// scaled shapes map to the paper's claims.
+package messi
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dtw"
+	"repro/internal/paris"
+	"repro/internal/scan"
+	"repro/internal/serial"
+	"repro/internal/series"
+	"repro/internal/stats"
+)
+
+const (
+	benchSeries  = 20000
+	benchLength  = 256
+	benchQueries = 8
+	benchLeafCap = 100 // benchSeries/200, the experiments package scaling
+	benchDTWSize = 2000
+)
+
+// benchData lazily generates and caches collections per (kind, count).
+var (
+	benchMu    sync.Mutex
+	benchCache = map[string]*series.Collection{}
+)
+
+func benchCollection(b *testing.B, kind dataset.Kind, count int) *series.Collection {
+	b.Helper()
+	length := benchLength
+	if kind == dataset.SALDLike {
+		length = 128
+	}
+	key := fmt.Sprintf("%s/%d", kind, count)
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if c, ok := benchCache[key]; ok {
+		return c
+	}
+	c, err := dataset.Generate(kind, count, length, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCache[key] = c
+	return c
+}
+
+func benchQueriesFor(b *testing.B, kind dataset.Kind) *series.Collection {
+	b.Helper()
+	length := benchLength
+	if kind == dataset.SALDLike {
+		length = 128
+	}
+	key := fmt.Sprintf("queries/%s", kind)
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if c, ok := benchCache[key]; ok {
+		return c
+	}
+	c, err := dataset.Queries(kind, benchQueries, length, 1001)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCache[key] = c
+	return c
+}
+
+func messiOpts() core.Options  { return core.Options{LeafCapacity: benchLeafCap} }
+func parisOpts() paris.Options { return paris.Options{LeafCapacity: benchLeafCap} }
+
+func buildMESSI(b *testing.B, data *series.Collection, opts core.Options) *core.Index {
+	b.Helper()
+	ix, err := core.Build(data, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix
+}
+
+func buildParIS(b *testing.B, data *series.Collection, opts paris.Options) *paris.Index {
+	b.Helper()
+	ix, err := paris.Build(data, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix
+}
+
+// BenchmarkFig05ChunkSize — index creation vs. chunk size.
+func BenchmarkFig05ChunkSize(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	for _, chunk := range []int{10, 100, 1000, 20000} {
+		b.Run(fmt.Sprintf("chunk=%d", chunk), func(b *testing.B) {
+			opts := messiOpts()
+			opts.ChunkSize = chunk
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buildMESSI(b, data, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkFig06LeafSizeBuild — index creation vs. leaf size.
+func BenchmarkFig06LeafSizeBuild(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	for _, leaf := range []int{50, 200, 1000, 5000} {
+		b.Run(fmt.Sprintf("leaf=%d", leaf), func(b *testing.B) {
+			opts := messiOpts()
+			opts.LeafCapacity = leaf
+			for i := 0; i < b.N; i++ {
+				buildMESSI(b, data, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkFig07LeafSizeQuery — query answering vs. leaf size (sq and mq).
+func BenchmarkFig07LeafSizeQuery(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	queries := benchQueriesFor(b, dataset.RandomWalk)
+	for _, leaf := range []int{50, 200, 1000, 5000} {
+		opts := messiOpts()
+		opts.LeafCapacity = leaf
+		ix := buildMESSI(b, data, opts)
+		for _, mode := range []struct {
+			name   string
+			queues int
+		}{{"sq", 1}, {"mq", 0}} {
+			b.Run(fmt.Sprintf("leaf=%d/%s", leaf, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					q := queries.At(i % queries.Count())
+					if _, err := ix.Search(q, core.SearchOptions{Queues: mode.queues}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig08BufferSize — index creation vs. initial iSAX buffer size.
+func BenchmarkFig08BufferSize(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	for _, initCap := range []int{2, 5, 100, 1000} {
+		b.Run(fmt.Sprintf("init=%d", initCap), func(b *testing.B) {
+			opts := messiOpts()
+			opts.InitBufferCap = initCap
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buildMESSI(b, data, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkFig09BuildCores — index creation vs. worker count, ParIS vs
+// MESSI.
+func BenchmarkFig09BuildCores(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	for _, workers := range []int{1, 4, 24} {
+		b.Run(fmt.Sprintf("ParIS/workers=%d", workers), func(b *testing.B) {
+			opts := parisOpts()
+			opts.IndexWorkers = workers
+			for i := 0; i < b.N; i++ {
+				buildParIS(b, data, opts)
+			}
+		})
+		b.Run(fmt.Sprintf("MESSI/workers=%d", workers), func(b *testing.B) {
+			opts := messiOpts()
+			opts.IndexWorkers = workers
+			for i := 0; i < b.N; i++ {
+				buildMESSI(b, data, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkFig10BuildDataSize — index creation vs. data size, ParIS vs
+// MESSI.
+func BenchmarkFig10BuildDataSize(b *testing.B) {
+	for _, n := range []int{benchSeries / 2, benchSeries, benchSeries * 2} {
+		data := benchCollection(b, dataset.RandomWalk, n)
+		b.Run(fmt.Sprintf("ParIS/series=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				buildParIS(b, data, parisOpts())
+			}
+		})
+		b.Run(fmt.Sprintf("MESSI/series=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				buildMESSI(b, data, messiOpts())
+			}
+		})
+	}
+}
+
+// queryBenchAlgos runs one sub-benchmark per algorithm on a prepared pair
+// of indexes.
+func queryBenchAlgos(b *testing.B, data *series.Collection, queries *series.Collection,
+	messiIx *core.Index, parisIx *paris.Index, workers int, prefix string) {
+
+	run := func(name string, fn func(q []float32) error) {
+		b.Run(prefix+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := fn(queries.At(i % queries.Count())); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("UCR-P", func(q []float32) error {
+		_, err := scan.Search1NN(data, q, workersOrDefault(workers, 48), nil)
+		return err
+	})
+	run("ParIS", func(q []float32) error {
+		_, err := parisIx.Search(q, paris.SearchOptions{Workers: workers})
+		return err
+	})
+	run("ParIS-TS", func(q []float32) error {
+		_, err := parisIx.SearchTS(q, paris.SearchOptions{Workers: workers})
+		return err
+	})
+	run("MESSI-sq", func(q []float32) error {
+		_, err := messiIx.Search(q, core.SearchOptions{Workers: workers, Queues: 1})
+		return err
+	})
+	run("MESSI-mq", func(q []float32) error {
+		_, err := messiIx.Search(q, core.SearchOptions{Workers: workers})
+		return err
+	})
+}
+
+func workersOrDefault(workers, def int) int {
+	if workers > 0 {
+		return workers
+	}
+	return def
+}
+
+// BenchmarkFig11QueryCores — query answering vs. worker count, all
+// algorithms.
+func BenchmarkFig11QueryCores(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	queries := benchQueriesFor(b, dataset.RandomWalk)
+	messiIx := buildMESSI(b, data, messiOpts())
+	parisIx := buildParIS(b, data, parisOpts())
+	for _, workers := range []int{2, 8, 48} {
+		queryBenchAlgos(b, data, queries, messiIx, parisIx, workers,
+			fmt.Sprintf("workers=%d/", workers))
+	}
+}
+
+// BenchmarkFig12QueryDataSize — query answering vs. data size, all
+// algorithms.
+func BenchmarkFig12QueryDataSize(b *testing.B) {
+	for _, n := range []int{benchSeries / 2, benchSeries * 2} {
+		data := benchCollection(b, dataset.RandomWalk, n)
+		queries := benchQueriesFor(b, dataset.RandomWalk)
+		messiIx := buildMESSI(b, data, messiOpts())
+		parisIx := buildParIS(b, data, parisOpts())
+		queryBenchAlgos(b, data, queries, messiIx, parisIx, 0,
+			fmt.Sprintf("series=%d/", n))
+	}
+}
+
+// BenchmarkFig13QueueBreakdown — MESSI-sq vs MESSI-mq with the per-phase
+// breakdown reported as custom metrics (ms per query, summed over
+// workers).
+func BenchmarkFig13QueueBreakdown(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	queries := benchQueriesFor(b, dataset.RandomWalk)
+	ix := buildMESSI(b, data, messiOpts())
+	for _, mode := range []struct {
+		name   string
+		queues int
+	}{{"sq", 1}, {"mq", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			bd := &stats.Breakdown{}
+			for i := 0; i < b.N; i++ {
+				q := queries.At(i % queries.Count())
+				if _, err := ix.Search(q, core.SearchOptions{Queues: mode.queues, Breakdown: bd}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for p := stats.Phase(0); p < stats.NumPhases; p++ {
+				// Metric units must not contain whitespace.
+				unit := strings.ReplaceAll(p.String(), " ", "-") + "-ns/q"
+				b.ReportMetric(float64(bd.Get(p).Nanoseconds())/float64(b.N), unit)
+			}
+		})
+	}
+}
+
+// BenchmarkFig14QueueCount — query answering vs. number of queues.
+func BenchmarkFig14QueueCount(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	queries := benchQueriesFor(b, dataset.RandomWalk)
+	ix := buildMESSI(b, data, messiOpts())
+	for _, queues := range []int{1, 4, 24, 48} {
+		b.Run(fmt.Sprintf("queues=%d", queues), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := queries.At(i % queries.Count())
+				if _, err := ix.Search(q, core.SearchOptions{Queues: queues}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig15BuildReal — index creation on the real-data stand-ins.
+func BenchmarkFig15BuildReal(b *testing.B) {
+	for _, kind := range []dataset.Kind{dataset.SALDLike, dataset.SeismicLike} {
+		data := benchCollection(b, kind, benchSeries)
+		b.Run(string(kind)+"/ParIS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				buildParIS(b, data, parisOpts())
+			}
+		})
+		b.Run(string(kind)+"/MESSI", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				buildMESSI(b, data, messiOpts())
+			}
+		})
+	}
+}
+
+// BenchmarkFig16QueryReal — query answering on the real-data stand-ins,
+// all algorithms.
+func BenchmarkFig16QueryReal(b *testing.B) {
+	for _, kind := range []dataset.Kind{dataset.SALDLike, dataset.SeismicLike} {
+		data := benchCollection(b, kind, benchSeries)
+		queries := benchQueriesFor(b, kind)
+		messiIx := buildMESSI(b, data, messiOpts())
+		parisIx := buildParIS(b, data, parisOpts())
+		queryBenchAlgos(b, data, queries, messiIx, parisIx, 0, string(kind)+"/")
+	}
+}
+
+// BenchmarkFig17DistanceCounts — lower-bound and real distance calculation
+// counts (reported as custom metrics), ParIS vs MESSI.
+func BenchmarkFig17DistanceCounts(b *testing.B) {
+	for _, kind := range []dataset.Kind{dataset.RandomWalk, dataset.SeismicLike, dataset.SALDLike} {
+		data := benchCollection(b, kind, benchSeries)
+		queries := benchQueriesFor(b, kind)
+		messiIx := buildMESSI(b, data, messiOpts())
+		parisIx := buildParIS(b, data, parisOpts())
+		b.Run(string(kind)+"/ParIS", func(b *testing.B) {
+			ctrs := &stats.Counters{}
+			for i := 0; i < b.N; i++ {
+				q := queries.At(i % queries.Count())
+				if _, err := parisIx.Search(q, paris.SearchOptions{Counters: ctrs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s := ctrs.Snapshot()
+			b.ReportMetric(float64(s.LowerBoundCalcs)/float64(b.N), "lb/query")
+			b.ReportMetric(float64(s.RealDistCalcs)/float64(b.N), "real/query")
+		})
+		b.Run(string(kind)+"/MESSI", func(b *testing.B) {
+			ctrs := &stats.Counters{}
+			for i := 0; i < b.N; i++ {
+				q := queries.At(i % queries.Count())
+				if _, err := messiIx.Search(q, core.SearchOptions{Counters: ctrs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s := ctrs.Snapshot()
+			b.ReportMetric(float64(s.LowerBoundCalcs)/float64(b.N), "lb/query")
+			b.ReportMetric(float64(s.RealDistCalcs)/float64(b.N), "real/query")
+		})
+	}
+}
+
+// BenchmarkFig18BenefitBreakdown — ParIS-SISD → ParIS → ParIS-TS →
+// MESSI-mq.
+func BenchmarkFig18BenefitBreakdown(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	queries := benchQueriesFor(b, dataset.RandomWalk)
+	messiIx := buildMESSI(b, data, messiOpts())
+	parisIx := buildParIS(b, data, parisOpts())
+	run := func(name string, fn func(q []float32) error) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := fn(queries.At(i % queries.Count())); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("ParIS-SISD", func(q []float32) error {
+		_, err := parisIx.Search(q, paris.SearchOptions{Kernel: paris.KernelSISD})
+		return err
+	})
+	run("ParIS", func(q []float32) error {
+		_, err := parisIx.Search(q, paris.SearchOptions{})
+		return err
+	})
+	run("ParIS-TS", func(q []float32) error {
+		_, err := parisIx.SearchTS(q, paris.SearchOptions{})
+		return err
+	})
+	run("MESSI-mq", func(q []float32) error {
+		_, err := messiIx.Search(q, core.SearchOptions{})
+		return err
+	})
+}
+
+// BenchmarkFig19DTW — DTW query answering: serial UCR Suite, UCR Suite-P,
+// MESSI-DTW.
+func BenchmarkFig19DTW(b *testing.B) {
+	for _, n := range []int{benchDTWSize, benchDTWSize * 2} {
+		data := benchCollection(b, dataset.RandomWalk, n)
+		queries := benchQueriesFor(b, dataset.RandomWalk)
+		ix := buildMESSI(b, data, messiOpts())
+		window := dtw.WindowSize(benchLength, 0.1)
+		b.Run(fmt.Sprintf("series=%d/UCR-DTW-serial", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := queries.At(i % queries.Count())
+				if _, err := scan.SearchDTW(data, q, window, 1, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("series=%d/UCR-P-DTW", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := queries.At(i % queries.Count())
+				if _, err := scan.SearchDTW(data, q, window, 48, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("series=%d/MESSI-DTW", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := queries.At(i % queries.Count())
+				if _, err := ix.SearchDTW(q, window, core.SearchOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation benchmarks: the design alternatives §III discusses and
+// rejects, quantified (DESIGN.md "design decisions"). ---
+
+// BenchmarkAblationBufferDesign — MESSI's per-worker iSAX buffers vs the
+// rejected no-buffer design (direct tree inserts under per-subtree locks)
+// vs the ParIS-style locked shared buffers.
+func BenchmarkAblationBufferDesign(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	b.Run("buffered-MESSI", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buildMESSI(b, data, messiOpts())
+		}
+	})
+	b.Run("direct-no-buffers", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildDirect(data, messiOpts()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("locked-buffers-footnote3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildLockedBuffers(data, messiOpts()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("locked-buffers-ParIS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buildParIS(b, data, parisOpts())
+		}
+	})
+}
+
+// BenchmarkAblationQueueStrategies — single shared queue (sq) vs Nq shared
+// queues (mq) vs one private queue per worker (the rejected load-imbalance
+// design).
+func BenchmarkAblationQueueStrategies(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	queries := benchQueriesFor(b, dataset.RandomWalk)
+	ix := buildMESSI(b, data, messiOpts())
+	modes := []struct {
+		name string
+		opt  core.SearchOptions
+	}{
+		{"single-queue", core.SearchOptions{Queues: 1}},
+		{"multi-queue-24", core.SearchOptions{}},
+		{"local-per-worker", core.SearchOptions{LocalQueues: true}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := queries.At(i % queries.Count())
+				if _, err := ix.Search(q, mode.opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationApproxVsExact — the approximate initial answer against
+// the full exact search (the cost of exactness).
+func BenchmarkAblationApproxVsExact(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	queries := benchQueriesFor(b, dataset.RandomWalk)
+	ix := buildMESSI(b, data, messiOpts())
+	b.Run("approximate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries.At(i % queries.Count())
+			if _, err := ix.ApproxSearch(q, core.SearchOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries.At(i % queries.Count())
+			if _, err := ix.Search(q, core.SearchOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkKNN — the k-NN extension across k (the paper's k-NN
+// classification use case).
+func BenchmarkKNN(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	queries := benchQueriesFor(b, dataset.RandomWalk)
+	ix := buildMESSI(b, data, messiOpts())
+	for _, k := range []int{1, 5, 25} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := queries.At(i % queries.Count())
+				if _, err := ix.SearchKNN(q, k, core.SearchOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIntroClaims — the paper's introduction frames MESSI against the
+// whole lineage: optimized serial scan (UCR Suite, 1 thread), the
+// sequential index (the ADS+ stand-in, see internal/serial), the parallel
+// index (ParIS), and MESSI. The §I ordering — each step roughly an order
+// faster at paper scale — compresses on one core but must keep direction.
+func BenchmarkIntroClaims(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	queries := benchQueriesFor(b, dataset.RandomWalk)
+	serialIx, err := serial.Build(data, serial.Options{LeafCapacity: benchLeafCap})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parisIx := buildParIS(b, data, parisOpts())
+	messiIx := buildMESSI(b, data, messiOpts())
+	b.Run("serial-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries.At(i % queries.Count())
+			if _, err := scan.Search1NN(data, q, 1, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential-index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries.At(i % queries.Count())
+			if _, err := serialIx.Search(q, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ParIS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries.At(i % queries.Count())
+			if _, err := parisIx.Search(q, paris.SearchOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MESSI", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries.At(i % queries.Count())
+			if _, err := messiIx.Search(q, core.SearchOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,69 @@
+// Command messi-bench regenerates the figures of the paper's evaluation
+// section (Figures 5-19) at a configurable scale.
+//
+// Usage:
+//
+//	messi-bench -fig 17                # one figure
+//	messi-bench -fig all               # every figure, in order
+//	messi-bench -fig 11 -series 200000 -queries 100 -v
+//
+// Absolute times depend on the host; the comparisons (which algorithm
+// wins, by what factor, where the curves bend) are the reproduction
+// targets — see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure number (5-19) or 'all'")
+		seriesN   = flag.Int("series", 0, "base collection size in series (default 100000)")
+		length    = flag.Int("length", 0, "series length in points (default 256)")
+		queries   = flag.Int("queries", 0, "queries per measurement (default 10)")
+		dtwSeries = flag.Int("dtw-series", 0, "collection size for the DTW figure (default 5000)")
+		seed      = flag.Int64("seed", 0, "generator seed (default 1)")
+		verbose   = flag.Bool("v", false, "log progress to stderr")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Series:    *seriesN,
+		Length:    *length,
+		Queries:   *queries,
+		DTWSeries: *dtwSeries,
+		Seed:      *seed,
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+
+	if *fig == "all" {
+		if err := experiments.RunAll(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	n, err := strconv.Atoi(*fig)
+	if err != nil {
+		fatal(fmt.Errorf("-fig must be a number or 'all', got %q", *fig))
+	}
+	table, err := experiments.Run(n, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := table.WriteTo(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "messi-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command messi-query builds a MESSI index over a dataset file and answers
+// similarity queries, reporting per-query latency — the paper's
+// exploratory-analysis scenario from the command line.
+//
+// Usage:
+//
+//	messi-gen -kind random -count 100000 -out data.bin
+//	messi-gen -kind random -count 100 -seed 999 -out queries.bin
+//	messi-query -data data.bin -queries queries.bin
+//	messi-query -data data.bin -queries queries.bin -k 5
+//	messi-query -data data.bin -queries queries.bin -dtw 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	messi "repro"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "dataset file to index (required)")
+		queryPath = flag.String("queries", "", "query file (required)")
+		k         = flag.Int("k", 1, "neighbors per query")
+		dtwWin    = flag.Float64("dtw", -1, "DTW warping window fraction (e.g. 0.1); <0 = Euclidean")
+		leafCap   = flag.Int("leaf", 0, "leaf capacity (default 2000)")
+		workers   = flag.Int("workers", 0, "search workers (default 48)")
+		queues    = flag.Int("queues", 0, "priority queues (default 24)")
+	)
+	flag.Parse()
+	if *dataPath == "" || *queryPath == "" {
+		fatal(fmt.Errorf("-data and -queries are required"))
+	}
+
+	opts := &messi.Options{
+		LeafCapacity:  *leafCap,
+		SearchWorkers: *workers,
+		QueueCount:    *queues,
+	}
+	buildStart := time.Now()
+	ix, err := messi.BuildFromFile(*dataPath, opts)
+	if err != nil {
+		fatal(err)
+	}
+	st := ix.Stats()
+	fmt.Printf("indexed %d series × %d points in %v (%d root subtrees, %d leaves, depth %d)\n",
+		ix.Len(), ix.SeriesLen(), time.Since(buildStart).Round(time.Millisecond),
+		st.RootChildren, st.Leaves, st.MaxDepth)
+
+	qdata, qlen, err := messi.ReadSeriesFile(*queryPath)
+	if err != nil {
+		fatal(err)
+	}
+	if qlen != ix.SeriesLen() {
+		fatal(fmt.Errorf("query length %d does not match indexed length %d", qlen, ix.SeriesLen()))
+	}
+	nq := len(qdata) / qlen
+
+	var total time.Duration
+	for qi := 0; qi < nq; qi++ {
+		q := qdata[qi*qlen : (qi+1)*qlen]
+		start := time.Now()
+		switch {
+		case *dtwWin >= 0:
+			m, err := ix.SearchDTW(q, *dtwWin)
+			if err != nil {
+				fatal(err)
+			}
+			elapsed := time.Since(start)
+			total += elapsed
+			fmt.Printf("query %3d: DTW 1-NN pos=%d dist=%.4f (%v)\n", qi, m.Position, m.Distance, elapsed.Round(time.Microsecond))
+		case *k > 1:
+			ms, err := ix.SearchKNN(q, *k)
+			if err != nil {
+				fatal(err)
+			}
+			elapsed := time.Since(start)
+			total += elapsed
+			fmt.Printf("query %3d: %d-NN best pos=%d dist=%.4f worst dist=%.4f (%v)\n",
+				qi, *k, ms[0].Position, ms[0].Distance, ms[len(ms)-1].Distance, elapsed.Round(time.Microsecond))
+		default:
+			m, err := ix.Search(q)
+			if err != nil {
+				fatal(err)
+			}
+			elapsed := time.Since(start)
+			total += elapsed
+			fmt.Printf("query %3d: 1-NN pos=%d dist=%.4f (%v)\n", qi, m.Position, m.Distance, elapsed.Round(time.Microsecond))
+		}
+	}
+	fmt.Printf("answered %d queries, avg %v/query\n", nq, (total / time.Duration(nq)).Round(time.Microsecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "messi-query:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+package messi
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/series"
+)
+
+// This file re-exports the workload generators and the dataset file format
+// so that examples and downstream users can produce realistic collections
+// through the public API alone.
+
+// RandomWalk generates count z-normalized random-walk series of the given
+// length as flat row-major storage (the paper's synthetic workload: each
+// point adds an N(0,1) step to the previous value). It panics only on
+// programmer error (non-positive count/length); errors are reported by
+// the Build functions.
+func RandomWalk(count, length int, seed int64) []float32 {
+	return mustGenerate(dataset.RandomWalk, count, length, seed)
+}
+
+// SeismicLike generates count z-normalized series resembling seismic
+// waveforms (shared damped-burst events over station noise); a stand-in
+// for the paper's IRIS Seismic dataset.
+func SeismicLike(count, length int, seed int64) []float32 {
+	return mustGenerate(dataset.SeismicLike, count, length, seed)
+}
+
+// SALDLike generates count z-normalized smooth low-frequency series
+// resembling MRI-derived sequences; a stand-in for the paper's SALD
+// dataset (whose native length is 128).
+func SALDLike(count, length int, seed int64) []float32 {
+	return mustGenerate(dataset.SALDLike, count, length, seed)
+}
+
+func mustGenerate(kind dataset.Kind, count, length int, seed int64) []float32 {
+	col, err := dataset.Generate(kind, count, length, seed)
+	if err != nil {
+		panic("messi: " + err.Error())
+	}
+	return col.Data
+}
+
+// ZNormalize z-normalizes a single series in place (mean 0, standard
+// deviation 1; constant series become all zeros) and returns it.
+func ZNormalize(s []float32) []float32 { return series.ZNormalize(s) }
+
+// SlidingWindows turns one long stream into flat row-major storage of all
+// its length-`window` subsequences taken every `step` points, optionally
+// z-normalizing each subsequence — the paper's prescription for indexing
+// streaming series. Feed the result to BuildFlat with seriesLen = window;
+// a match at Position p corresponds to stream offset p*step.
+func SlidingWindows(stream []float32, window, step int, normalize bool) ([]float32, error) {
+	c, err := dataset.SlidingWindows(stream, window, step, normalize)
+	if err != nil {
+		return nil, err
+	}
+	return c.Data, nil
+}
+
+// WriteSeriesFile saves flat row-major series data to the binary dataset
+// format understood by BuildFromFile and the cmd/messi-* tools.
+func WriteSeriesFile(path string, data []float32, seriesLen int) error {
+	col, err := series.NewCollection(data, seriesLen)
+	if err != nil {
+		return err
+	}
+	return dataset.WriteFile(path, col)
+}
+
+// ReadSeriesFile loads a dataset file, returning the flat data and the
+// series length.
+func ReadSeriesFile(path string) (data []float32, seriesLen int, err error) {
+	col, err := dataset.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return col.Data, col.Length, nil
+}

@@ -1,0 +1,79 @@
+package messi_test
+
+import (
+	"fmt"
+
+	messi "repro"
+)
+
+// Build an index over a small collection and answer an exact 1-NN query.
+func ExampleBuildFlat() {
+	data := messi.RandomWalk(1000, 64, 7)
+	ix, err := messi.BuildFlat(data, 64, nil)
+	if err != nil {
+		panic(err)
+	}
+	// Query with an indexed series: the nearest neighbor is itself.
+	query := make([]float32, 64)
+	copy(query, ix.Series(123))
+	m, err := ix.Search(query)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Position, m.Distance)
+	// Output: 123 0
+}
+
+// Exact k-NN returns matches in ascending distance order.
+func ExampleIndex_SearchKNN() {
+	data := messi.RandomWalk(500, 64, 8)
+	ix, err := messi.BuildFlat(data, 64, &messi.Options{LeafCapacity: 32})
+	if err != nil {
+		panic(err)
+	}
+	query := make([]float32, 64)
+	copy(query, ix.Series(42))
+	matches, err := ix.SearchKNN(query, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(matches), matches[0].Position, matches[0].Distance)
+	fmt.Println(matches[0].Distance <= matches[1].Distance)
+	// Output:
+	// 3 42 0
+	// true
+}
+
+// DTW search with a 10% warping window finds time-shifted patterns.
+func ExampleIndex_SearchDTW() {
+	data := messi.RandomWalk(500, 64, 9)
+	ix, err := messi.BuildFlat(data, 64, nil)
+	if err != nil {
+		panic(err)
+	}
+	query := make([]float32, 64)
+	copy(query, ix.Series(7))
+	m, err := ix.SearchDTW(query, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	// DTW(a,a) is zero; an indexed series matches itself.
+	fmt.Println(m.Position, m.Distance)
+	// Output: 7 0
+}
+
+// Index every subsequence of a stream, the paper's prescription for
+// streaming series.
+func ExampleSlidingWindows() {
+	stream := messi.RandomWalk(1, 4096, 10) // one long stream
+	windows, err := messi.SlidingWindows(stream, 256, 16, true)
+	if err != nil {
+		panic(err)
+	}
+	ix, err := messi.BuildFlat(windows, 256, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ix.Len(), ix.SeriesLen())
+	// Output: 241 256
+}

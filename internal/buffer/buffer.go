@@ -1,0 +1,172 @@
+// Package buffer implements the two receive-buffer designs compared in the
+// paper's index-construction study:
+//
+//   - Buffers: MESSI's design. One buffer per root subtree, each split
+//     into one part per index worker. A worker only ever appends to its own
+//     parts, so no synchronization is needed at all. Parts are allocated
+//     lazily on first append with a small initial capacity (5 series in the
+//     paper, Figure 8) and grow by doubling.
+//   - LockedBuffers: the ParIS design. One shared buffer per root subtree
+//     protected by a mutex; every append from every worker takes the lock.
+//     This is the synchronization cost MESSI eliminates (§I, §III-A).
+//
+// Entries are stored structure-of-arrays (flat symbol bytes + positions) so
+// buffers stay allocation-dense and tree construction streams through them.
+package buffer
+
+import "sync"
+
+// Part is the private segment of one (subtree, worker) pair. Words are
+// stored flat with a stride of w bytes.
+type Part struct {
+	words     []uint8
+	positions []int32
+	w         int
+}
+
+// Len reports the number of entries in the part.
+func (p *Part) Len() int { return len(p.positions) }
+
+// Word returns the i-th full-precision word (a view, not a copy).
+func (p *Part) Word(i int) []uint8 { return p.words[i*p.w : (i+1)*p.w] }
+
+// Pos returns the i-th series position.
+func (p *Part) Pos(i int) int32 { return p.positions[i] }
+
+// append adds an entry, growing by doubling from the initial capacity.
+func (p *Part) append(word []uint8, pos int32, initialCap int) {
+	if p.positions == nil {
+		if initialCap < 1 {
+			initialCap = 1
+		}
+		p.words = make([]uint8, 0, initialCap*p.w)
+		p.positions = make([]int32, 0, initialCap)
+	}
+	p.words = append(p.words, word...)
+	p.positions = append(p.positions, pos)
+}
+
+// Buffers is MESSI's synchronization-free receive-buffer array: fanout
+// buffers × workers parts, stored as one flat slot array (slot = buffer ×
+// workers + worker). Slot pointers are written only by their owning worker
+// during the summarization phase and read only after the phase barrier, so
+// no atomics are needed.
+type Buffers struct {
+	slots      []*Part
+	fanout     int
+	workers    int
+	w          int
+	initialCap int
+}
+
+// NewBuffers allocates the slot array for the given root fanout, worker
+// count, word length w, and initial per-part capacity (in entries). This
+// eager slot allocation is the initialization cost Figure 8 measures.
+func NewBuffers(fanout, workers, w, initialCap int) *Buffers {
+	return &Buffers{
+		slots:      make([]*Part, fanout*workers),
+		fanout:     fanout,
+		workers:    workers,
+		w:          w,
+		initialCap: initialCap,
+	}
+}
+
+// Append adds an entry to worker pid's part of buffer l. Only worker pid
+// may call this for a given pid (the MESSI invariant that removes all
+// locking).
+func (b *Buffers) Append(l, pid int, word []uint8, pos int32) {
+	slot := l*b.workers + pid
+	p := b.slots[slot]
+	if p == nil {
+		p = &Part{w: b.w}
+		b.slots[slot] = p
+	}
+	p.append(word, pos, b.initialCap)
+}
+
+// Part returns the (possibly nil) part of buffer l owned by worker pid.
+func (b *Buffers) Part(l, pid int) *Part { return b.slots[l*b.workers+pid] }
+
+// Fanout returns the number of buffers (root subtrees).
+func (b *Buffers) Fanout() int { return b.fanout }
+
+// Workers returns the number of parts per buffer.
+func (b *Buffers) Workers() int { return b.workers }
+
+// BufferLen reports the total number of entries across all parts of
+// buffer l.
+func (b *Buffers) BufferLen(l int) int {
+	total := 0
+	for pid := 0; pid < b.workers; pid++ {
+		if p := b.Part(l, pid); p != nil {
+			total += p.Len()
+		}
+	}
+	return total
+}
+
+// TotalLen reports the total number of entries across all buffers.
+func (b *Buffers) TotalLen() int {
+	total := 0
+	for l := 0; l < b.fanout; l++ {
+		total += b.BufferLen(l)
+	}
+	return total
+}
+
+// ForEach invokes fn for every entry of buffer l, across all parts.
+func (b *Buffers) ForEach(l int, fn func(word []uint8, pos int32)) {
+	for pid := 0; pid < b.workers; pid++ {
+		p := b.Part(l, pid)
+		if p == nil {
+			continue
+		}
+		for i := 0; i < p.Len(); i++ {
+			fn(p.Word(i), p.Pos(i))
+		}
+	}
+}
+
+// LockedBuffers is the ParIS receive-buffer design: one shared buffer per
+// root subtree, each append taking that buffer's lock. Entries reference
+// positions in a global SAX array rather than carrying their words (ParIS
+// stores <iSAX summary, position> pairs in one global array and pointers in
+// the receive buffers).
+type LockedBuffers struct {
+	bufs []lockedBuf
+}
+
+type lockedBuf struct {
+	mu        sync.Mutex
+	positions []int32
+}
+
+// NewLockedBuffers allocates fanout empty shared buffers.
+func NewLockedBuffers(fanout int) *LockedBuffers {
+	return &LockedBuffers{bufs: make([]lockedBuf, fanout)}
+}
+
+// Append adds a position to buffer l under its lock.
+func (b *LockedBuffers) Append(l int, pos int32) {
+	lb := &b.bufs[l]
+	lb.mu.Lock()
+	lb.positions = append(lb.positions, pos)
+	lb.mu.Unlock()
+}
+
+// Positions returns buffer l's entries. Callers must only read it after
+// all appends have completed (post-barrier), matching ParIS's two phases.
+func (b *LockedBuffers) Positions(l int) []int32 { return b.bufs[l].positions }
+
+// Fanout returns the number of buffers.
+func (b *LockedBuffers) Fanout() int { return len(b.bufs) }
+
+// TotalLen reports the total number of entries across all buffers.
+func (b *LockedBuffers) TotalLen() int {
+	total := 0
+	for i := range b.bufs {
+		total += len(b.bufs[i].positions)
+	}
+	return total
+}

@@ -1,0 +1,174 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBuffersAppendAndRead(t *testing.T) {
+	b := NewBuffers(4, 2, 3, 5)
+	b.Append(1, 0, []uint8{1, 2, 3}, 10)
+	b.Append(1, 0, []uint8{4, 5, 6}, 11)
+	b.Append(1, 1, []uint8{7, 8, 9}, 12)
+	b.Append(2, 1, []uint8{9, 9, 9}, 13)
+
+	if got := b.BufferLen(1); got != 3 {
+		t.Errorf("BufferLen(1) = %d, want 3", got)
+	}
+	if got := b.BufferLen(0); got != 0 {
+		t.Errorf("BufferLen(0) = %d, want 0", got)
+	}
+	if got := b.TotalLen(); got != 4 {
+		t.Errorf("TotalLen = %d, want 4", got)
+	}
+
+	p := b.Part(1, 0)
+	if p.Len() != 2 {
+		t.Fatalf("part len = %d, want 2", p.Len())
+	}
+	if w := p.Word(1); w[0] != 4 || w[1] != 5 || w[2] != 6 {
+		t.Errorf("Word(1) = %v", w)
+	}
+	if p.Pos(0) != 10 || p.Pos(1) != 11 {
+		t.Errorf("positions = %d,%d", p.Pos(0), p.Pos(1))
+	}
+	if b.Part(0, 0) != nil {
+		t.Error("untouched part should be nil (lazy allocation)")
+	}
+	if b.Fanout() != 4 || b.Workers() != 2 {
+		t.Errorf("shape = (%d,%d)", b.Fanout(), b.Workers())
+	}
+}
+
+func TestBuffersForEachOrder(t *testing.T) {
+	b := NewBuffers(2, 3, 1, 2)
+	b.Append(0, 2, []uint8{30}, 30)
+	b.Append(0, 0, []uint8{10}, 10)
+	b.Append(0, 0, []uint8{11}, 11)
+	b.Append(0, 1, []uint8{20}, 20)
+	var got []int32
+	b.ForEach(0, func(word []uint8, pos int32) {
+		if int32(word[0]) != pos {
+			t.Errorf("word/pos mismatch: %v vs %d", word, pos)
+		}
+		got = append(got, pos)
+	})
+	// Parts are visited in worker order, entries in insertion order.
+	want := []int32{10, 11, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBuffersGrowthDoubles(t *testing.T) {
+	b := NewBuffers(1, 1, 2, 5)
+	for i := 0; i < 100; i++ {
+		b.Append(0, 0, []uint8{uint8(i), uint8(i + 1)}, int32(i))
+	}
+	p := b.Part(0, 0)
+	if p.Len() != 100 {
+		t.Fatalf("len = %d, want 100", p.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if p.Pos(i) != int32(i) || p.Word(i)[0] != uint8(i) {
+			t.Fatalf("entry %d corrupted after growth", i)
+		}
+	}
+}
+
+func TestBuffersTinyInitialCap(t *testing.T) {
+	b := NewBuffers(1, 1, 1, 0) // clamped to 1
+	b.Append(0, 0, []uint8{9}, 1)
+	if b.Part(0, 0).Len() != 1 {
+		t.Error("append with zero initial capacity failed")
+	}
+}
+
+// Concurrent appends by distinct workers to the same buffer must not race
+// (each worker owns its part). Run with -race to verify.
+func TestBuffersConcurrentDistinctWorkers(t *testing.T) {
+	const workers = 8
+	const per = 1600 // multiple of 16 so every buffer gets per/16 entries
+	b := NewBuffers(16, workers, 2, 5)
+	var wg sync.WaitGroup
+	for pid := 0; pid < workers; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			word := []uint8{uint8(pid), 0}
+			for i := 0; i < per; i++ {
+				b.Append(i%16, pid, word, int32(pid*per+i))
+			}
+		}(pid)
+	}
+	wg.Wait()
+	if got := b.TotalLen(); got != workers*per {
+		t.Errorf("TotalLen = %d, want %d", got, workers*per)
+	}
+	// Every buffer receives per/16 entries from each worker.
+	for l := 0; l < 16; l++ {
+		for pid := 0; pid < workers; pid++ {
+			p := b.Part(l, pid)
+			if p == nil || p.Len() != per/16 {
+				t.Errorf("part (%d,%d) has wrong size", l, pid)
+			}
+		}
+	}
+}
+
+func TestLockedBuffers(t *testing.T) {
+	b := NewLockedBuffers(3)
+	if b.Fanout() != 3 {
+		t.Errorf("Fanout = %d", b.Fanout())
+	}
+	b.Append(0, 5)
+	b.Append(0, 6)
+	b.Append(2, 7)
+	if got := b.Positions(0); len(got) != 2 || got[0] != 5 || got[1] != 6 {
+		t.Errorf("Positions(0) = %v", got)
+	}
+	if got := b.Positions(1); len(got) != 0 {
+		t.Errorf("Positions(1) = %v, want empty", got)
+	}
+	if b.TotalLen() != 3 {
+		t.Errorf("TotalLen = %d, want 3", b.TotalLen())
+	}
+}
+
+// All workers hammering the same locked buffer must serialize correctly.
+func TestLockedBuffersConcurrent(t *testing.T) {
+	const workers = 8
+	const per = 2000
+	b := NewLockedBuffers(4)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Append(i%4, int32(w*per+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := b.TotalLen(); got != workers*per {
+		t.Fatalf("TotalLen = %d, want %d", got, workers*per)
+	}
+	seen := make(map[int32]bool, workers*per)
+	for l := 0; l < 4; l++ {
+		for _, pos := range b.Positions(l) {
+			if seen[pos] {
+				t.Fatalf("position %d appears twice", pos)
+			}
+			seen[pos] = true
+		}
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("lost entries: %d distinct, want %d", len(seen), workers*per)
+	}
+}

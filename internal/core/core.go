@@ -1,0 +1,105 @@
+// Package core implements the paper's primary contribution: the MESSI
+// in-memory data series index. It contains the parallel index-construction
+// pipeline of §III-A (Algorithms 1-4) and the parallel exact query
+// answering of §III-B (Algorithms 5-9), plus the DTW mode (Figure 19) and
+// a k-NN extension of the same machinery.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isax"
+	"repro/internal/series"
+	"repro/internal/tree"
+)
+
+// Paper defaults (§IV-B, "Parameter Tuning Evaluation").
+const (
+	DefaultSegments      = 16    // w, fixed to 16 as in previous studies
+	DefaultCardBits      = 8     // alphabet cardinality 256
+	DefaultLeafCapacity  = 2000  // leaf size minimizing query time (Fig 7)
+	DefaultChunkSize     = 20000 // 20K series = 20MB chunks (Fig 5)
+	DefaultInitBufferCap = 5     // initial iSAX buffer part size (Fig 8)
+	DefaultIndexWorkers  = 24    // Nw (Fig 9)
+	DefaultSearchWorkers = 48    // Ns (Fig 11)
+	DefaultQueueCount    = 24    // Nq (Fig 14)
+)
+
+// Options configures index construction and the default query parameters.
+// The zero value of any field selects the paper's default.
+type Options struct {
+	Segments      int // w: PAA segments per iSAX word
+	CardBits      int // bits per symbol (cardinality = 1<<CardBits)
+	LeafCapacity  int // max series per leaf before splitting
+	ChunkSize     int // series per Fetch&Inc work unit in phase 1
+	InitBufferCap int // initial per-part iSAX buffer capacity (series)
+	IndexWorkers  int // Nw: index construction workers
+	SearchWorkers int // Ns: search workers
+	QueueCount    int // Nq: priority queues (1 = the paper's MESSI-sq)
+}
+
+// withDefaults fills zero fields with the paper's defaults and clamps
+// nonsensical values.
+func (o Options) withDefaults() Options {
+	def := func(v *int, d int) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	def(&o.Segments, DefaultSegments)
+	def(&o.CardBits, DefaultCardBits)
+	def(&o.LeafCapacity, DefaultLeafCapacity)
+	def(&o.ChunkSize, DefaultChunkSize)
+	def(&o.InitBufferCap, DefaultInitBufferCap)
+	def(&o.IndexWorkers, DefaultIndexWorkers)
+	def(&o.SearchWorkers, DefaultSearchWorkers)
+	def(&o.QueueCount, DefaultQueueCount)
+	return o
+}
+
+// ErrEmptyIndex is returned when querying an index with no series.
+var ErrEmptyIndex = errors.New("core: index contains no series")
+
+// Index is a built MESSI index: the raw data array, the iSAX schema, and
+// the index tree. An Index is immutable after Build and safe for
+// concurrent queries.
+type Index struct {
+	Data   *series.Collection
+	Schema *isax.Schema
+	Tree   *tree.Tree
+	Opts   Options
+
+	// activeRoots lists the non-empty root slots. Search workers claim
+	// entries of this list via Fetch&Inc instead of sweeping all 2^w
+	// slots (Algorithm 6 sweeps the full fanout; restricting the sweep
+	// to non-empty subtrees is behaviour-preserving — empty slots are
+	// skipped either way — and keeps the Fetch&Inc count proportional
+	// to the data).
+	activeRoots []int32
+}
+
+// Match is a query result: the position of a series in the collection and
+// its SQUARED distance to the query (Euclidean, or constrained DTW for the
+// DTW search functions).
+type Match struct {
+	Position int
+	Dist     float64
+}
+
+// validateQuery checks a query series against the index shape.
+func (ix *Index) validateQuery(query []float32) error {
+	if ix.Data.Count() == 0 {
+		return ErrEmptyIndex
+	}
+	if len(query) != ix.Data.Length {
+		return fmt.Errorf("core: query length %d, index series length %d", len(query), ix.Data.Length)
+	}
+	return nil
+}
+
+// ActiveRoots returns the slots of non-empty root subtrees (read-only).
+func (ix *Index) ActiveRoots() []int32 { return ix.activeRoots }
+
+// Stats returns tree shape statistics.
+func (ix *Index) Stats() tree.Stats { return ix.Tree.Stats() }

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dtw"
+	"repro/internal/paa"
+	"repro/internal/pqueue"
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+// SearchDTW answers an exact 1-NN query under constrained DTW with a
+// Sakoe-Chiba band of the given radius (in points; use dtw.WindowSize to
+// convert the paper's percentage windows).
+//
+// Per §IV ("MESSI with DTW"): "no changes are required in the index
+// structure; we just have to build the envelope of the LB_Keogh method
+// around the query series, and then search the index using this envelope."
+// Concretely, node pruning uses MINDIST between the envelope's per-segment
+// bounds and the node summary; per-series filtering cascades that bound,
+// then LB_Keogh on the raw series, then the early-abandoning DTW itself.
+func (ix *Index) SearchDTW(query []float32, window int, opt SearchOptions) (Match, error) {
+	if err := ix.validateQuery(query); err != nil {
+		return Match{}, err
+	}
+	if err := dtw.CheckWindow(ix.Data.Length, window); err != nil {
+		return Match{}, err
+	}
+	opt = opt.withDefaults(ix.Opts)
+	bd := opt.Breakdown
+
+	var tInit time.Time
+	if bd.Enabled() {
+		tInit = time.Now()
+	}
+	env := ix.newDTWQuery(query, window)
+	bsf := stats.NewBSF()
+	ix.approxSearchDTW(env, bsf, opt.Counters)
+	if bd.Enabled() {
+		bd.Add(stats.PhaseInit, time.Since(tInit))
+	}
+
+	queues := pqueue.NewSet[*tree.Node](opt.Queues, 64)
+	var rootCtr atomic.Int64
+	var barrier sync.WaitGroup
+	barrier.Add(opt.Workers)
+	var wg sync.WaitGroup
+	for pid := 0; pid < opt.Workers; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			ix.dtwWorker(env, bsf, queues, &rootCtr, &barrier, pid, opt)
+		}(pid)
+	}
+	wg.Wait()
+
+	d, pos := bsf.Best()
+	return Match{Position: int(pos), Dist: d}, nil
+}
+
+// dtwQuery bundles the per-query DTW state: the query, its LB_Keogh
+// envelope, and the envelope's per-segment summary used against iSAX
+// words/prefixes.
+type dtwQuery struct {
+	query  []float32
+	window int
+	upper  []float32 // pointwise envelope
+	lower  []float32
+	uMax   []float64 // per-segment max of upper (conservative PAA)
+	lMin   []float64 // per-segment min of lower
+	qword  []uint8   // query's own word, for the approximate descent
+}
+
+func (ix *Index) newDTWQuery(query []float32, window int) *dtwQuery {
+	u, l := dtw.Envelope(query, window)
+	w := ix.Schema.Segments
+	qpaa := paa.Transform(query, w, nil)
+	return &dtwQuery{
+		query:  query,
+		window: window,
+		upper:  u,
+		lower:  l,
+		uMax:   paa.SegmentMax(u, w, nil),
+		lMin:   paa.SegmentMin(l, w, nil),
+		qword:  ix.Schema.WordFromPAA(qpaa, nil),
+	}
+}
+
+func (ix *Index) dtwWorker(env *dtwQuery, bsf *stats.BSF, queues *pqueue.Set[*tree.Node],
+	rootCtr *atomic.Int64, barrier *sync.WaitGroup, pid int, opt SearchOptions) {
+
+	ctrs := opt.Counters
+	cursor := pid % opt.Queues
+	for {
+		i := int(rootCtr.Add(1) - 1)
+		if i >= len(ix.activeRoots) {
+			break
+		}
+		ix.traverseDTW(ix.Tree.Root(int(ix.activeRoots[i])), env, bsf, queues, &cursor, ctrs)
+	}
+	barrier.Done()
+	barrier.Wait()
+
+	rnd := uint64(pid)*0x9E3779B97F4A7C15 + 0x9876543
+	q := pid % opt.Queues
+	for {
+		ix.processQueueDTW(queues.Queue(q), env, bsf, ctrs)
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		q = queues.NextUnfinished(int(rnd>>33) % opt.Queues)
+		if q < 0 {
+			return
+		}
+	}
+}
+
+func (ix *Index) traverseDTW(node *tree.Node, env *dtwQuery, bsf *stats.BSF,
+	queues *pqueue.Set[*tree.Node], cursor *int, ctrs *stats.Counters) {
+
+	ctrs.AddNodesVisited(1)
+	dist := ix.Schema.MinDistEnvelopePrefix(env.uMax, env.lMin, node.Symbols, node.Bits)
+	ctrs.AddLowerBound(1)
+	if dist >= bsf.Load() {
+		return
+	}
+	if node.IsLeaf() {
+		if node.LeafLen() == 0 {
+			return
+		}
+		queues.PushRoundRobin(cursor, dist, node)
+		ctrs.AddLeavesInserted(1)
+		return
+	}
+	ix.traverseDTW(node.Left, env, bsf, queues, cursor, ctrs)
+	ix.traverseDTW(node.Right, env, bsf, queues, cursor, ctrs)
+}
+
+func (ix *Index) processQueueDTW(q *pqueue.Queue[*tree.Node], env *dtwQuery,
+	bsf *stats.BSF, ctrs *stats.Counters) {
+
+	for {
+		if q.Finished() {
+			return
+		}
+		item, ok := q.PopMin()
+		if !ok {
+			q.MarkFinished()
+			return
+		}
+		if item.Priority >= bsf.Load() {
+			ctrs.AddLeavesPruned(1)
+			q.MarkFinished()
+			return
+		}
+		ix.scanLeafDTW(item.Value, env, bsf, ctrs)
+	}
+}
+
+// scanLeafDTW cascades three bounds per entry: envelope-vs-word MINDIST,
+// LB_Keogh on the raw candidate, then the early-abandoning DTW.
+func (ix *Index) scanLeafDTW(leaf *tree.Node, env *dtwQuery, bsf *stats.BSF, ctrs *stats.Counters) {
+	w := ix.Schema.Segments
+	n := leaf.LeafLen()
+	var lbCount, realCount int64
+	for i := 0; i < n; i++ {
+		lbCount++
+		lb := ix.Schema.MinDistEnvelopeWord(env.uMax, env.lMin, leaf.Word(i, w))
+		limit := bsf.Load()
+		if lb >= limit {
+			continue
+		}
+		pos := leaf.Positions[i]
+		candidate := ix.Data.At(int(pos))
+		lbCount++
+		if dtw.LBKeogh(candidate, env.lower, env.upper, limit) >= limit {
+			continue
+		}
+		realCount++
+		d := dtw.Distance(env.query, candidate, env.window, limit)
+		if d < limit {
+			if bsf.Update(d, int64(pos)) {
+				ctrs.AddBSFUpdate()
+			}
+		}
+	}
+	ctrs.AddLowerBound(lbCount)
+	ctrs.AddRealDist(realCount)
+}
+
+// approxSearchDTW seeds the DTW BSF from the leaf matching the query's own
+// word (warping alignment keeps the query's natural leaf a good candidate).
+func (ix *Index) approxSearchDTW(env *dtwQuery, bsf *stats.BSF, ctrs *stats.Counters) {
+	root := ix.Tree.Root(ix.Schema.RootIndex(env.qword))
+	if root == nil {
+		best := math.Inf(1)
+		for _, slot := range ix.activeRoots {
+			r := ix.Tree.Root(int(slot))
+			d := ix.Schema.MinDistEnvelopePrefix(env.uMax, env.lMin, r.Symbols, r.Bits)
+			ctrs.AddLowerBound(1)
+			if d < best {
+				best = d
+				root = r
+			}
+		}
+	}
+	if root == nil {
+		return
+	}
+	leaf := ix.Tree.DescendToLeaf(root, env.qword)
+	for i := 0; i < leaf.LeafLen(); i++ {
+		pos := leaf.Positions[i]
+		d := dtw.Distance(env.query, ix.Data.At(int(pos)), env.window, bsf.Load())
+		ctrs.AddRealDist(1)
+		if d < bsf.Load() {
+			if bsf.Update(d, int64(pos)) {
+				ctrs.AddBSFUpdate()
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/paa"
+	"repro/internal/stats"
+)
+
+// topK is the k-NN generalization of the BSF: a bounded max-heap of the k
+// best matches. The pruning threshold is the k-th best distance (or +Inf
+// until k results exist), published through an atomic so that the hot-path
+// Load stays lock-free; mutations take the mutex.
+//
+// This implements the "complex analytics algorithms (e.g., k-NN
+// classification)" use case the paper's introduction motivates; the k=1
+// case degenerates to exactly the paper's BSF protocol.
+type topK struct {
+	mu        sync.Mutex
+	k         int
+	heap      []Match // max-heap on Dist
+	threshold atomic.Uint64
+	updates   atomic.Int64
+}
+
+func newTopK(k int) *topK {
+	t := &topK{k: k}
+	t.threshold.Store(math.Float64bits(math.Inf(1)))
+	return t
+}
+
+// Load returns the current squared pruning threshold.
+func (t *topK) Load() float64 { return math.Float64frombits(t.threshold.Load()) }
+
+// Update offers a candidate; it reports whether the top-k set changed.
+func (t *topK) Update(dist float64, pos int64) bool {
+	if dist >= t.Load() {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Re-check under the lock (the threshold may have moved).
+	if len(t.heap) == t.k && dist >= t.heap[0].Dist {
+		return false
+	}
+	// Reject duplicates of the same position (can arrive from the
+	// approximate-search leaf being rescanned during queue processing).
+	for _, m := range t.heap {
+		if m.Position == int(pos) {
+			return false
+		}
+	}
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, Match{Position: int(pos), Dist: dist})
+		t.siftUp(len(t.heap) - 1)
+	} else {
+		t.heap[0] = Match{Position: int(pos), Dist: dist}
+		t.siftDown(0)
+	}
+	if len(t.heap) == t.k {
+		t.threshold.Store(math.Float64bits(t.heap[0].Dist))
+	}
+	t.updates.Add(1)
+	return true
+}
+
+func (t *topK) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.heap[p].Dist >= t.heap[i].Dist {
+			break
+		}
+		t.heap[p], t.heap[i] = t.heap[i], t.heap[p]
+		i = p
+	}
+}
+
+func (t *topK) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && t.heap[r].Dist > t.heap[l].Dist {
+			big = r
+		}
+		if t.heap[i].Dist >= t.heap[big].Dist {
+			return
+		}
+		t.heap[i], t.heap[big] = t.heap[big], t.heap[i]
+		i = big
+	}
+}
+
+// results returns the matches sorted by ascending distance.
+func (t *topK) results() []Match {
+	t.mu.Lock()
+	out := make([]Match, len(t.heap))
+	copy(out, t.heap)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Position < out[j].Position
+	})
+	return out
+}
+
+// SearchKNN answers an exact k-NN query using the MESSI machinery with the
+// top-k bound in place of the single BSF. It returns at most k matches
+// sorted by ascending distance.
+func (ix *Index) SearchKNN(query []float32, k int, opt SearchOptions) ([]Match, error) {
+	if err := ix.validateQuery(query); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if k > ix.Data.Count() {
+		k = ix.Data.Count()
+	}
+	opt = opt.withDefaults(ix.Opts)
+
+	qpaa := paa.Transform(query, ix.Schema.Segments, nil)
+	qword := ix.Schema.WordFromPAA(qpaa, nil)
+	best := newTopK(k)
+	ix.approxSearch(query, qpaa, qword, best, opt.Counters)
+	ix.runSearchWorkers(query, qpaa, best, opt)
+	return best.results(), nil
+}
+
+// assert interface satisfaction: both bounds plug into the same search.
+var (
+	_ bound = (*topK)(nil)
+	_ bound = (*stats.BSF)(nil)
+)

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/paa"
+	"repro/internal/pqueue"
+	"repro/internal/stats"
+	"repro/internal/tree"
+	"repro/internal/vector"
+)
+
+// SearchOptions configures one query. Zero fields inherit the index
+// options (which themselves default to the paper's values).
+type SearchOptions struct {
+	Workers int // Ns: search worker goroutines
+	Queues  int // Nq: priority queues; 1 = MESSI-sq, >1 = MESSI-mq
+
+	// LocalQueues selects the rejected per-thread-queue design the paper
+	// discusses in §III-B (one private queue per worker, no sharing or
+	// stealing): it suffers load imbalance and exists for the ablation
+	// benchmarks. It forces Queues == Workers.
+	LocalQueues bool
+
+	// Counters, when non-nil, accumulates operation counts (Figure 17).
+	Counters *stats.Counters
+	// Breakdown, when non-nil, accumulates per-phase wall time across
+	// all workers (Figure 13). Enabling it adds clock reads to hot
+	// paths; leave nil when benchmarking end-to-end latency.
+	Breakdown *stats.Breakdown
+}
+
+func (o SearchOptions) withDefaults(ixOpts Options) SearchOptions {
+	if o.Workers <= 0 {
+		o.Workers = ixOpts.SearchWorkers
+	}
+	if o.LocalQueues {
+		o.Queues = o.Workers
+	} else if o.Queues <= 0 {
+		o.Queues = ixOpts.QueueCount
+	}
+	return o
+}
+
+// bound abstracts the pruning threshold shared by all search workers: the
+// 1-NN BSF (stats.BSF) or the k-NN top-k set. Load returns the current
+// squared pruning threshold; Update offers an improvement.
+type bound interface {
+	Load() float64
+	Update(dist float64, pos int64) bool
+}
+
+// Search answers an exact 1-NN query (Algorithm 5). The query must be
+// z-normalized by the caller if the indexed data is (the public API layer
+// handles this).
+func (ix *Index) Search(query []float32, opt SearchOptions) (Match, error) {
+	if err := ix.validateQuery(query); err != nil {
+		return Match{}, err
+	}
+	opt = opt.withDefaults(ix.Opts)
+	bd := opt.Breakdown
+
+	var tInit time.Time
+	if bd.Enabled() {
+		tInit = time.Now()
+	}
+	qpaa := paa.Transform(query, ix.Schema.Segments, nil)
+	qword := ix.Schema.WordFromPAA(qpaa, nil)
+	bsf := stats.NewBSF()
+	ix.approxSearch(query, qpaa, qword, bsf, opt.Counters)
+	if bd.Enabled() {
+		bd.Add(stats.PhaseInit, time.Since(tInit))
+	}
+
+	ix.runSearchWorkers(query, qpaa, bsf, opt)
+
+	d, pos := bsf.Best()
+	return Match{Position: int(pos), Dist: d}, nil
+}
+
+// runSearchWorkers executes the two-stage parallel search of Algorithm 6
+// against an arbitrary bound (1-NN BSF or k-NN top-k).
+func (ix *Index) runSearchWorkers(query []float32, qpaa []float64, bnd bound, opt SearchOptions) {
+	queues := pqueue.NewSet[*tree.Node](opt.Queues, 64)
+	var rootCtr atomic.Int64
+	var insertBarrier sync.WaitGroup // all-inserted barrier (Algorithm 6 line 7)
+	insertBarrier.Add(opt.Workers)
+	var wg sync.WaitGroup
+	for pid := 0; pid < opt.Workers; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			ix.searchWorker(query, qpaa, bnd, queues, &rootCtr, &insertBarrier, pid, opt)
+		}(pid)
+	}
+	wg.Wait()
+}
+
+// searchWorker is Algorithm 6: claim root subtrees via Fetch&Inc and push
+// non-prunable leaves into the queues; after the barrier, drain queues
+// until every queue is finished.
+func (ix *Index) searchWorker(query []float32, qpaa []float64, bnd bound,
+	queues *pqueue.Set[*tree.Node], rootCtr *atomic.Int64, barrier *sync.WaitGroup,
+	pid int, opt SearchOptions) {
+
+	ctrs, bd := opt.Counters, opt.Breakdown
+	cursor := pid % opt.Queues // round-robin insertion cursor (line 2)
+
+	var tStart time.Time
+	if bd.Enabled() {
+		tStart = time.Now()
+	}
+	var insertTime time.Duration
+	for {
+		i := int(rootCtr.Add(1) - 1)
+		if i >= len(ix.activeRoots) {
+			break
+		}
+		root := ix.Tree.Root(int(ix.activeRoots[i]))
+		ix.traverse(root, qpaa, bnd, queues, &cursor, &insertTime, ctrs, bd)
+	}
+	if bd.Enabled() {
+		bd.Add(stats.PhaseTreePass, time.Since(tStart)-insertTime)
+		bd.Add(stats.PhasePQInsert, insertTime)
+	}
+
+	barrier.Done()
+	barrier.Wait()
+
+	if opt.LocalQueues {
+		// Ablation mode: drain only this worker's private queue; no
+		// stealing. Workers whose queues drain early sit idle — the
+		// load imbalance the paper rejected this design for.
+		ix.processQueue(queues.Queue(pid%opt.Queues), query, qpaa, bnd, ctrs, bd)
+		return
+	}
+
+	// Queue processing (lines 8-13). The next queue to work on is chosen
+	// starting from a randomized position — the load-balancing scheme the
+	// paper settled on ("workers use randomization to choose the priority
+	// queues they will work on").
+	rnd := uint64(pid)*0x9E3779B97F4A7C15 + 0x1234567
+	q := pid % opt.Queues
+	for {
+		ix.processQueue(queues.Queue(q), query, qpaa, bnd, ctrs, bd)
+		rnd = rnd*6364136223846793005 + 1442695040888963407 // LCG step
+		q = queues.NextUnfinished(int(rnd>>33) % opt.Queues)
+		if q < 0 {
+			return
+		}
+	}
+}
+
+// traverse is Algorithm 7: prune subtrees whose lower bound exceeds the
+// BSF; push surviving leaves into the queues round-robin.
+func (ix *Index) traverse(node *tree.Node, qpaa []float64, bnd bound,
+	queues *pqueue.Set[*tree.Node], cursor *int, insertTime *time.Duration,
+	ctrs *stats.Counters, bd *stats.Breakdown) {
+
+	ctrs.AddNodesVisited(1)
+	dist := ix.Schema.MinDistPAAPrefix(qpaa, node.Symbols, node.Bits)
+	ctrs.AddLowerBound(1)
+	if dist >= bnd.Load() {
+		return
+	}
+	if node.IsLeaf() {
+		if node.LeafLen() == 0 {
+			return
+		}
+		if bd.Enabled() {
+			t0 := time.Now()
+			queues.PushRoundRobin(cursor, dist, node)
+			*insertTime += time.Since(t0)
+		} else {
+			queues.PushRoundRobin(cursor, dist, node)
+		}
+		ctrs.AddLeavesInserted(1)
+		return
+	}
+	ix.traverse(node.Left, qpaa, bnd, queues, cursor, insertTime, ctrs, bd)
+	ix.traverse(node.Right, qpaa, bnd, queues, cursor, insertTime, ctrs, bd)
+}
+
+// processQueue is Algorithm 8: repeatedly DeleteMin; once the popped bound
+// is no better than the BSF (or the queue is empty), mark the queue
+// finished and return.
+func (ix *Index) processQueue(q *pqueue.Queue[*tree.Node], query []float32, qpaa []float64,
+	bnd bound, ctrs *stats.Counters, bd *stats.Breakdown) {
+
+	for {
+		if q.Finished() {
+			return
+		}
+		var t0 time.Time
+		if bd.Enabled() {
+			t0 = time.Now()
+		}
+		item, ok := q.PopMin()
+		if bd.Enabled() {
+			bd.Add(stats.PhasePQRemove, time.Since(t0))
+		}
+		if !ok {
+			q.MarkFinished()
+			return
+		}
+		if item.Priority >= bnd.Load() {
+			// Everything left in this min-queue is at least as far:
+			// abandon the whole queue (Algorithm 8 lines 8-10).
+			ctrs.AddLeavesPruned(1)
+			q.MarkFinished()
+			return
+		}
+		if bd.Enabled() {
+			t0 = time.Now()
+		}
+		ix.scanLeaf(item.Value, query, qpaa, bnd, ctrs)
+		if bd.Enabled() {
+			bd.Add(stats.PhaseDistCalc, time.Since(t0))
+		}
+	}
+}
+
+// scanLeaf is Algorithm 9 (CalculateRealDistance): per entry, a cheap
+// per-series lower bound first, then the early-abandoning real distance
+// only if the lower bound cannot prune.
+func (ix *Index) scanLeaf(leaf *tree.Node, query []float32, qpaa []float64,
+	bnd bound, ctrs *stats.Counters) {
+
+	w := ix.Schema.Segments
+	n := leaf.LeafLen()
+	var lbCount, realCount int64
+	for i := 0; i < n; i++ {
+		lbCount++
+		lb := ix.Schema.MinDistPAAWord(qpaa, leaf.Word(i, w))
+		limit := bnd.Load()
+		if lb >= limit {
+			continue
+		}
+		pos := leaf.Positions[i]
+		d := vector.SquaredEuclideanEarlyAbandon(ix.Data.At(int(pos)), query, limit)
+		realCount++
+		if d < limit {
+			if bnd.Update(d, int64(pos)) {
+				ctrs.AddBSFUpdate()
+			}
+		}
+	}
+	ctrs.AddLowerBound(lbCount)
+	ctrs.AddRealDist(realCount)
+}
+
+// ApproxSearch answers an approximate 1-NN query: only the BSF-seeding
+// step of the exact algorithm (descend to the query's leaf, best real
+// distance inside it). The paper's progressive-search citation observes
+// this initial answer is usually very close to the exact one; the exact
+// search refines it. Falls back to the exact search in the rare case the
+// descent lands on an empty leaf.
+func (ix *Index) ApproxSearch(query []float32, opt SearchOptions) (Match, error) {
+	if err := ix.validateQuery(query); err != nil {
+		return Match{}, err
+	}
+	qpaa := paa.Transform(query, ix.Schema.Segments, nil)
+	qword := ix.Schema.WordFromPAA(qpaa, nil)
+	bsf := stats.NewBSF()
+	ix.approxSearch(query, qpaa, qword, bsf, opt.Counters)
+	d, pos := bsf.Best()
+	if pos < 0 {
+		return ix.Search(query, opt)
+	}
+	return Match{Position: int(pos), Dist: d}, nil
+}
+
+// approxSearch seeds the BSF (Figure 4(a)): descend to the leaf matching
+// the query's iSAX word and take the best real distance inside it.
+func (ix *Index) approxSearch(query []float32, qpaa []float64, qword []uint8,
+	bnd bound, ctrs *stats.Counters) {
+
+	root := ix.Tree.Root(ix.Schema.RootIndex(qword))
+	if root == nil {
+		// The query's own subtree is empty: fall back to the root child
+		// with the smallest lower bound.
+		best := math.Inf(1)
+		for _, slot := range ix.activeRoots {
+			r := ix.Tree.Root(int(slot))
+			d := ix.Schema.MinDistPAAPrefix(qpaa, r.Symbols, r.Bits)
+			ctrs.AddLowerBound(1)
+			if d < best {
+				best = d
+				root = r
+			}
+		}
+	}
+	if root == nil {
+		return // empty tree; validateQuery prevents this for public entry points
+	}
+	leaf := ix.Tree.DescendToLeaf(root, qword)
+	for i := 0; i < leaf.LeafLen(); i++ {
+		pos := leaf.Positions[i]
+		d := vector.SquaredEuclideanEarlyAbandon(ix.Data.At(int(pos)), query, bnd.Load())
+		ctrs.AddRealDist(1)
+		if d < bnd.Load() {
+			if bnd.Update(d, int64(pos)) {
+				ctrs.AddBSFUpdate()
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/series"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	for _, kind := range []Kind{RandomWalk, SeismicLike, SALDLike} {
+		c, err := Generate(kind, 50, kind.DefaultLength(), 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if c.Count() != 50 || c.Length != kind.DefaultLength() {
+			t.Errorf("%s: got %d×%d", kind, c.Count(), c.Length)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestDefaultLengths(t *testing.T) {
+	if RandomWalk.DefaultLength() != 256 || SeismicLike.DefaultLength() != 256 {
+		t.Error("random/seismic default length should be 256")
+	}
+	if SALDLike.DefaultLength() != 128 {
+		t.Error("SALD default length should be 128")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(RandomWalk, 0, 256, 1); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := Generate(RandomWalk, 10, 0, 1); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := Generate(Kind("bogus"), 10, 256, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(RandomWalk, 10, 64, 42)
+	b, _ := Generate(RandomWalk, 10, 64, 42)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c, _ := Generate(RandomWalk, 10, 64, 43)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGeneratedSeriesAreNormalized(t *testing.T) {
+	for _, kind := range []Kind{RandomWalk, SeismicLike, SALDLike} {
+		c, err := Generate(kind, 20, kind.DefaultLength(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < c.Count(); i++ {
+			s := c.At(i)
+			if m := series.Mean(s); math.Abs(m) > 1e-4 {
+				t.Errorf("%s series %d mean = %v", kind, i, m)
+			}
+			if sd := series.Std(s); math.Abs(sd-1) > 1e-3 {
+				t.Errorf("%s series %d std = %v", kind, i, sd)
+			}
+		}
+	}
+}
+
+// The real-data stand-ins must be harder for an index than random walks
+// (the paper's Figures 16-17: real data prunes worse). Two mechanisms:
+//   - seismic: low relative contrast — the nearest neighbor is barely
+//     closer than the average series, so bounds near the BSF are common;
+//   - SALD: heavy near-duplicate cluster mass — a large fraction of the
+//     collection sits at roughly the NN distance.
+func TestRealLikeDataIsHarderThanRandom(t *testing.T) {
+	const n = 150
+	measure := func(kind Kind) (avgNN, avgPair float64) {
+		c, err := Generate(kind, n, 128, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nnTotal, pairTotal float64
+		pairs := 0
+		for i := 0; i < n; i++ {
+			best := math.Inf(1)
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				var d float64
+				a, b := c.At(i), c.At(j)
+				for k := range a {
+					dd := float64(a[k] - b[k])
+					d += dd * dd
+				}
+				d = math.Sqrt(d)
+				pairTotal += d
+				pairs++
+				if d < best {
+					best = d
+				}
+			}
+			nnTotal += best
+		}
+		return nnTotal / n, pairTotal / float64(pairs)
+	}
+	rwNN, rwPair := measure(RandomWalk)
+	seisNN, seisPair := measure(SeismicLike)
+	saldNN, _ := measure(SALDLike)
+	rwContrast := rwPair / rwNN
+	seisContrast := seisPair / seisNN
+	if seisContrast >= rwContrast {
+		t.Errorf("seismic contrast %.3f should be below random walk %.3f", seisContrast, rwContrast)
+	}
+	if saldNN >= rwNN/2 {
+		t.Errorf("SALD avg NN dist %.3f should be far below random walk %.3f (near-duplicate clusters)", saldNN, rwNN)
+	}
+}
+
+func TestQueriesSameDistribution(t *testing.T) {
+	q, err := Queries(SeismicLike, 10, 256, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Count() != 10 || q.Length != 256 {
+		t.Errorf("queries shape %d×%d", q.Count(), q.Length)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	c, err := Generate(RandomWalk, 33, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != c.Count() || got.Length != c.Length {
+		t.Fatalf("shape mismatch: %d×%d", got.Count(), got.Length)
+	}
+	for i := range c.Data {
+		if got.Data[i] != c.Data[i] {
+			t.Fatalf("data mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, []byte("not a dataset"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated data section.
+	c, _ := Generate(RandomWalk, 4, 64, 1)
+	full := filepath.Join(dir, "full.bin")
+	if err := WriteFile(full, c); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.bin")
+	if err := os.WriteFile(trunc, raw[:len(raw)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(trunc); err == nil {
+		t.Error("truncated file accepted")
+	}
+	// Absurd header.
+	huge := make([]byte, 24)
+	copy(huge, "MESSIDS1")
+	for i := 8; i < 24; i++ {
+		huge[i] = 0xFF
+	}
+	hugePath := filepath.Join(dir, "huge.bin")
+	if err := os.WriteFile(hugePath, huge, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(hugePath); err == nil {
+		t.Error("absurd header accepted")
+	}
+}

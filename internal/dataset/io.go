@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/series"
+)
+
+// File format: a fixed little-endian header followed by raw float32 data.
+// This mirrors the flat binary files used by the original iSAX/MESSI code
+// releases (plus a small self-describing header so lengths need not be
+// passed out of band).
+//
+//	offset 0  [8]byte  magic "MESSIDS1"
+//	offset 8  uint64   series count
+//	offset 16 uint64   series length (points)
+//	offset 24 ...      count*length float32 values, row-major
+var fileMagic = [8]byte{'M', 'E', 'S', 'S', 'I', 'D', 'S', '1'}
+
+// WriteFile saves a collection to path in the binary format above.
+func WriteFile(path string, c *series.Collection) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := writeTo(w, c); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("dataset: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func writeTo(w io.Writer, c *series.Collection) error {
+	if _, err := w.Write(fileMagic[:]); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(c.Count()))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(c.Length))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(c.Data); off += 4096 {
+		end := off + 4096
+		if end > len(c.Data) {
+			end = len(c.Data)
+		}
+		chunk := c.Data[off:end]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf[:len(chunk)*4]); err != nil {
+			return fmt.Errorf("dataset: write data: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFile loads a collection previously written by WriteFile.
+func ReadFile(path string) (*series.Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return readFrom(bufio.NewReaderSize(f, 1<<20), path)
+}
+
+func readFrom(r io.Reader, path string) (*series.Collection, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("dataset: read %s header: %w", path, err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("dataset: %s is not a MESSI dataset file (bad magic %q)", path, magic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("dataset: read %s header: %w", path, err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[0:8])
+	length := binary.LittleEndian.Uint64(hdr[8:16])
+	const maxPoints = 1 << 33 // 32 GiB of float32s; refuse absurd headers
+	if length == 0 || count == 0 || count*length > maxPoints {
+		return nil, fmt.Errorf("dataset: %s header claims %d series × %d points", path, count, length)
+	}
+	c, err := series.NewEmptyCollection(int(count), int(length))
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(c.Data); {
+		want := len(c.Data) - off
+		if want > 4096 {
+			want = 4096
+		}
+		if _, err := io.ReadFull(r, buf[:want*4]); err != nil {
+			return nil, fmt.Errorf("dataset: read %s data at series %d: %w", path, off/c.Length, err)
+		}
+		for i := 0; i < want; i++ {
+			c.Data[off+i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		off += want
+	}
+	return c, nil
+}

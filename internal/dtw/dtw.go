@@ -1,0 +1,196 @@
+// Package dtw implements constrained Dynamic Time Warping with a
+// Sakoe-Chiba band, early abandoning, and the LB_Keogh lower-bounding
+// machinery (envelope construction and envelope distances) that MESSI uses
+// to answer DTW similarity queries without changing the index structure
+// (Figure 19 of the paper: "we just have to build the envelope of the
+// LB_Keogh method around the query series, and then search the index using
+// this envelope").
+//
+// As everywhere in this repository, distances are SQUARED: Distance returns
+// the sum of squared point costs along the optimal warping path, which for
+// a zero-width band degenerates to the squared Euclidean distance.
+package dtw
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/vector"
+)
+
+// dpScratch holds the two DP rows Distance needs. Rows are pooled: query
+// answering calls Distance tens of thousands of times per query, and
+// per-call allocation would dominate the run with GC work.
+type dpScratch struct {
+	prev, cur []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return &dpScratch{} }}
+
+func getScratch(n int) *dpScratch {
+	s := scratchPool.Get().(*dpScratch)
+	if cap(s.prev) < n {
+		s.prev = make([]float64, n)
+		s.cur = make([]float64, n)
+	}
+	s.prev = s.prev[:n]
+	s.cur = s.cur[:n]
+	return s
+}
+
+// WindowSize converts a fractional warping window (e.g. 0.1 for the paper's
+// 10%) into an absolute band radius for series of the given length. The
+// result is clamped to [0, n-1].
+func WindowSize(n int, fraction float64) int {
+	if fraction < 0 {
+		return 0
+	}
+	r := int(math.Floor(fraction*float64(n) + 0.5))
+	if r > n-1 {
+		r = n - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// CheckWindow validates an absolute band radius for series length n.
+func CheckWindow(n, r int) error {
+	if r < 0 || r >= n {
+		return fmt.Errorf("dtw: band radius %d out of range [0,%d] for series length %d", r, n-1, n)
+	}
+	return nil
+}
+
+// Envelope computes the LB_Keogh envelope of q under a Sakoe-Chiba band of
+// radius r: upper[i] = max(q[i-r..i+r]), lower[i] = min(q[i-r..i+r]),
+// clamped at the series boundaries. It runs in O(n) using monotonic deques.
+func Envelope(q []float32, r int) (upper, lower []float32) {
+	n := len(q)
+	upper = make([]float32, n)
+	lower = make([]float32, n)
+	if n == 0 {
+		return upper, lower
+	}
+	// Monotonic deques of indices: maxDeque values decreasing, minDeque
+	// values increasing. Window for position i is [i-r, i+r].
+	maxDeque := make([]int, 0, 2*r+1)
+	minDeque := make([]int, 0, 2*r+1)
+	push := func(j int) {
+		for len(maxDeque) > 0 && q[maxDeque[len(maxDeque)-1]] <= q[j] {
+			maxDeque = maxDeque[:len(maxDeque)-1]
+		}
+		maxDeque = append(maxDeque, j)
+		for len(minDeque) > 0 && q[minDeque[len(minDeque)-1]] >= q[j] {
+			minDeque = minDeque[:len(minDeque)-1]
+		}
+		minDeque = append(minDeque, j)
+	}
+	// Pre-fill the first window [0, r].
+	for j := 0; j <= r && j < n; j++ {
+		push(j)
+	}
+	for i := 0; i < n; i++ {
+		if i+r < n && i > 0 {
+			push(i + r)
+		}
+		// Evict indices that fell out of [i-r, i+r].
+		for maxDeque[0] < i-r {
+			maxDeque = maxDeque[1:]
+		}
+		for minDeque[0] < i-r {
+			minDeque = minDeque[1:]
+		}
+		upper[i] = q[maxDeque[0]]
+		lower[i] = q[minDeque[0]]
+	}
+	return upper, lower
+}
+
+// LBKeogh returns the squared LB_Keogh lower bound of cDTW(q, x) given q's
+// envelope, abandoning once the running sum reaches limit. Pass
+// math.Inf(1) as limit for the exact value.
+func LBKeogh(x, lower, upper []float32, limit float64) float64 {
+	return vector.SquaredEnvelopeDistanceEarlyAbandon(x, lower, upper, limit)
+}
+
+// Distance computes the squared constrained DTW distance between a and b
+// under a Sakoe-Chiba band of radius r, abandoning (returning a value >=
+// limit) as soon as every cell of a DP row reaches limit. The slices must
+// have equal length; r must satisfy 0 <= r < len(a).
+func Distance(a, b []float32, r int, limit float64) float64 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		d := float64(a[0]) - float64(b[0])
+		return d * d
+	}
+	inf := math.Inf(1)
+	scratch := getScratch(n)
+	defer scratchPool.Put(scratch)
+	prev, cur := scratch.prev, scratch.cur
+	// Row 0: only cells j in [0, r]; dp[0][j] = dp[0][j-1] + cost(0, j).
+	for j := range prev {
+		prev[j] = inf
+	}
+	{
+		acc := 0.0
+		hi := r
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for j := 0; j <= hi; j++ {
+			d := float64(a[0]) - float64(b[j])
+			acc += d * d
+			prev[j] = acc
+		}
+	}
+	for i := 1; i < n; i++ {
+		lo := i - r
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + r
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for j := range cur {
+			cur[j] = inf
+		}
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			best := prev[j] // vertical move (i-1, j)
+			if j > 0 {
+				if v := prev[j-1]; v < best { // diagonal (i-1, j-1)
+					best = v
+				}
+				if v := cur[j-1]; v < best { // horizontal (i, j-1)
+					best = v
+				}
+			}
+			if math.IsInf(best, 1) {
+				continue
+			}
+			d := float64(a[i]) - float64(b[j])
+			c := best + d*d
+			cur[j] = c
+			if c < rowMin {
+				rowMin = c
+			}
+		}
+		if rowMin >= limit {
+			return rowMin
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n-1]
+}
+
+// DistanceExact is Distance with no early abandoning.
+func DistanceExact(a, b []float32, r int) float64 {
+	return Distance(a, b, r, math.Inf(1))
+}

@@ -1,0 +1,267 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vector"
+)
+
+func randWalk(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	v := 0.0
+	for i := range s {
+		v += rng.NormFloat64()
+		s[i] = float32(v)
+	}
+	return s
+}
+
+func TestWindowSize(t *testing.T) {
+	cases := []struct {
+		n    int
+		frac float64
+		want int
+	}{
+		{256, 0.1, 26},
+		{256, 0, 0},
+		{256, -1, 0},
+		{10, 0.05, 1},
+		{10, 5, 9},
+		{1, 0.5, 0},
+	}
+	for i, c := range cases {
+		if got := WindowSize(c.n, c.frac); got != c.want {
+			t.Errorf("case %d: WindowSize(%d,%v) = %d, want %d", i, c.n, c.frac, got, c.want)
+		}
+	}
+}
+
+func TestCheckWindow(t *testing.T) {
+	if err := CheckWindow(256, 25); err != nil {
+		t.Errorf("valid window rejected: %v", err)
+	}
+	if err := CheckWindow(256, -1); err == nil {
+		t.Error("negative window accepted")
+	}
+	if err := CheckWindow(256, 256); err == nil {
+		t.Error("window >= n accepted")
+	}
+}
+
+func TestEnvelopeKnown(t *testing.T) {
+	q := []float32{0, 1, 2, 1, 0}
+	u, l := Envelope(q, 1)
+	wantU := []float32{1, 2, 2, 2, 1}
+	wantL := []float32{0, 0, 1, 0, 0}
+	for i := range q {
+		if u[i] != wantU[i] || l[i] != wantL[i] {
+			t.Errorf("i=%d: envelope (%v,%v), want (%v,%v)", i, l[i], u[i], wantL[i], wantU[i])
+		}
+	}
+}
+
+func TestEnvelopeZeroRadius(t *testing.T) {
+	q := []float32{3, -1, 4}
+	u, l := Envelope(q, 0)
+	for i := range q {
+		if u[i] != q[i] || l[i] != q[i] {
+			t.Errorf("r=0 envelope must equal the series at %d", i)
+		}
+	}
+}
+
+func TestEnvelopeEmpty(t *testing.T) {
+	u, l := Envelope(nil, 3)
+	if len(u) != 0 || len(l) != 0 {
+		t.Error("empty series should give empty envelope")
+	}
+}
+
+// Envelope must match a brute-force sliding min/max.
+func TestEnvelopeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64, nRaw, rRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		r := int(rRaw) % n
+		rg := rand.New(rand.NewSource(seed))
+		q := randWalk(rg, n)
+		u, l := Envelope(q, r)
+		for i := 0; i < n; i++ {
+			lo, hi := i-r, i+r
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > n-1 {
+				hi = n - 1
+			}
+			mx, mn := q[lo], q[lo]
+			for j := lo + 1; j <= hi; j++ {
+				if q[j] > mx {
+					mx = q[j]
+				}
+				if q[j] < mn {
+					mn = q[j]
+				}
+			}
+			if u[i] != mx || l[i] != mn {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceZeroBandIsED(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100)
+		a := randWalk(rng, n)
+		b := randWalk(rng, n)
+		dtw := DistanceExact(a, b, 0)
+		ed := vector.SquaredEuclidean(a, b)
+		if math.Abs(dtw-ed) > 1e-6*(1+ed) {
+			t.Fatalf("trial %d: DTW r=0 %v != ED %v", trial, dtw, ed)
+		}
+	}
+}
+
+func TestDistanceIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randWalk(rng, 64)
+	if d := DistanceExact(a, a, 5); d != 0 {
+		t.Errorf("DTW(a,a) = %v, want 0", d)
+	}
+}
+
+func TestDistanceKnownWarp(t *testing.T) {
+	// b is a shifted by one step; with r >= 1 DTW should align nearly all
+	// points and be much smaller than ED.
+	a := []float32{0, 0, 1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float32{0, 1, 2, 3, 4, 5, 6, 7, 8, 8}
+	dtw := DistanceExact(a, b, 2)
+	ed := vector.SquaredEuclidean(a, b)
+	if dtw >= ed {
+		t.Errorf("DTW %v should beat ED %v on a shifted ramp", dtw, ed)
+	}
+	if dtw != 0 {
+		t.Errorf("DTW = %v; shifted ramp with duplicated endpoints warps to 0", dtw)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64, nRaw, rRaw uint8) bool {
+		n := int(nRaw)%60 + 1
+		r := int(rRaw) % n
+		rg := rand.New(rand.NewSource(seed))
+		a := randWalk(rg, n)
+		b := randWalk(rg, n)
+		d1 := DistanceExact(a, b, r)
+		d2 := DistanceExact(b, a, r)
+		return math.Abs(d1-d2) <= 1e-6*(1+d1)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Widening the band can only shrink the DTW distance; ED is the r=0 cap.
+func TestDistanceMonotoneInBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%60 + 2
+		rg := rand.New(rand.NewSource(seed))
+		a := randWalk(rg, n)
+		b := randWalk(rg, n)
+		prev := math.Inf(1)
+		for r := 0; r < n; r += 1 + n/8 {
+			d := DistanceExact(a, b, r)
+			if d > prev+1e-6 {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// LB_Keogh lower-bounds cDTW (the classic exact-indexing result).
+func TestLBKeoghLowerBoundsDTW(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64, nRaw, rRaw uint8) bool {
+		n := int(nRaw)%80 + 1
+		r := int(rRaw) % n
+		rg := rand.New(rand.NewSource(seed))
+		q := randWalk(rg, n)
+		c := randWalk(rg, n)
+		u, l := Envelope(q, r)
+		lb := LBKeogh(c, l, u, math.Inf(1))
+		d := DistanceExact(q, c, r)
+		return lb <= d+1e-6*(1+d)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEarlyAbandonConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 8 + rng.Intn(100)
+		r := rng.Intn(n)
+		a := randWalk(rng, n)
+		b := randWalk(rng, n)
+		exact := DistanceExact(a, b, r)
+		// Generous limit: must return the exact value.
+		if got := Distance(a, b, r, exact+1); math.Abs(got-exact) > 1e-9 {
+			t.Fatalf("trial %d: limit above exact changed result: %v vs %v", trial, got, exact)
+		}
+		// Tight limit: must return >= limit.
+		if exact > 0 {
+			if got := Distance(a, b, r, exact/2); got < exact/2 {
+				t.Fatalf("trial %d: abandoned result %v < limit %v", trial, got, exact/2)
+			}
+		}
+	}
+}
+
+func TestDistanceTinyInputs(t *testing.T) {
+	if d := Distance(nil, nil, 0, math.Inf(1)); d != 0 {
+		t.Errorf("empty DTW = %v, want 0", d)
+	}
+	if d := Distance([]float32{2}, []float32{5}, 0, math.Inf(1)); d != 9 {
+		t.Errorf("singleton DTW = %v, want 9", d)
+	}
+}
+
+func BenchmarkDTW256Band26(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	x := randWalk(rng, 256)
+	y := randWalk(rng, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DistanceExact(x, y, 26)
+	}
+}
+
+func BenchmarkEnvelope256(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x := randWalk(rng, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Envelope(x, 26)
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps the full figure suite runnable inside the unit tests.
+func tinyConfig() Config {
+	return Config{Series: 2000, Length: 64, Queries: 2, DTWSeries: 300, Seed: 1}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	d := DefaultConfig()
+	if c != d {
+		t.Errorf("withDefaults() = %+v, want %+v", c, d)
+	}
+	c = Config{Series: 5}.withDefaults()
+	if c.Series != 5 || c.Queries != d.Queries {
+		t.Errorf("partial defaults wrong: %+v", c)
+	}
+}
+
+func TestLeafCapacityScaling(t *testing.T) {
+	if got := (Config{Series: 1000}).leafCapacity(); got != 16 {
+		t.Errorf("small collection leaf capacity = %d, want clamp 16", got)
+	}
+	if got := (Config{Series: 100000}).leafCapacity(); got != 500 {
+		t.Errorf("100K leaf capacity = %d, want 500", got)
+	}
+	if got := (Config{Series: 10000000}).leafCapacity(); got != 2000 {
+		t.Errorf("huge leaf capacity = %d, want clamp 2000", got)
+	}
+}
+
+func TestFigureNumbersComplete(t *testing.T) {
+	nums := FigureNumbers()
+	if len(nums) != 15 {
+		t.Fatalf("expected 15 figures (5-19), got %d", len(nums))
+	}
+	for i, n := range nums {
+		if n != i+5 {
+			t.Fatalf("figure numbers = %v, want 5..19", nums)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run(4, tinyConfig()); err == nil {
+		t.Error("figure 4 should not exist")
+	}
+	if _, err := Run(20, tinyConfig()); err == nil {
+		t.Error("figure 20 should not exist")
+	}
+}
+
+// Every figure must run at tiny scale and produce a well-formed table with
+// the declared column count in every row.
+func TestAllFiguresProduceTables(t *testing.T) {
+	cfg := tinyConfig()
+	for _, n := range FigureNumbers() {
+		n := n
+		t.Run("fig"+strconv.Itoa(n), func(t *testing.T) {
+			table, err := Run(n, cfg)
+			if err != nil {
+				t.Fatalf("figure %d: %v", n, err)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatalf("figure %d produced no rows", n)
+			}
+			for ri, row := range table.Rows {
+				if len(row) != len(table.Columns) {
+					t.Fatalf("figure %d row %d has %d cells, want %d",
+						n, ri, len(row), len(table.Columns))
+				}
+			}
+			out := table.String()
+			if !strings.Contains(out, table.Figure) {
+				t.Errorf("rendered table missing figure label")
+			}
+		})
+	}
+}
+
+// The pruning-count comparison (Figure 17's headline): MESSI performs
+// fewer lower-bound calculations than ParIS (which computes one per
+// series) and no more real-distance calculations. The advantage needs
+// realistically-proportioned leaves, so this test runs at a larger scale
+// than the smoke tests (at very small scales the per-node bounds of a
+// many-tiny-leaves tree outnumber ParIS's one-per-series sweep).
+func TestFig17ShapeHolds(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Series = 20000
+	table, err := Fig17(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		parisLB, _ := strconv.ParseInt(row[1], 10, 64)
+		messiLB, _ := strconv.ParseInt(row[2], 10, 64)
+		if messiLB >= parisLB {
+			t.Errorf("%s: MESSI lower bounds (%d) not below ParIS (%d)", row[0], messiLB, parisLB)
+		}
+		parisReal, _ := strconv.ParseInt(row[4], 10, 64)
+		messiReal, _ := strconv.ParseInt(row[5], 10, 64)
+		if messiReal > parisReal {
+			t.Errorf("%s: MESSI real calcs (%d) above ParIS (%d)", row[0], messiReal, parisReal)
+		}
+	}
+}
+
+func TestRunAllTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll covers every figure; skipped in -short")
+	}
+	var sb strings.Builder
+	cfg := tinyConfig()
+	if err := RunAll(cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, n := range FigureNumbers() {
+		if !strings.Contains(out, "Figure "+strconv.Itoa(n)) {
+			t.Errorf("RunAll output missing figure %d", n)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Figure:  "Figure X",
+		Title:   "test",
+		Columns: []string{"a", "long_column"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("333333", "4")
+	tb.AddNote("hello %d", 42)
+	out := tb.String()
+	if !strings.Contains(out, "Figure X — test") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "note: hello 42") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Errorf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Fig05 — "Index creation, vs. chunk size": MESSI build time across chunk
+// sizes. The paper's curve is flat once chunks exceed ~1K series, with a
+// penalty at tiny chunks (Fetch&Inc contention).
+func Fig05(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	data, _, err := cfg.data(dataset.RandomWalk, cfg.Series)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Figure:  "Figure 5",
+		Title:   "Index creation time vs. chunk size (random walk)",
+		Columns: []string{"chunk_size", "MESSI_build_s"},
+	}
+	for _, chunk := range []int{10, 100, 500, 1000, 10000, 20000, 50000, 100000} {
+		if chunk > cfg.Series {
+			break
+		}
+		opts := cfg.messiOpts()
+		opts.ChunkSize = chunk
+		bt, err := minBuildMESSI(data, opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.logf("fig5 chunk=%d: %.3fs", chunk, bt.Total().Seconds())
+		t.AddRow(fmt.Sprintf("%d", chunk), secs(bt.Total().Seconds()))
+	}
+	t.AddNote("paper: flat beyond 1K-series chunks; small chunks pay Fetch&Inc contention (20K chosen)")
+	return t, nil
+}
+
+// Fig06 — "Index creation, vs. leaf size": larger leaves build faster
+// (fewer splits), flattening beyond a few thousand series.
+func Fig06(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	data, _, err := cfg.data(dataset.RandomWalk, cfg.Series)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Figure:  "Figure 6",
+		Title:   "Index creation time vs. leaf size (random walk)",
+		Columns: []string{"leaf_size", "MESSI_build_s"},
+	}
+	for _, leaf := range []int{50, 100, 200, 500, 1000, 2000, 5000, 10000, 20000} {
+		opts := cfg.messiOpts()
+		opts.LeafCapacity = leaf
+		bt, err := minBuildMESSI(data, opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.logf("fig6 leaf=%d: %.3fs", leaf, bt.Total().Seconds())
+		t.AddRow(fmt.Sprintf("%d", leaf), secs(bt.Total().Seconds()))
+	}
+	t.AddNote("paper: build time falls with leaf size and flattens past ~5K")
+	return t, nil
+}
+
+// Fig08 — "Index creation, vs. initial iSAX buffer size": smaller initial
+// buffer-part allocations build faster.
+func Fig08(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	data, _, err := cfg.data(dataset.RandomWalk, cfg.Series)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Figure:  "Figure 8",
+		Title:   "Index creation time vs. initial iSAX buffer size (random walk)",
+		Columns: []string{"init_buffer", "MESSI_build_s"},
+	}
+	for _, initCap := range []int{2, 5, 10, 20, 50, 100, 200, 500, 1000} {
+		opts := cfg.messiOpts()
+		opts.InitBufferCap = initCap
+		bt, err := minBuildMESSI(data, opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.logf("fig8 init=%d: %.3fs", initCap, bt.Total().Seconds())
+		t.AddRow(fmt.Sprintf("%d", initCap), secs(bt.Total().Seconds()))
+	}
+	t.AddNote("paper: smaller initial sizes are better (5 chosen); large initial parts waste allocation")
+	return t, nil
+}
+
+// Fig09 — "Index creation, varying number of cores": ParIS vs MESSI with
+// the per-phase split (iSAX summarization vs tree construction).
+func Fig09(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	data, _, err := cfg.data(dataset.RandomWalk, cfg.Series)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Figure:  "Figure 9",
+		Title:   "Index creation time vs. number of workers, phase split (ParIS vs MESSI)",
+		Columns: []string{"workers", "ParIS_sum_s", "ParIS_tree_s", "ParIS_total_s", "MESSI_sum_s", "MESSI_tree_s", "MESSI_total_s"},
+	}
+	for _, workers := range []int{1, 2, 4, 8, 12, 18, 24} {
+		pOpts := cfg.parisOpts()
+		pOpts.IndexWorkers = workers
+		pt, err := minBuildParis(data, pOpts)
+		if err != nil {
+			return nil, err
+		}
+		mOpts := cfg.messiOpts()
+		mOpts.IndexWorkers = workers
+		mt, err := minBuildMESSI(data, mOpts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.logf("fig9 workers=%d: paris=%.3fs messi=%.3fs", workers, pt.Total().Seconds(), mt.Total().Seconds())
+		t.AddRow(fmt.Sprintf("%d", workers),
+			secs(pt.Summarize.Seconds()), secs(pt.TreeBuild.Seconds()), secs(pt.Total().Seconds()),
+			secs(mt.Summarize.Seconds()), secs(mt.TreeBuild.Seconds()), secs(mt.Total().Seconds()))
+	}
+	t.AddNote("paper: MESSI ~3.5x faster at 24 workers; on a single-core host the worker sweep cannot show hardware speedup (see EXPERIMENTS.md)")
+	return t, nil
+}
+
+// Fig10 — "Index creation, vs. data size": ParIS vs MESSI across dataset
+// sizes (the paper's 50-200GB sweep, scaled).
+func Fig10(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Figure:  "Figure 10",
+		Title:   "Index creation time vs. data size (ParIS vs MESSI)",
+		Columns: []string{"series", "ParIS_build_s", "MESSI_build_s", "speedup"},
+	}
+	for _, frac := range []float64{0.5, 1.0, 1.5, 2.0} {
+		n := int(float64(cfg.Series) * frac)
+		data, _, err := cfg.data(dataset.RandomWalk, n)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := minBuildParis(data, cfg.parisOpts())
+		if err != nil {
+			return nil, err
+		}
+		mt, err := minBuildMESSI(data, cfg.messiOpts())
+		if err != nil {
+			return nil, err
+		}
+		speedup := pt.Total().Seconds() / mt.Total().Seconds()
+		cfg.logf("fig10 n=%d: paris=%.3fs messi=%.3fs (%.2fx)", n, pt.Total().Seconds(), mt.Total().Seconds(), speedup)
+		t.AddRow(fmt.Sprintf("%d", n), secs(pt.Total().Seconds()), secs(mt.Total().Seconds()),
+			fmt.Sprintf("%.2fx", speedup))
+	}
+	t.AddNote("paper: MESSI up to 4.2x faster, gap growing with size")
+	return t, nil
+}
+
+// Fig15 — "Index creation for real datasets": ParIS vs MESSI on the
+// seismic-like and SALD-like stand-ins.
+func Fig15(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Figure:  "Figure 15",
+		Title:   "Index creation time on real-data stand-ins (ParIS vs MESSI)",
+		Columns: []string{"dataset", "ParIS_build_s", "MESSI_build_s", "speedup"},
+	}
+	for _, kind := range []dataset.Kind{dataset.SALDLike, dataset.SeismicLike} {
+		data, _, err := cfg.data(kind, cfg.Series)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := minBuildParis(data, cfg.parisOpts())
+		if err != nil {
+			return nil, err
+		}
+		mt, err := minBuildMESSI(data, cfg.messiOpts())
+		if err != nil {
+			return nil, err
+		}
+		speedup := pt.Total().Seconds() / mt.Total().Seconds()
+		cfg.logf("fig15 %s: paris=%.3fs messi=%.3fs (%.2fx)", kind, pt.Total().Seconds(), mt.Total().Seconds(), speedup)
+		t.AddRow(string(kind), secs(pt.Total().Seconds()), secs(mt.Total().Seconds()),
+			fmt.Sprintf("%.2fx", speedup))
+	}
+	t.AddNote("paper: MESSI 3.6x (SALD) and 3.7x (Seismic) faster at 24 workers")
+	return t, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// FigureFunc runs one figure's experiment.
+type FigureFunc func(Config) (*Table, error)
+
+// Figures maps figure numbers to their drivers (every figure of §IV).
+var Figures = map[int]FigureFunc{
+	5:  Fig05,
+	6:  Fig06,
+	7:  Fig07,
+	8:  Fig08,
+	9:  Fig09,
+	10: Fig10,
+	11: Fig11,
+	12: Fig12,
+	13: Fig13,
+	14: Fig14,
+	15: Fig15,
+	16: Fig16,
+	17: Fig17,
+	18: Fig18,
+	19: Fig19,
+}
+
+// FigureNumbers returns the available figure numbers in ascending order.
+func FigureNumbers() []int {
+	nums := make([]int, 0, len(Figures))
+	for n := range Figures {
+		nums = append(nums, n)
+	}
+	sort.Ints(nums)
+	return nums
+}
+
+// Run executes one figure by number.
+func Run(fig int, cfg Config) (*Table, error) {
+	fn, ok := Figures[fig]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no figure %d (have 5-19)", fig)
+	}
+	return fn(cfg)
+}
+
+// RunAll executes every figure in order, writing each table to w as it
+// completes. It stops at the first failure.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, n := range FigureNumbers() {
+		table, err := Run(n, cfg)
+		if err != nil {
+			return fmt.Errorf("figure %d: %w", n, err)
+		}
+		if _, err := table.WriteTo(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

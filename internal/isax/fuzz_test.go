@@ -1,0 +1,70 @@
+package isax
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSymbolRegionConsistency checks that quantization and region bounds
+// stay consistent for arbitrary float inputs (including extremes).
+func FuzzSymbolRegionConsistency(f *testing.F) {
+	f.Add(0.0)
+	f.Add(1.5)
+	f.Add(-1.5)
+	f.Add(1e300)
+	f.Add(-1e300)
+	f.Add(0.001)
+	s, err := NewSchema(64, 16, 8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Skip()
+		}
+		sym := s.Symbol(v)
+		lo, hi := s.Region(sym, 8)
+		if v < lo-1e-12 || v > hi+1e-12 {
+			t.Fatalf("value %v assigned symbol %d whose region is [%v,%v]", v, sym, lo, hi)
+		}
+		// Every coarser prefix region must also contain v.
+		for b := uint8(7); b >= 1; b-- {
+			plo, phi := s.Region(sym>>(8-b), b)
+			if v < plo-1e-12 || v > phi+1e-12 {
+				t.Fatalf("value %v escapes %d-bit region [%v,%v]", v, b, plo, phi)
+			}
+		}
+	})
+}
+
+// FuzzMinDistNonNegative checks the lower bound is always finite and
+// non-negative for arbitrary PAA vectors.
+func FuzzMinDistNonNegative(f *testing.F) {
+	f.Add(float64(0), float64(0), uint8(0), uint8(255))
+	f.Add(float64(3.7), float64(-2.2), uint8(17), uint8(200))
+	s, err := NewSchema(32, 16, 8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, a, b float64, symA, symB uint8) {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			t.Skip()
+		}
+		paa := make([]float64, 16)
+		word := make([]uint8, 16)
+		for i := range paa {
+			if i%2 == 0 {
+				paa[i], word[i] = a, symA
+			} else {
+				paa[i], word[i] = b, symB
+			}
+		}
+		d := s.MinDistPAAWord(paa, word)
+		if d < 0 || math.IsNaN(d) {
+			t.Fatalf("MinDistPAAWord = %v for paa=(%v,%v) syms=(%d,%d)", d, a, b, symA, symB)
+		}
+		if naive := s.MinDistPAAWordNaive(paa, word); math.Abs(naive-d) > 1e-9*(1+d) {
+			t.Fatalf("kernel disagreement: %v vs %v", d, naive)
+		}
+	})
+}

@@ -1,0 +1,197 @@
+// Package paris implements the paper's principal competitor: the
+// in-memory version of ParIS (Peng, Palpanas, Fatourou, IEEE BigData
+// 2018), including its SIMS query answering strategy, the ParIS-SISD
+// ablation (scalar kernels), and ParIS-TS (the traditional tree-based
+// exact search parallelized on top of the ParIS index).
+//
+// The construction pipeline deliberately keeps the two ParIS behaviours
+// that MESSI redesigns (§I, §III-A of the MESSI paper):
+//
+//  1. receive buffers are shared per root subtree and protected by locks
+//     (MESSI: per-worker lock-free parts), and
+//  2. the raw array is split statically into one chunk per bulk-loading
+//     worker (MESSI: many small chunks claimed via Fetch&Inc), which costs
+//     load balance.
+//
+// ParIS also materializes the global SAX array (one iSAX word per series):
+// SIMS scans that entire array at query time, which is why ParIS performs
+// lower-bound distance calculations for every series in the collection
+// (Figure 17a) while MESSI prunes during the tree pass.
+package paris
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/isax"
+	"repro/internal/paa"
+	"repro/internal/series"
+	"repro/internal/tree"
+)
+
+// Options configures ParIS. Zero fields default to the paper's settings
+// (same parameters as MESSI for a fair comparison).
+type Options struct {
+	Segments      int // w
+	CardBits      int // bits per symbol
+	LeafCapacity  int // leaf split threshold
+	IndexWorkers  int // bulk-loading / index-construction workers
+	SearchWorkers int // SIMS lower-bound and real-distance workers
+}
+
+func (o Options) withDefaults() Options {
+	def := func(v *int, d int) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	def(&o.Segments, 16)
+	def(&o.CardBits, 8)
+	def(&o.LeafCapacity, 2000)
+	def(&o.IndexWorkers, 24)
+	def(&o.SearchWorkers, 48)
+	return o
+}
+
+// Index is a built in-memory ParIS index: the raw data, the global SAX
+// array, and the iSAX tree (which SIMS uses only for the approximate
+// answer).
+type Index struct {
+	Data   *series.Collection
+	Schema *isax.Schema
+	Tree   *tree.Tree
+	SAX    []uint8 // one full-precision word per series, stride Segments
+	Opts   Options
+
+	activeRoots []int32
+}
+
+// BuildTiming mirrors core.BuildTiming for Figure 9's phase split.
+type BuildTiming struct {
+	Summarize time.Duration
+	TreeBuild time.Duration
+}
+
+// Total returns end-to-end construction time.
+func (bt BuildTiming) Total() time.Duration { return bt.Summarize + bt.TreeBuild }
+
+// Build constructs the ParIS index.
+func Build(data *series.Collection, opts Options) (*Index, error) {
+	return BuildTimed(data, opts, nil)
+}
+
+// BuildTimed is Build with optional per-phase timing.
+func BuildTimed(data *series.Collection, opts Options, timing *BuildTiming) (*Index, error) {
+	if data == nil || data.Count() == 0 {
+		return nil, fmt.Errorf("paris: cannot build an index over an empty collection")
+	}
+	opts = opts.withDefaults()
+	schema, err := isax.NewSchema(data.Length, opts.Segments, opts.CardBits)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := tree.New(schema, opts.LeafCapacity)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		Data:   data,
+		Schema: schema,
+		Tree:   tr,
+		SAX:    make([]uint8, data.Count()*schema.Segments),
+		Opts:   opts,
+	}
+
+	nw := opts.IndexWorkers
+	n := data.Count()
+	if nw > n {
+		nw = n
+	}
+	recv := buffer.NewLockedBuffers(schema.RootFanout())
+
+	// Phase 1 — bulk loading: static partition (one chunk per worker),
+	// each append to the shared receive buffer takes that buffer's lock.
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			bulkLoadWorker(ix, recv, w*n/nw, (w+1)*n/nw)
+		}(w)
+	}
+	wg.Wait()
+	summarizeDone := time.Now()
+
+	// Phase 2 — index construction: workers claim root subtrees via
+	// Fetch&Inc and insert the buffered positions, reading words from the
+	// SAX array.
+	var subtreeCtr atomic.Int64
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			constructionWorker(ix, recv, &subtreeCtr)
+		}()
+	}
+	wg.Wait()
+
+	if timing != nil {
+		timing.Summarize = summarizeDone.Sub(start)
+		timing.TreeBuild = time.Since(summarizeDone)
+	}
+	for l := 0; l < schema.RootFanout(); l++ {
+		if tr.Root(l) != nil {
+			ix.activeRoots = append(ix.activeRoots, int32(l))
+		}
+	}
+	return ix, nil
+}
+
+func bulkLoadWorker(ix *Index, recv *buffer.LockedBuffers, lo, hi int) {
+	schema := ix.Schema
+	w := schema.Segments
+	paaBuf := make([]float64, w)
+	for j := lo; j < hi; j++ {
+		paa.Transform(ix.Data.At(j), w, paaBuf)
+		word := ix.SAX[j*w : (j+1)*w]
+		schema.WordFromPAA(paaBuf, word)
+		recv.Append(schema.RootIndex(word), int32(j))
+	}
+}
+
+func constructionWorker(ix *Index, recv *buffer.LockedBuffers, subtreeCtr *atomic.Int64) {
+	schema := ix.Schema
+	w := schema.Segments
+	fanout := schema.RootFanout()
+	for {
+		l := int(subtreeCtr.Add(1) - 1)
+		if l >= fanout {
+			return
+		}
+		positions := recv.Positions(l)
+		if len(positions) == 0 {
+			continue
+		}
+		root := ix.Tree.EnsureRoot(l)
+		for _, pos := range positions {
+			ix.Tree.Insert(root, ix.SAX[int(pos)*w:(int(pos)+1)*w], pos)
+		}
+	}
+}
+
+// Word returns series i's full-precision iSAX word from the SAX array.
+func (ix *Index) Word(i int) []uint8 {
+	w := ix.Schema.Segments
+	return ix.SAX[i*w : (i+1)*w]
+}
+
+func (ix *Index) validateQuery(query []float32) error {
+	if len(query) != ix.Data.Length {
+		return fmt.Errorf("paris: query length %d, index series length %d", len(query), ix.Data.Length)
+	}
+	return nil
+}

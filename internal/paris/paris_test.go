@@ -1,0 +1,208 @@
+package paris
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/series"
+	"repro/internal/stats"
+	"repro/internal/vector"
+)
+
+func smallOpts() Options {
+	return Options{
+		LeafCapacity:  32,
+		IndexWorkers:  4,
+		SearchWorkers: 8,
+	}
+}
+
+func buildParis(t testing.TB, kind dataset.Kind, count, length int) *Index {
+	t.Helper()
+	data, err := dataset.Generate(kind, count, length, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(data, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func brute1NN(data *series.Collection, query []float32) core.Match {
+	best := core.Match{Position: -1, Dist: math.Inf(1)}
+	for i := 0; i < data.Count(); i++ {
+		d := vector.SquaredEuclidean(data.At(i), query)
+		if d < best.Dist {
+			best = core.Match{Position: i, Dist: d}
+		}
+	}
+	return best
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Error("nil collection accepted")
+	}
+	empty, _ := series.NewEmptyCollection(0, 64)
+	if _, err := Build(empty, Options{}); err == nil {
+		t.Error("empty collection accepted")
+	}
+	bad, _ := series.NewEmptyCollection(4, 100)
+	if _, err := Build(bad, Options{Segments: 16}); err == nil {
+		t.Error("non-multiple length accepted")
+	}
+}
+
+func TestBuildConservesSeriesAndFillsSAX(t *testing.T) {
+	ix := buildParis(t, dataset.RandomWalk, 3000, 64)
+	st := ix.Tree.Stats()
+	if st.Series != 3000 {
+		t.Fatalf("tree holds %d series, want 3000", st.Series)
+	}
+	if err := ix.Tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.SAX) != 3000*16 {
+		t.Fatalf("SAX array length %d", len(ix.SAX))
+	}
+	// Spot-check: the SAX word of series i routes to the root subtree
+	// that contains it.
+	for i := 0; i < 3000; i += 311 {
+		l := ix.Schema.RootIndex(ix.Word(i))
+		if ix.Tree.Root(l) == nil {
+			t.Errorf("series %d's subtree %d is empty", i, l)
+		}
+	}
+}
+
+func TestBuildTimedPhases(t *testing.T) {
+	data, _ := dataset.Generate(dataset.RandomWalk, 2000, 64, 3)
+	var bt BuildTiming
+	if _, err := BuildTimed(data, smallOpts(), &bt); err != nil {
+		t.Fatal(err)
+	}
+	if bt.Summarize <= 0 || bt.TreeBuild <= 0 {
+		t.Errorf("phases not recorded: %+v", bt)
+	}
+	if bt.Total() != bt.Summarize+bt.TreeBuild {
+		t.Errorf("total inconsistent")
+	}
+}
+
+func TestSIMSMatchesBruteForce(t *testing.T) {
+	ix := buildParis(t, dataset.RandomWalk, 3000, 64)
+	queries, _ := dataset.Queries(dataset.RandomWalk, 20, 64, 55)
+	for qi := 0; qi < queries.Count(); qi++ {
+		q := queries.At(qi)
+		want := brute1NN(ix.Data, q)
+		got, err := ix.Search(q, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Dist-want.Dist) > 1e-6*(1+want.Dist) {
+			t.Fatalf("query %d: %v want %v", qi, got.Dist, want.Dist)
+		}
+	}
+}
+
+func TestSIMSSISDMatchesBruteForce(t *testing.T) {
+	ix := buildParis(t, dataset.SeismicLike, 1500, 64)
+	queries, _ := dataset.Queries(dataset.SeismicLike, 10, 64, 56)
+	for qi := 0; qi < queries.Count(); qi++ {
+		q := queries.At(qi)
+		want := brute1NN(ix.Data, q)
+		got, err := ix.Search(q, SearchOptions{Kernel: KernelSISD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Dist-want.Dist) > 1e-6*(1+want.Dist) {
+			t.Fatalf("query %d: %v want %v", qi, got.Dist, want.Dist)
+		}
+	}
+}
+
+func TestSIMSComputesLowerBoundForEverySeries(t *testing.T) {
+	ix := buildParis(t, dataset.RandomWalk, 2000, 64)
+	ctrs := &stats.Counters{}
+	if _, err := ix.Search(ix.Data.At(3), SearchOptions{Counters: ctrs}); err != nil {
+		t.Fatal(err)
+	}
+	// The defining SIMS behaviour (Figure 17a): a lower-bound computation
+	// for every series in the collection.
+	if got := ctrs.Snapshot().LowerBoundCalcs; got < 2000 {
+		t.Errorf("SIMS lower-bound calcs = %d, want >= 2000", got)
+	}
+}
+
+func TestTSMatchesBruteForce(t *testing.T) {
+	ix := buildParis(t, dataset.RandomWalk, 3000, 64)
+	queries, _ := dataset.Queries(dataset.RandomWalk, 20, 64, 57)
+	for _, workers := range []int{1, 4, 8} {
+		for qi := 0; qi < queries.Count(); qi++ {
+			q := queries.At(qi)
+			want := brute1NN(ix.Data, q)
+			got, err := ix.SearchTS(q, SearchOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Dist-want.Dist) > 1e-6*(1+want.Dist) {
+				t.Fatalf("workers=%d query %d: %v want %v", workers, qi, got.Dist, want.Dist)
+			}
+		}
+	}
+}
+
+func TestTSDoesFewerLowerBoundsThanSIMS(t *testing.T) {
+	ix := buildParis(t, dataset.RandomWalk, 4000, 64)
+	q, _ := dataset.Queries(dataset.RandomWalk, 1, 64, 58)
+	query := q.At(0)
+	simsCtrs := &stats.Counters{}
+	if _, err := ix.Search(query, SearchOptions{Counters: simsCtrs}); err != nil {
+		t.Fatal(err)
+	}
+	tsCtrs := &stats.Counters{}
+	if _, err := ix.SearchTS(query, SearchOptions{Counters: tsCtrs}); err != nil {
+		t.Fatal(err)
+	}
+	// ParIS-TS prunes during lower-bound computation; SIMS cannot
+	// (it sweeps the whole SAX array).
+	if tsCtrs.Snapshot().LowerBoundCalcs >= simsCtrs.Snapshot().LowerBoundCalcs {
+		t.Errorf("TS lower bounds (%d) should be below SIMS (%d)",
+			tsCtrs.Snapshot().LowerBoundCalcs, simsCtrs.Snapshot().LowerBoundCalcs)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ix := buildParis(t, dataset.RandomWalk, 100, 64)
+	if _, err := ix.Search(make([]float32, 32), SearchOptions{}); err == nil {
+		t.Error("SIMS: wrong-length query accepted")
+	}
+	if _, err := ix.SearchTS(make([]float32, 32), SearchOptions{}); err == nil {
+		t.Error("TS: wrong-length query accepted")
+	}
+}
+
+func TestSelfQueries(t *testing.T) {
+	ix := buildParis(t, dataset.SALDLike, 800, 128)
+	for i := 0; i < 20; i++ {
+		q := ix.Data.At(i * 37 % 800)
+		m, err := ix.Search(q, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Dist != 0 {
+			t.Fatalf("SIMS self query %d: dist %v", i, m.Dist)
+		}
+		m, err = ix.SearchTS(q, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Dist != 0 {
+			t.Fatalf("TS self query %d: dist %v", i, m.Dist)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package paris
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/vector"
+)
+
+// Kernel selects the distance kernels used by SIMS, reproducing the
+// ParIS-SISD ablation of Figure 18.
+type Kernel int
+
+// Kernel choices.
+const (
+	KernelSIMD Kernel = iota // unrolled multi-accumulator kernels (default)
+	KernelSISD               // naive per-element kernels with per-element branches
+)
+
+// SearchOptions configures a SIMS query.
+type SearchOptions struct {
+	Workers  int    // lower-bound / real-distance workers
+	Kernel   Kernel // SIMD (default) or SISD
+	Counters *stats.Counters
+}
+
+// Search answers an exact 1-NN query with the SIMS strategy (§II of the
+// MESSI paper):
+//
+//  1. approximate answer: descend the tree to the query's leaf and take
+//     the best real distance in it — the initial BSF;
+//  2. lower-bound stage: workers sweep the ENTIRE SAX array computing
+//     MINDIST(query PAA, word) for every series, collecting candidates
+//     with bound < BSF (the BSF is fixed during this stage — ParIS prunes
+//     only against the approximate answer here);
+//  3. real-distance stage: workers share the candidate list and compute
+//     early-abandoning real distances, updating a shared BSF.
+func (ix *Index) Search(query []float32, opt SearchOptions) (core.Match, error) {
+	if err := ix.validateQuery(query); err != nil {
+		return core.Match{}, err
+	}
+	if ix.Data.Count() == 0 {
+		return core.Match{}, core.ErrEmptyIndex
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = ix.Opts.SearchWorkers
+	}
+	n := ix.Data.Count()
+	if workers > n {
+		workers = n
+	}
+	ctrs := opt.Counters
+
+	qpaa := ix.queryPAA(query)
+	bsf := stats.NewBSF()
+	ix.approxSearch(query, qpaa, bsf, opt.Kernel, ctrs)
+
+	// Stage 2: full SAX-array lower-bound sweep against the fixed
+	// approximate BSF. Per-worker candidate lists avoid contention and
+	// are concatenated after the barrier.
+	approxBound := bsf.Load()
+	localCands := make([][]int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			cands := make([]int32, 0, (hi-lo)/16+1)
+			var lbCount int64
+			if opt.Kernel == KernelSISD {
+				// The pre-SIMD scalar lower-bound kernel: this stage
+				// touches every series, so the kernel choice dominates
+				// the Figure 18 SISD-vs-SIMD gap.
+				for i := lo; i < hi; i++ {
+					lbCount++
+					if ix.Schema.MinDistPAAWordNaive(qpaa, ix.Word(i)) < approxBound {
+						cands = append(cands, int32(i))
+					}
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					lbCount++
+					if ix.Schema.MinDistPAAWord(qpaa, ix.Word(i)) < approxBound {
+						cands = append(cands, int32(i))
+					}
+				}
+			}
+			ctrs.AddLowerBound(lbCount)
+			localCands[w] = cands
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range localCands {
+		total += len(c)
+	}
+	candidates := make([]int32, 0, total)
+	for _, c := range localCands {
+		candidates = append(candidates, c...)
+	}
+
+	// Stage 3: real distances over the candidate list, shared BSF.
+	if len(candidates) > 0 {
+		cw := workers
+		if cw > len(candidates) {
+			cw = len(candidates)
+		}
+		for w := 0; w < cw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lo := w * len(candidates) / cw
+				hi := (w + 1) * len(candidates) / cw
+				var realCount int64
+				for _, pos := range candidates[lo:hi] {
+					limit := bsf.Load()
+					d := ix.realDist(query, int(pos), limit, opt.Kernel)
+					realCount++
+					if d < limit {
+						if bsf.Update(d, int64(pos)) {
+							ctrs.AddBSFUpdate()
+						}
+					}
+				}
+				ctrs.AddRealDist(realCount)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	d, pos := bsf.Best()
+	return core.Match{Position: int(pos), Dist: d}, nil
+}
+
+func (ix *Index) realDist(query []float32, pos int, limit float64, k Kernel) float64 {
+	if k == KernelSISD {
+		return vector.ScalarSquaredEuclideanEarlyAbandon(ix.Data.At(pos), query, limit)
+	}
+	return vector.SquaredEuclideanEarlyAbandon(ix.Data.At(pos), query, limit)
+}
+
+func (ix *Index) queryPAA(query []float32) []float64 {
+	out := make([]float64, ix.Schema.Segments)
+	seg := len(query) / ix.Schema.Segments
+	for i := range out {
+		var sum float64
+		for _, v := range query[i*seg : (i+1)*seg] {
+			sum += float64(v)
+		}
+		out[i] = sum / float64(seg)
+	}
+	return out
+}
+
+// approxSearch descends to the query's leaf and seeds the BSF, exactly as
+// MESSI does (ParIS uses the tree only for this step).
+func (ix *Index) approxSearch(query []float32, qpaa []float64, bsf *stats.BSF, k Kernel, ctrs *stats.Counters) {
+	qword := ix.Schema.WordFromPAA(qpaa, nil)
+	root := ix.Tree.Root(ix.Schema.RootIndex(qword))
+	if root == nil {
+		best := math.Inf(1)
+		for _, slot := range ix.activeRoots {
+			r := ix.Tree.Root(int(slot))
+			d := ix.Schema.MinDistPAAPrefix(qpaa, r.Symbols, r.Bits)
+			ctrs.AddLowerBound(1)
+			if d < best {
+				best = d
+				root = r
+			}
+		}
+	}
+	if root == nil {
+		return
+	}
+	leaf := ix.Tree.DescendToLeaf(root, qword)
+	for i := 0; i < leaf.LeafLen(); i++ {
+		pos := leaf.Positions[i]
+		d := ix.realDist(query, int(pos), bsf.Load(), k)
+		ctrs.AddRealDist(1)
+		if d < bsf.Load() {
+			if bsf.Update(d, int64(pos)) {
+				ctrs.AddBSFUpdate()
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package paris
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/pqueue"
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+// SearchTS is ParIS-TS: the paper's "extension of ParIS, where we
+// implemented in a parallel fashion the traditional tree-based exact
+// search algorithm" (§IV-A). Workers share a single priority queue and
+// concurrently (1) insert nodes — inner nodes AND leaves — that cannot be
+// pruned on their lower bound, and (2) pop nodes, expanding inner nodes
+// and computing real distances for leaves.
+//
+// The three deliberate differences from MESSI (quoted from the paper):
+// MESSI (a) completes the tree pass before any real-distance work,
+// (b) inserts only leaves, and (c) re-filters against the BSF when
+// popping. ParIS-TS does none of these, which is why it pays more queue
+// synchronization and more distance work — the gap Figures 11/12/18 show.
+func (ix *Index) SearchTS(query []float32, opt SearchOptions) (core.Match, error) {
+	if err := ix.validateQuery(query); err != nil {
+		return core.Match{}, err
+	}
+	if ix.Data.Count() == 0 {
+		return core.Match{}, core.ErrEmptyIndex
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = ix.Opts.SearchWorkers
+	}
+	ctrs := opt.Counters
+
+	qpaa := ix.queryPAA(query)
+	bsf := stats.NewBSF()
+	ix.approxSearch(query, qpaa, bsf, opt.Kernel, ctrs)
+
+	q := pqueue.New[*tree.Node](256)
+	// Seed: all non-prunable root children.
+	for _, slot := range ix.activeRoots {
+		r := ix.Tree.Root(int(slot))
+		d := ix.Schema.MinDistPAAPrefix(qpaa, r.Symbols, r.Bits)
+		ctrs.AddLowerBound(1)
+		if d < bsf.Load() {
+			q.Push(d, r)
+		}
+	}
+
+	// Producer-consumer best-first search. active counts workers holding
+	// a popped node (they may still push children); a worker only
+	// terminates when the queue is empty AND no peer is active.
+	var active atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ix.tsWorker(q, &active, query, qpaa, bsf, opt.Kernel, ctrs)
+		}()
+	}
+	wg.Wait()
+
+	d, pos := bsf.Best()
+	return core.Match{Position: int(pos), Dist: d}, nil
+}
+
+func (ix *Index) tsWorker(q *pqueue.Queue[*tree.Node], active *atomic.Int64,
+	query []float32, qpaa []float64, bsf *stats.BSF, k Kernel, ctrs *stats.Counters) {
+
+	for {
+		item, ok := q.PopMin()
+		if !ok {
+			if active.Load() > 0 {
+				// A peer may still push work; yield and retry.
+				runtime.Gosched()
+				continue
+			}
+			// No active peers: one final race-free re-check (peers push
+			// before decrementing active, so an empty queue here is
+			// conclusive).
+			if item, ok = q.PopMin(); !ok {
+				return
+			}
+		}
+		active.Add(1)
+		ix.tsProcess(item, q, query, qpaa, bsf, k, ctrs)
+		active.Add(-1)
+	}
+}
+
+func (ix *Index) tsProcess(item pqueue.Item[*tree.Node], q *pqueue.Queue[*tree.Node],
+	query []float32, qpaa []float64, bsf *stats.BSF, k Kernel, ctrs *stats.Counters) {
+
+	node := item.Value
+	if item.Priority >= bsf.Load() {
+		// Stale bound: drop the node. (Unlike MESSI, the single shared
+		// queue cannot be abandoned wholesale — concurrent producers may
+		// still insert better nodes — so draining continues.)
+		ctrs.AddLeavesPruned(1)
+		return
+	}
+	if !node.IsLeaf() {
+		for _, child := range []*tree.Node{node.Left, node.Right} {
+			ctrs.AddNodesVisited(1)
+			d := ix.Schema.MinDistPAAPrefix(qpaa, child.Symbols, child.Bits)
+			ctrs.AddLowerBound(1)
+			if d < bsf.Load() {
+				q.Push(d, child)
+			}
+		}
+		return
+	}
+	// Leaf: per-series lower bound, then real distance.
+	w := ix.Schema.Segments
+	var lbCount, realCount int64
+	for i := 0; i < node.LeafLen(); i++ {
+		lbCount++
+		lb := ix.Schema.MinDistPAAWord(qpaa, node.Word(i, w))
+		limit := bsf.Load()
+		if lb >= limit {
+			continue
+		}
+		pos := node.Positions[i]
+		d := ix.realDist(query, int(pos), limit, k)
+		realCount++
+		if d < limit {
+			if bsf.Update(d, int64(pos)) {
+				ctrs.AddBSFUpdate()
+			}
+		}
+	}
+	ctrs.AddLowerBound(lbCount)
+	ctrs.AddRealDist(realCount)
+}

@@ -1,0 +1,138 @@
+// Package scan implements the serial-scan competitors of the paper's
+// evaluation:
+//
+//   - UCR Suite-P: "our parallel implementation of the state-of-the-art
+//     optimized serial scan technique, UCR Suite. Every thread is assigned
+//     a part of the in-memory data series array, and all threads
+//     concurrently and independently process their own parts, performing
+//     the real distance calculations in SIMD, and only synchronize at the
+//     end to produce the final result." No pruning index — every series is
+//     compared (with early abandoning against the thread-local best).
+//   - UCR Suite DTW (serial) and UCR Suite-P DTW: the same scan under
+//     constrained DTW, with the LB_Keogh cascade before each full DTW
+//     computation (Figure 19).
+package scan
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dtw"
+	"repro/internal/series"
+	"repro/internal/stats"
+	"repro/internal/vector"
+)
+
+// validate checks the query against the collection.
+func validate(data *series.Collection, query []float32) error {
+	if data == nil || data.Count() == 0 {
+		return fmt.Errorf("scan: empty collection")
+	}
+	if len(query) != data.Length {
+		return fmt.Errorf("scan: query length %d, series length %d", len(query), data.Length)
+	}
+	return nil
+}
+
+// Search1NN is UCR Suite-P under squared Euclidean distance: workers scan
+// static partitions with thread-local best-so-far values and merge once at
+// the end.
+func Search1NN(data *series.Collection, query []float32, workers int, ctrs *stats.Counters) (core.Match, error) {
+	if err := validate(data, query); err != nil {
+		return core.Match{}, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n := data.Count()
+	if workers > n {
+		workers = n
+	}
+	locals := make([]core.Match, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			best := core.Match{Position: -1, Dist: math.Inf(1)}
+			var count int64
+			for i := lo; i < hi; i++ {
+				d := vector.SquaredEuclideanEarlyAbandon(data.At(i), query, best.Dist)
+				count++
+				if d < best.Dist {
+					best = core.Match{Position: i, Dist: d}
+				}
+			}
+			ctrs.AddRealDist(count)
+			locals[w] = best
+		}(w)
+	}
+	wg.Wait()
+	best := locals[0]
+	for _, m := range locals[1:] {
+		if m.Dist < best.Dist {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// SearchDTW is the DTW scan. With workers == 1 it is the serial UCR Suite
+// DTW; with workers > 1 it is UCR Suite-P DTW. Each worker runs the
+// LB_Keogh cascade (envelope lower bound, then full early-abandoning cDTW)
+// against its thread-local best.
+func SearchDTW(data *series.Collection, query []float32, window, workers int, ctrs *stats.Counters) (core.Match, error) {
+	if err := validate(data, query); err != nil {
+		return core.Match{}, err
+	}
+	if err := dtw.CheckWindow(data.Length, window); err != nil {
+		return core.Match{}, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n := data.Count()
+	if workers > n {
+		workers = n
+	}
+	upper, lower := dtw.Envelope(query, window)
+	locals := make([]core.Match, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			best := core.Match{Position: -1, Dist: math.Inf(1)}
+			var lbCount, realCount int64
+			for i := lo; i < hi; i++ {
+				candidate := data.At(i)
+				lbCount++
+				if dtw.LBKeogh(candidate, lower, upper, best.Dist) >= best.Dist {
+					continue
+				}
+				realCount++
+				d := dtw.Distance(query, candidate, window, best.Dist)
+				if d < best.Dist {
+					best = core.Match{Position: i, Dist: d}
+				}
+			}
+			ctrs.AddLowerBound(lbCount)
+			ctrs.AddRealDist(realCount)
+			locals[w] = best
+		}(w)
+	}
+	wg.Wait()
+	best := locals[0]
+	for _, m := range locals[1:] {
+		if m.Dist < best.Dist {
+			best = m
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,155 @@
+// Package serial implements a single-threaded iSAX index, standing in for
+// ADS+ — "the state-of-the-art sequential (i.e., non-parallel) indexing
+// technique" of the paper's introduction, which frames MESSI's motivation:
+// ADS+ needs minutes per query where ParIS needs seconds and MESSI
+// milliseconds.
+//
+// Substitution note (see DESIGN.md): ADS+ is *adaptive* — it materializes
+// leaves lazily as queries touch them, which matters for its disk-resident
+// build cost. In memory, with the whole index built, what remains is a
+// sequential tree construction and a sequential best-first exact search;
+// those are implemented here faithfully (same tree, same bounds, one
+// thread, classic Shieh & Keogh exact search). The introduction's ordering
+// claim (serial scan ≫ sequential index ≫ parallel index ≫ MESSI) is what
+// the IntroClaims benchmark reproduces.
+package serial
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/isax"
+	"repro/internal/paa"
+	"repro/internal/pqueue"
+	"repro/internal/series"
+	"repro/internal/stats"
+	"repro/internal/tree"
+	"repro/internal/vector"
+)
+
+// Options configures the sequential index.
+type Options struct {
+	Segments     int // w (default 16)
+	CardBits     int // default 8
+	LeafCapacity int // default 2000
+}
+
+func (o Options) withDefaults() Options {
+	if o.Segments <= 0 {
+		o.Segments = 16
+	}
+	if o.CardBits <= 0 {
+		o.CardBits = 8
+	}
+	if o.LeafCapacity <= 0 {
+		o.LeafCapacity = 2000
+	}
+	return o
+}
+
+// Index is a sequentially-built iSAX index.
+type Index struct {
+	Data   *series.Collection
+	Schema *isax.Schema
+	Tree   *tree.Tree
+}
+
+// Build constructs the index on the calling goroutine only.
+func Build(data *series.Collection, opts Options) (*Index, error) {
+	if data == nil || data.Count() == 0 {
+		return nil, fmt.Errorf("serial: cannot build an index over an empty collection")
+	}
+	opts = opts.withDefaults()
+	schema, err := isax.NewSchema(data.Length, opts.Segments, opts.CardBits)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := tree.New(schema, opts.LeafCapacity)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{Data: data, Schema: schema, Tree: tr}
+	paaBuf := make([]float64, schema.Segments)
+	word := make([]uint8, schema.Segments)
+	for j := 0; j < data.Count(); j++ {
+		paa.Transform(data.At(j), schema.Segments, paaBuf)
+		schema.WordFromPAA(paaBuf, word)
+		root := tr.EnsureRoot(schema.RootIndex(word))
+		tr.Insert(root, word, int32(j))
+	}
+	return ix, nil
+}
+
+// Search answers an exact 1-NN query with the classic single-threaded
+// best-first tree search: seed the BSF from the query's own leaf, then
+// expand nodes from one local priority queue in lower-bound order,
+// terminating when the queue's minimum exceeds the BSF.
+func (ix *Index) Search(query []float32, ctrs *stats.Counters) (core.Match, error) {
+	if len(query) != ix.Data.Length {
+		return core.Match{}, fmt.Errorf("serial: query length %d, index series length %d", len(query), ix.Data.Length)
+	}
+	w := ix.Schema.Segments
+	qpaa := paa.Transform(query, w, nil)
+	qword := ix.Schema.WordFromPAA(qpaa, nil)
+
+	best := core.Match{Position: -1, Dist: math.Inf(1)}
+
+	// Seed from the query's own subtree when present.
+	if root := ix.Tree.Root(ix.Schema.RootIndex(qword)); root != nil {
+		leaf := ix.Tree.DescendToLeaf(root, qword)
+		ix.scanLeaf(leaf, query, qpaa, &best, ctrs)
+	}
+
+	q := pqueue.New[*tree.Node](256)
+	for l := 0; l < ix.Tree.RootCount(); l++ {
+		root := ix.Tree.Root(l)
+		if root == nil {
+			continue
+		}
+		d := ix.Schema.MinDistPAAPrefix(qpaa, root.Symbols, root.Bits)
+		ctrs.AddLowerBound(1)
+		if d < best.Dist {
+			q.Push(d, root)
+		}
+	}
+	for {
+		item, ok := q.PopMin()
+		if !ok || item.Priority >= best.Dist {
+			break
+		}
+		node := item.Value
+		if node.IsLeaf() {
+			ix.scanLeaf(node, query, qpaa, &best, ctrs)
+			continue
+		}
+		for _, child := range []*tree.Node{node.Left, node.Right} {
+			ctrs.AddNodesVisited(1)
+			d := ix.Schema.MinDistPAAPrefix(qpaa, child.Symbols, child.Bits)
+			ctrs.AddLowerBound(1)
+			if d < best.Dist {
+				q.Push(d, child)
+			}
+		}
+	}
+	return best, nil
+}
+
+func (ix *Index) scanLeaf(leaf *tree.Node, query []float32, qpaa []float64, best *core.Match, ctrs *stats.Counters) {
+	w := ix.Schema.Segments
+	var lbCount, realCount int64
+	for i := 0; i < leaf.LeafLen(); i++ {
+		lbCount++
+		if ix.Schema.MinDistPAAWord(qpaa, leaf.Word(i, w)) >= best.Dist {
+			continue
+		}
+		pos := leaf.Positions[i]
+		d := vector.SquaredEuclideanEarlyAbandon(ix.Data.At(int(pos)), query, best.Dist)
+		realCount++
+		if d < best.Dist {
+			*best = core.Match{Position: int(pos), Dist: d}
+		}
+	}
+	ctrs.AddLowerBound(lbCount)
+	ctrs.AddRealDist(realCount)
+}

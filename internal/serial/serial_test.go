@@ -1,0 +1,136 @@
+package serial
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/series"
+	"repro/internal/stats"
+	"repro/internal/vector"
+)
+
+func brute1NN(data *series.Collection, query []float32) core.Match {
+	best := core.Match{Position: -1, Dist: math.Inf(1)}
+	for i := 0; i < data.Count(); i++ {
+		d := vector.SquaredEuclidean(data.At(i), query)
+		if d < best.Dist {
+			best = core.Match{Position: i, Dist: d}
+		}
+	}
+	return best
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Error("nil collection accepted")
+	}
+	empty, _ := series.NewEmptyCollection(0, 64)
+	if _, err := Build(empty, Options{}); err == nil {
+		t.Error("empty collection accepted")
+	}
+	bad, _ := series.NewEmptyCollection(4, 100)
+	if _, err := Build(bad, Options{Segments: 16}); err == nil {
+		t.Error("non-multiple length accepted")
+	}
+}
+
+func TestBuildConservesSeries(t *testing.T) {
+	data, err := dataset.Generate(dataset.RandomWalk, 3000, 64, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(data, Options{LeafCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Tree.Stats()
+	if st.Series != 3000 {
+		t.Fatalf("tree holds %d series, want 3000", st.Series)
+	}
+	if err := ix.Tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	for _, kind := range []dataset.Kind{dataset.RandomWalk, dataset.SeismicLike} {
+		data, err := dataset.Generate(kind, 2500, 64, 18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := Build(data, Options{LeafCapacity: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries, _ := dataset.Queries(kind, 15, 64, 130)
+		for qi := 0; qi < queries.Count(); qi++ {
+			q := queries.At(qi)
+			want := brute1NN(data, q)
+			got, err := ix.Search(q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Dist-want.Dist) > 1e-6*(1+want.Dist) {
+				t.Fatalf("%s query %d: %v want %v", kind, qi, got.Dist, want.Dist)
+			}
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	data, _ := dataset.Generate(dataset.RandomWalk, 100, 64, 19)
+	ix, err := Build(data, Options{LeafCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Search(make([]float32, 32), nil); err == nil {
+		t.Error("wrong-length query accepted")
+	}
+}
+
+func TestSearchSelfQueries(t *testing.T) {
+	data, _ := dataset.Generate(dataset.SALDLike, 800, 128, 20)
+	ix, err := Build(data, Options{LeafCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		m, err := ix.Search(data.At(i*37%800), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Dist != 0 {
+			t.Fatalf("self query %d: dist %v", i, m.Dist)
+		}
+	}
+}
+
+// The sequential index must prune: far fewer real distances than series.
+func TestSearchPrunes(t *testing.T) {
+	data, _ := dataset.Generate(dataset.RandomWalk, 4000, 64, 21)
+	ix, err := Build(data, Options{LeafCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, _ := dataset.Queries(dataset.RandomWalk, 5, 64, 131)
+	ctrs := &stats.Counters{}
+	for qi := 0; qi < queries.Count(); qi++ {
+		if _, err := ix.Search(queries.At(qi), ctrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	real := ctrs.Snapshot().RealDistCalcs / int64(queries.Count())
+	if real > 4000/4 {
+		t.Errorf("sequential index barely prunes: %d real calcs for 4000 series", real)
+	}
+}
+
+// Defaults must match the paper's parameters.
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Segments != 16 || o.CardBits != 8 || o.LeafCapacity != 2000 {
+		t.Errorf("defaults: %+v", o)
+	}
+}

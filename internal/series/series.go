@@ -1,0 +1,168 @@
+// Package series defines the in-memory representation of a data series
+// collection and basic per-series operations (z-normalization, moments).
+//
+// A data series is an ordered sequence of float32 points (the paper fixes
+// the length to 256 for most experiments, 128 for the SALD dataset). A
+// Collection stores all series contiguously in one flat slice — the
+// "RawData array" of the paper — which gives the cache behaviour the
+// in-memory algorithms rely on and lets workers address chunks by offset.
+package series
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrEmptyCollection is returned when an operation needs at least one series.
+var ErrEmptyCollection = errors.New("series: empty collection")
+
+// Collection is a fixed-length set of equal-length data series stored in a
+// single contiguous buffer (row-major: series i occupies
+// Data[i*Length : (i+1)*Length]).
+type Collection struct {
+	Data   []float32 // flat storage, len == Count*Length
+	Length int       // points per series
+	count  int
+}
+
+// NewCollection wraps flat storage as a collection. It returns an error if
+// the buffer length is not a multiple of the series length.
+func NewCollection(data []float32, length int) (*Collection, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("series: non-positive series length %d", length)
+	}
+	if len(data)%length != 0 {
+		return nil, fmt.Errorf("series: buffer length %d is not a multiple of series length %d", len(data), length)
+	}
+	return &Collection{Data: data, Length: length, count: len(data) / length}, nil
+}
+
+// NewEmptyCollection allocates storage for count series of the given length.
+func NewEmptyCollection(count, length int) (*Collection, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("series: negative count %d", count)
+	}
+	if length <= 0 {
+		return nil, fmt.Errorf("series: non-positive series length %d", length)
+	}
+	return &Collection{Data: make([]float32, count*length), Length: length, count: count}, nil
+}
+
+// FromSlices copies a slice-of-slices into contiguous storage. All series
+// must share the same length.
+func FromSlices(rows [][]float32) (*Collection, error) {
+	if len(rows) == 0 {
+		return nil, ErrEmptyCollection
+	}
+	length := len(rows[0])
+	if length == 0 {
+		return nil, errors.New("series: zero-length series")
+	}
+	c, err := NewEmptyCollection(len(rows), length)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		if len(r) != length {
+			return nil, fmt.Errorf("series: series %d has length %d, want %d", i, len(r), length)
+		}
+		copy(c.At(i), r)
+	}
+	return c, nil
+}
+
+// Count reports the number of series in the collection.
+func (c *Collection) Count() int { return c.count }
+
+// At returns series i as a view into the flat buffer (no copy).
+func (c *Collection) At(i int) []float32 {
+	return c.Data[i*c.Length : (i+1)*c.Length : (i+1)*c.Length]
+}
+
+// Bytes reports the size of the raw data in bytes (4 bytes per point),
+// matching how the paper states dataset sizes (e.g. "100GB").
+func (c *Collection) Bytes() int64 {
+	return int64(len(c.Data)) * 4
+}
+
+// Validate checks structural consistency and that no value is NaN or Inf.
+// It is used by tests and by the file loader; hot paths never call it.
+func (c *Collection) Validate() error {
+	if c.Length <= 0 {
+		return fmt.Errorf("series: non-positive series length %d", c.Length)
+	}
+	if len(c.Data) != c.count*c.Length {
+		return fmt.Errorf("series: storage length %d != count %d * length %d", len(c.Data), c.count, c.Length)
+	}
+	for i, v := range c.Data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("series: non-finite value at flat offset %d (series %d)", i, i/c.Length)
+		}
+	}
+	return nil
+}
+
+// Mean returns the arithmetic mean of s.
+func Mean(s []float32) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += float64(v)
+	}
+	return sum / float64(len(s))
+}
+
+// Std returns the population standard deviation of s.
+func Std(s []float32) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	mean := Mean(s)
+	var sum float64
+	for _, v := range s {
+		d := float64(v) - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s)))
+}
+
+// ZNormalize rewrites s in place to have mean 0 and standard deviation 1.
+// A constant series (std == 0, to within epsilon) becomes all zeros, the
+// standard convention in similarity search (a constant series carries no
+// shape information). Returns s for chaining.
+func ZNormalize(s []float32) []float32 {
+	if len(s) == 0 {
+		return s
+	}
+	mean := Mean(s)
+	std := Std(s)
+	if std < 1e-12 {
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	inv := 1.0 / std
+	for i := range s {
+		s[i] = float32((float64(s[i]) - mean) * inv)
+	}
+	return s
+}
+
+// ZNormalized returns a z-normalized copy of s, leaving s untouched.
+func ZNormalized(s []float32) []float32 {
+	out := make([]float32, len(s))
+	copy(out, s)
+	return ZNormalize(out)
+}
+
+// ZNormalizeAll z-normalizes every series of the collection in place.
+func (c *Collection) ZNormalizeAll() {
+	for i := 0; i < c.count; i++ {
+		ZNormalize(c.At(i))
+	}
+}

@@ -1,0 +1,167 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCollection(t *testing.T) {
+	c, err := NewCollection(make([]float32, 12), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 3 {
+		t.Errorf("Count = %d, want 3", c.Count())
+	}
+	if c.Bytes() != 48 {
+		t.Errorf("Bytes = %d, want 48", c.Bytes())
+	}
+}
+
+func TestNewCollectionErrors(t *testing.T) {
+	if _, err := NewCollection(make([]float32, 10), 3); err == nil {
+		t.Error("expected error for non-multiple buffer")
+	}
+	if _, err := NewCollection(nil, 0); err == nil {
+		t.Error("expected error for zero length")
+	}
+	if _, err := NewCollection(nil, -1); err == nil {
+		t.Error("expected error for negative length")
+	}
+	if _, err := NewEmptyCollection(-1, 4); err == nil {
+		t.Error("expected error for negative count")
+	}
+	if _, err := NewEmptyCollection(4, 0); err == nil {
+		t.Error("expected error for zero length")
+	}
+}
+
+func TestAtIsView(t *testing.T) {
+	c, err := NewEmptyCollection(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.At(1)[2] = 7
+	if c.Data[1*4+2] != 7 {
+		t.Error("At must return a view into the flat buffer")
+	}
+	// The view must be capacity-limited so appends cannot clobber the
+	// next series.
+	v := c.At(0)
+	v = append(v, 99)
+	if c.Data[4] == 99 {
+		t.Error("append to a series view overwrote the next series")
+	}
+	_ = v
+}
+
+func TestFromSlices(t *testing.T) {
+	c, err := FromSlices([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 3 || c.Length != 2 {
+		t.Fatalf("got count=%d length=%d", c.Count(), c.Length)
+	}
+	if c.At(2)[1] != 6 {
+		t.Errorf("At(2)[1] = %v, want 6", c.At(2)[1])
+	}
+}
+
+func TestFromSlicesErrors(t *testing.T) {
+	if _, err := FromSlices(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := FromSlices([][]float32{{}}); err == nil {
+		t.Error("expected error for zero-length series")
+	}
+	if _, err := FromSlices([][]float32{{1, 2}, {3}}); err == nil {
+		t.Error("expected error for ragged input")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c, _ := FromSlices([][]float32{{1, 2}, {3, 4}})
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid collection rejected: %v", err)
+	}
+	c.Data[1] = float32(math.NaN())
+	if err := c.Validate(); err == nil {
+		t.Error("NaN not detected")
+	}
+	c.Data[1] = float32(math.Inf(1))
+	if err := c.Validate(); err == nil {
+		t.Error("Inf not detected")
+	}
+	c.Data[1] = 0
+	c.Length = 3
+	if err := c.Validate(); err == nil {
+		t.Error("inconsistent length not detected")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	s := []float32{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(s); math.Abs(m-5) > 1e-9 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if sd := Std(s); math.Abs(sd-2) > 1e-9 {
+		t.Errorf("Std = %v, want 2", sd)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Error("empty-slice moments should be 0")
+	}
+}
+
+func TestZNormalizeMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%250 + 2
+		r := rand.New(rand.NewSource(seed))
+		s := make([]float32, n)
+		for i := range s {
+			s[i] = float32(r.NormFloat64()*5 + 3)
+		}
+		ZNormalize(s)
+		return math.Abs(Mean(s)) < 1e-4 && math.Abs(Std(s)-1) < 1e-4
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZNormalizeConstantSeries(t *testing.T) {
+	s := []float32{5, 5, 5, 5}
+	ZNormalize(s)
+	for i, v := range s {
+		if v != 0 {
+			t.Errorf("constant series not zeroed at %d: %v", i, v)
+		}
+	}
+	// Empty input must not panic.
+	ZNormalize(nil)
+}
+
+func TestZNormalizedCopies(t *testing.T) {
+	s := []float32{1, 2, 3}
+	out := ZNormalized(s)
+	if s[0] != 1 || s[1] != 2 || s[2] != 3 {
+		t.Error("ZNormalized mutated its input")
+	}
+	if math.Abs(Mean(out)) > 1e-6 {
+		t.Error("output not normalized")
+	}
+}
+
+func TestZNormalizeAll(t *testing.T) {
+	c, _ := FromSlices([][]float32{{1, 2, 3, 4}, {10, 20, 30, 40}})
+	c.ZNormalizeAll()
+	for i := 0; i < c.Count(); i++ {
+		if math.Abs(Mean(c.At(i))) > 1e-5 || math.Abs(Std(c.At(i))-1) > 1e-5 {
+			t.Errorf("series %d not normalized", i)
+		}
+	}
+}

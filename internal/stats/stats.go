@@ -1,0 +1,221 @@
+// Package stats provides the instrumentation used to reproduce the paper's
+// measurement figures: atomic operation counters (Figure 17's lower-bound
+// and real-distance calculation counts), per-worker phase timers (Figure
+// 13's query-time breakdown), and the atomic best-so-far (BSF) cell shared
+// by all search workers.
+//
+// All instrumentation is optional: every method is nil-receiver safe, so
+// hot paths pass nil collectors when not measuring.
+package stats
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counters accumulates operation counts across all workers of one query or
+// one build. All fields are atomic; Add* methods are safe for concurrent
+// use and are no-ops on a nil receiver.
+type Counters struct {
+	LowerBoundCalcs atomic.Int64 // MINDIST computations (per-series and per-node)
+	RealDistCalcs   atomic.Int64 // raw-series distance computations
+	BSFUpdates      atomic.Int64 // successful best-so-far improvements
+	NodesVisited    atomic.Int64 // tree nodes touched during traversal
+	LeavesInserted  atomic.Int64 // leaves pushed into priority queues
+	LeavesPruned    atomic.Int64 // leaves discarded on pop (stale bound)
+}
+
+// AddLowerBound adds n lower-bound distance calculations.
+func (c *Counters) AddLowerBound(n int64) {
+	if c != nil {
+		c.LowerBoundCalcs.Add(n)
+	}
+}
+
+// AddRealDist adds n real distance calculations.
+func (c *Counters) AddRealDist(n int64) {
+	if c != nil {
+		c.RealDistCalcs.Add(n)
+	}
+}
+
+// AddBSFUpdate records a successful best-so-far improvement.
+func (c *Counters) AddBSFUpdate() {
+	if c != nil {
+		c.BSFUpdates.Add(1)
+	}
+}
+
+// AddNodesVisited adds n visited tree nodes.
+func (c *Counters) AddNodesVisited(n int64) {
+	if c != nil {
+		c.NodesVisited.Add(n)
+	}
+}
+
+// AddLeavesInserted adds n queue insertions.
+func (c *Counters) AddLeavesInserted(n int64) {
+	if c != nil {
+		c.LeavesInserted.Add(n)
+	}
+}
+
+// AddLeavesPruned adds n stale-leaf prunes.
+func (c *Counters) AddLeavesPruned(n int64) {
+	if c != nil {
+		c.LeavesPruned.Add(n)
+	}
+}
+
+// Snapshot is a plain-value copy of the counters.
+type Snapshot struct {
+	LowerBoundCalcs int64
+	RealDistCalcs   int64
+	BSFUpdates      int64
+	NodesVisited    int64
+	LeavesInserted  int64
+	LeavesPruned    int64
+}
+
+// Snapshot returns the current values; zero Snapshot on nil receiver.
+func (c *Counters) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		LowerBoundCalcs: c.LowerBoundCalcs.Load(),
+		RealDistCalcs:   c.RealDistCalcs.Load(),
+		BSFUpdates:      c.BSFUpdates.Load(),
+		NodesVisited:    c.NodesVisited.Load(),
+		LeavesInserted:  c.LeavesInserted.Load(),
+		LeavesPruned:    c.LeavesPruned.Load(),
+	}
+}
+
+// Add accumulates another snapshot into s.
+func (s *Snapshot) Add(o Snapshot) {
+	s.LowerBoundCalcs += o.LowerBoundCalcs
+	s.RealDistCalcs += o.RealDistCalcs
+	s.BSFUpdates += o.BSFUpdates
+	s.NodesVisited += o.NodesVisited
+	s.LeavesInserted += o.LeavesInserted
+	s.LeavesPruned += o.LeavesPruned
+}
+
+// BSF is the shared best-so-far distance cell (squared distance plus the
+// position of the series achieving it). The paper protects the BSF with a
+// lock; we use a CAS-min on the bit pattern — non-negative IEEE-754 floats
+// order identically to their bit patterns, so a numeric min is a bitwise
+// min. Readers are a single atomic load, which matters because every node
+// and every series comparison reads the BSF.
+type BSF struct {
+	bits atomic.Uint64 // float64 bits of the squared distance
+	pos  atomic.Int64  // position of the best series, -1 when unset
+}
+
+// NewBSF returns a BSF initialized to +Inf / position -1.
+func NewBSF() *BSF {
+	b := &BSF{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	b.pos.Store(-1)
+	return b
+}
+
+// Load returns the current squared best-so-far distance.
+func (b *BSF) Load() float64 {
+	return math.Float64frombits(b.bits.Load())
+}
+
+// Best returns the current squared distance and the position achieving it.
+// The pair is not read atomically together; after all workers finish (the
+// only time callers read Best) it is exact.
+func (b *BSF) Best() (dist float64, pos int64) {
+	return math.Float64frombits(b.bits.Load()), b.pos.Load()
+}
+
+// Update lowers the BSF to dist (with the achieving position) if dist is
+// an improvement. It reports whether the value was updated. dist must be
+// non-negative (squared distances always are).
+func (b *BSF) Update(dist float64, pos int64) bool {
+	newBits := math.Float64bits(dist)
+	for {
+		cur := b.bits.Load()
+		if newBits >= cur {
+			return false
+		}
+		if b.bits.CompareAndSwap(cur, newBits) {
+			b.pos.Store(pos)
+			return true
+		}
+	}
+}
+
+// Phase identifies one component of query answering time, matching the
+// breakdown of Figure 13.
+type Phase int
+
+// The phases of Figure 13.
+const (
+	PhaseInit     Phase = iota // BSF initialization (approximate search)
+	PhaseTreePass              // index traversal computing node lower bounds
+	PhasePQInsert              // priority queue insertions
+	PhasePQRemove              // priority queue removals
+	PhaseDistCalc              // lower-bound + real distance calculations
+	NumPhases
+)
+
+// String returns the paper's label for the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseInit:
+		return "Initialization"
+	case PhaseTreePass:
+		return "MESSI tree pass"
+	case PhasePQInsert:
+		return "PQ insert node"
+	case PhasePQRemove:
+		return "PQ remove node"
+	case PhaseDistCalc:
+		return "Distance calculation"
+	default:
+		return "Unknown"
+	}
+}
+
+// Breakdown accumulates wall time per phase. One Breakdown is shared by
+// all workers of a query (atomic adds); a nil Breakdown disables timing
+// entirely (the hot paths skip the clock reads).
+type Breakdown struct {
+	nanos [NumPhases]atomic.Int64
+}
+
+// Enabled reports whether timing is active (non-nil receiver).
+func (b *Breakdown) Enabled() bool { return b != nil }
+
+// Add records d against phase p; no-op on nil receiver.
+func (b *Breakdown) Add(p Phase, d time.Duration) {
+	if b != nil {
+		b.nanos[p].Add(int64(d))
+	}
+}
+
+// Get returns the accumulated duration of phase p.
+func (b *Breakdown) Get(p Phase) time.Duration {
+	if b == nil {
+		return 0
+	}
+	return time.Duration(b.nanos[p].Load())
+}
+
+// Total returns the sum over all phases.
+func (b *Breakdown) Total() time.Duration {
+	if b == nil {
+		return 0
+	}
+	var t time.Duration
+	for p := Phase(0); p < NumPhases; p++ {
+		t += b.Get(p)
+	}
+	return t
+}

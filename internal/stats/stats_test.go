@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersNilSafe(t *testing.T) {
+	var c *Counters
+	c.AddLowerBound(5)
+	c.AddRealDist(3)
+	c.AddBSFUpdate()
+	c.AddNodesVisited(1)
+	c.AddLeavesInserted(1)
+	c.AddLeavesPruned(1)
+	if s := c.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("nil counters snapshot = %+v, want zero", s)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	c := &Counters{}
+	c.AddLowerBound(5)
+	c.AddLowerBound(2)
+	c.AddRealDist(3)
+	c.AddBSFUpdate()
+	c.AddNodesVisited(4)
+	c.AddLeavesInserted(6)
+	c.AddLeavesPruned(7)
+	s := c.Snapshot()
+	want := Snapshot{LowerBoundCalcs: 7, RealDistCalcs: 3, BSFUpdates: 1,
+		NodesVisited: 4, LeavesInserted: 6, LeavesPruned: 7}
+	if s != want {
+		t.Errorf("snapshot = %+v, want %+v", s, want)
+	}
+}
+
+func TestSnapshotAdd(t *testing.T) {
+	a := Snapshot{LowerBoundCalcs: 1, RealDistCalcs: 2}
+	a.Add(Snapshot{LowerBoundCalcs: 10, BSFUpdates: 3})
+	if a.LowerBoundCalcs != 11 || a.RealDistCalcs != 2 || a.BSFUpdates != 3 {
+		t.Errorf("Add result %+v", a)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := &Counters{}
+	var wg sync.WaitGroup
+	const workers = 8
+	const per = 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.AddLowerBound(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Snapshot().LowerBoundCalcs; got != workers*per {
+		t.Errorf("LowerBoundCalcs = %d, want %d", got, workers*per)
+	}
+}
+
+func TestBSFInitial(t *testing.T) {
+	b := NewBSF()
+	if !math.IsInf(b.Load(), 1) {
+		t.Errorf("initial BSF = %v, want +Inf", b.Load())
+	}
+	if _, pos := b.Best(); pos != -1 {
+		t.Errorf("initial pos = %d, want -1", pos)
+	}
+}
+
+func TestBSFUpdateMonotone(t *testing.T) {
+	b := NewBSF()
+	if !b.Update(10, 1) {
+		t.Error("first update should succeed")
+	}
+	if b.Update(10, 2) {
+		t.Error("equal update should fail")
+	}
+	if b.Update(11, 3) {
+		t.Error("worse update should fail")
+	}
+	if !b.Update(5, 4) {
+		t.Error("better update should succeed")
+	}
+	d, pos := b.Best()
+	if d != 5 || pos != 4 {
+		t.Errorf("Best = (%v,%d), want (5,4)", d, pos)
+	}
+}
+
+func TestBSFZeroDistance(t *testing.T) {
+	b := NewBSF()
+	if !b.Update(0, 7) {
+		t.Error("zero-distance update should succeed")
+	}
+	if b.Load() != 0 {
+		t.Errorf("BSF = %v, want 0", b.Load())
+	}
+	if b.Update(0, 8) {
+		t.Error("repeated zero should not update")
+	}
+}
+
+// Concurrent updates must converge to the global minimum.
+func TestBSFConcurrentMin(t *testing.T) {
+	b := NewBSF()
+	const workers = 8
+	const per = 2000
+	vals := make([][]float64, workers)
+	globalMin := math.Inf(1)
+	for w := range vals {
+		rng := rand.New(rand.NewSource(int64(w + 1)))
+		vals[w] = make([]float64, per)
+		for i := range vals[w] {
+			vals[w][i] = rng.Float64() * 1000
+			if vals[w][i] < globalMin {
+				globalMin = vals[w][i]
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, v := range vals[w] {
+				b.Update(v, int64(w*per+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Load() != globalMin {
+		t.Errorf("converged BSF = %v, want %v", b.Load(), globalMin)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{
+		PhaseInit:     "Initialization",
+		PhaseTreePass: "MESSI tree pass",
+		PhasePQInsert: "PQ insert node",
+		PhasePQRemove: "PQ remove node",
+		PhaseDistCalc: "Distance calculation",
+		Phase(99):     "Unknown",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}
+
+func TestBreakdownNilSafe(t *testing.T) {
+	var b *Breakdown
+	if b.Enabled() {
+		t.Error("nil breakdown should be disabled")
+	}
+	b.Add(PhaseInit, time.Second) // must not panic
+	if b.Get(PhaseInit) != 0 || b.Total() != 0 {
+		t.Error("nil breakdown should read zero")
+	}
+}
+
+func TestBreakdownAccumulates(t *testing.T) {
+	b := &Breakdown{}
+	if !b.Enabled() {
+		t.Error("non-nil breakdown should be enabled")
+	}
+	b.Add(PhaseTreePass, 2*time.Millisecond)
+	b.Add(PhaseTreePass, 3*time.Millisecond)
+	b.Add(PhaseDistCalc, 5*time.Millisecond)
+	if got := b.Get(PhaseTreePass); got != 5*time.Millisecond {
+		t.Errorf("tree pass = %v", got)
+	}
+	if got := b.Total(); got != 10*time.Millisecond {
+		t.Errorf("total = %v", got)
+	}
+}
+
+func TestBreakdownConcurrent(t *testing.T) {
+	b := &Breakdown{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Add(PhasePQInsert, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Get(PhasePQInsert); got != 800*time.Microsecond {
+		t.Errorf("concurrent accumulate = %v, want 800µs", got)
+	}
+}

@@ -1,0 +1,356 @@
+// Package tree implements the iSAX index tree shared by MESSI and the
+// ParIS baselines (Figure 1(d) of the paper): a root with up to 2^w
+// children (one per combination of the segments' top bits), binary internal
+// nodes, and leaves holding <iSAX word, series position> pairs.
+//
+// A leaf that exceeds its capacity splits: one segment's cardinality is
+// promoted by one bit — the segment chosen is the one producing the most
+// balanced redistribution (the iSAX2.0 policy cited by the paper) — and the
+// entries are redistributed to the two refined children.
+//
+// The tree itself is not internally synchronized. MESSI's construction
+// guarantees each root subtree is owned by exactly one worker at a time, so
+// no locks are needed; the query phase only reads. Callers that need
+// different sharing (none in this repository) must synchronize externally.
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/isax"
+)
+
+// Node is a tree node. Exactly one of the following holds:
+//   - leaf: Left == Right == nil; Words/Positions hold the entries;
+//   - internal: Left and Right are non-nil and the entry storage is empty.
+type Node struct {
+	Symbols []uint8 // per-segment symbol at this node's cardinality
+	Bits    []uint8 // per-segment cardinality bits (0 < bits <= CardBits)
+
+	SplitSegment int // segment refined to create the children (internal only)
+	Left, Right  *Node
+
+	Words     []uint8 // leaf entries: flat words, stride = schema.Segments
+	Positions []int32 // leaf entries: series positions
+	Size      int     // series under this node (leaf: len(Positions))
+
+	unsplittable bool // every segment already at max cardinality
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Left == nil }
+
+// LeafLen reports the number of entries stored in a leaf.
+func (n *Node) LeafLen() int { return len(n.Positions) }
+
+// Word returns leaf entry i's full-precision word (a view).
+func (n *Node) Word(i, w int) []uint8 { return n.Words[i*w : (i+1)*w] }
+
+// Tree is an iSAX index tree over a fixed schema.
+type Tree struct {
+	Schema       *isax.Schema
+	LeafCapacity int
+	roots        []*Node // one slot per root subtree; nil when empty
+}
+
+// New creates an empty tree. leafCapacity must be positive.
+func New(schema *isax.Schema, leafCapacity int) (*Tree, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("tree: nil schema")
+	}
+	if leafCapacity <= 0 {
+		return nil, fmt.Errorf("tree: non-positive leaf capacity %d", leafCapacity)
+	}
+	return &Tree{
+		Schema:       schema,
+		LeafCapacity: leafCapacity,
+		roots:        make([]*Node, schema.RootFanout()),
+	}, nil
+}
+
+// Root returns the root child at slot l (nil when empty).
+func (t *Tree) Root(l int) *Node { return t.roots[l] }
+
+// RootCount returns the number of root slots (the fanout).
+func (t *Tree) RootCount() int { return len(t.roots) }
+
+// EnsureRoot returns the root child for slot l, creating it (as an empty
+// leaf whose per-segment summaries are the top bit of each symbol) on first
+// use. Callers must guarantee exclusive access to slot l while building.
+func (t *Tree) EnsureRoot(l int) *Node {
+	if n := t.roots[l]; n != nil {
+		return n
+	}
+	w := t.Schema.Segments
+	n := &Node{
+		Symbols: make([]uint8, w),
+		Bits:    make([]uint8, w),
+	}
+	for i := 0; i < w; i++ {
+		n.Bits[i] = 1
+		n.Symbols[i] = uint8(l>>(w-1-i)) & 1
+	}
+	t.roots[l] = n
+	return n
+}
+
+// Insert adds a <word, position> entry under the given root child,
+// splitting full leaves on the way (Algorithm 4, lines 7-11). The word
+// must belong to that root subtree (callers route via Schema.RootIndex).
+func (t *Tree) Insert(root *Node, word []uint8, pos int32) {
+	w := t.Schema.Segments
+	n := root
+	for {
+		n.Size++
+		if !n.IsLeaf() {
+			n = t.childFor(n, word)
+			continue
+		}
+		if len(n.Positions) < t.LeafCapacity || n.unsplittable {
+			n.Words = append(n.Words, word[:w]...)
+			n.Positions = append(n.Positions, pos)
+			return
+		}
+		// Full leaf: split it, then continue the descent into the
+		// appropriate new child ("while targetLeaf is full").
+		n.Size-- // split bookkeeping recounts the node itself
+		t.split(n)
+		if n.unsplittable {
+			// Split was impossible; store here after all.
+			n.Size++
+			n.Words = append(n.Words, word[:w]...)
+			n.Positions = append(n.Positions, pos)
+			return
+		}
+		n.Size++
+		n = t.childFor(n, word)
+	}
+}
+
+// childFor routes a word below an internal node: the next bit of the split
+// segment's symbol selects the left (0) or right (1) child.
+func (t *Tree) childFor(n *Node, word []uint8) *Node {
+	seg := n.SplitSegment
+	childBits := n.Bits[seg] + 1
+	bit := (word[seg] >> (uint8(t.Schema.CardBits) - childBits)) & 1
+	if bit == 0 {
+		return n.Left
+	}
+	return n.Right
+}
+
+// split promotes one segment of a full leaf by one bit, chooses the most
+// balanced segment, creates the two refined children and redistributes the
+// entries. If every segment is already at full cardinality the node is
+// marked unsplittable and remains a leaf.
+func (t *Tree) split(n *Node) {
+	w := t.Schema.Segments
+	cardBits := uint8(t.Schema.CardBits)
+	count := len(n.Positions)
+
+	bestSeg := -1
+	bestImbalance := count + 1
+	for seg := 0; seg < w; seg++ {
+		if n.Bits[seg] >= cardBits {
+			continue
+		}
+		shift := cardBits - (n.Bits[seg] + 1)
+		ones := 0
+		for i := 0; i < count; i++ {
+			ones += int((n.Words[i*w+seg] >> shift) & 1)
+		}
+		imbalance := count - 2*ones
+		if imbalance < 0 {
+			imbalance = -imbalance
+		}
+		if imbalance < bestImbalance {
+			bestImbalance = imbalance
+			bestSeg = seg
+		}
+	}
+	if bestSeg < 0 {
+		n.unsplittable = true
+		return
+	}
+
+	seg := bestSeg
+	childBits := n.Bits[seg] + 1
+	shift := cardBits - childBits
+	makeChild := func(bit uint8) *Node {
+		c := &Node{
+			Symbols: make([]uint8, w),
+			Bits:    make([]uint8, w),
+		}
+		copy(c.Symbols, n.Symbols)
+		copy(c.Bits, n.Bits)
+		c.Bits[seg] = childBits
+		c.Symbols[seg] = n.Symbols[seg]<<1 | bit
+		return c
+	}
+	left, right := makeChild(0), makeChild(1)
+	for i := 0; i < count; i++ {
+		word := n.Words[i*w : (i+1)*w]
+		c := left
+		if (word[seg]>>shift)&1 == 1 {
+			c = right
+		}
+		c.Words = append(c.Words, word...)
+		c.Positions = append(c.Positions, n.Positions[i])
+		c.Size++
+	}
+	n.SplitSegment = seg
+	n.Left, n.Right = left, right
+	n.Words, n.Positions = nil, nil
+}
+
+// DescendToLeaf follows a word's bits from a root child down to the leaf
+// that would store it — the approximate-search descent (Figure 4(a)).
+func (t *Tree) DescendToLeaf(root *Node, word []uint8) *Node {
+	n := root
+	for !n.IsLeaf() {
+		n = t.childFor(n, word)
+	}
+	return n
+}
+
+// ForEachLeaf visits every leaf under every root child.
+func (t *Tree) ForEachLeaf(fn func(n *Node)) {
+	for _, r := range t.roots {
+		if r != nil {
+			forEachLeaf(r, fn)
+		}
+	}
+}
+
+func forEachLeaf(n *Node, fn func(*Node)) {
+	if n.IsLeaf() {
+		fn(n)
+		return
+	}
+	forEachLeaf(n.Left, fn)
+	forEachLeaf(n.Right, fn)
+}
+
+// Stats summarizes tree shape for diagnostics and experiments.
+type Stats struct {
+	Series        int // total entries stored
+	RootChildren  int // non-empty root slots
+	InternalNodes int
+	Leaves        int
+	MaxDepth      int // root child = depth 1
+	MaxLeafFill   int // largest leaf entry count
+}
+
+// Stats walks the tree and returns shape statistics.
+func (t *Tree) Stats() Stats {
+	var s Stats
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		if depth > s.MaxDepth {
+			s.MaxDepth = depth
+		}
+		if n.IsLeaf() {
+			s.Leaves++
+			s.Series += n.LeafLen()
+			if n.LeafLen() > s.MaxLeafFill {
+				s.MaxLeafFill = n.LeafLen()
+			}
+			return
+		}
+		s.InternalNodes++
+		walk(n.Left, depth+1)
+		walk(n.Right, depth+1)
+	}
+	for _, r := range t.roots {
+		if r != nil {
+			s.RootChildren++
+			walk(r, 1)
+		}
+	}
+	return s
+}
+
+// CheckInvariants validates the structural invariants of the tree:
+// prefix consistency of every leaf entry, child summary derivation,
+// size bookkeeping, and leaf capacity (unless unsplittable). It is meant
+// for tests and costs a full walk.
+func (t *Tree) CheckInvariants() error {
+	w := t.Schema.Segments
+	var check func(n *Node, rootSlot int) (int, error)
+	check = func(n *Node, rootSlot int) (int, error) {
+		for seg := 0; seg < w; seg++ {
+			if n.Bits[seg] == 0 || int(n.Bits[seg]) > t.Schema.CardBits {
+				return 0, fmt.Errorf("tree: node under root %d has bad bits[%d]=%d", rootSlot, seg, n.Bits[seg])
+			}
+			if int(n.Symbols[seg]) >= 1<<n.Bits[seg] {
+				return 0, fmt.Errorf("tree: node under root %d has symbol[%d]=%d out of range for %d bits",
+					rootSlot, seg, n.Symbols[seg], n.Bits[seg])
+			}
+		}
+		if n.IsLeaf() {
+			if n.Right != nil {
+				return 0, fmt.Errorf("tree: half-internal node under root %d", rootSlot)
+			}
+			if len(n.Positions)*w != len(n.Words) {
+				return 0, fmt.Errorf("tree: leaf storage mismatch under root %d", rootSlot)
+			}
+			if len(n.Positions) > t.LeafCapacity && !n.unsplittable {
+				return 0, fmt.Errorf("tree: splittable leaf holds %d > capacity %d", len(n.Positions), t.LeafCapacity)
+			}
+			for i := 0; i < n.LeafLen(); i++ {
+				if !t.Schema.MatchesPrefix(n.Word(i, w), n.Symbols, n.Bits) {
+					return 0, fmt.Errorf("tree: leaf entry %d (pos %d) does not match node prefix under root %d",
+						i, n.Positions[i], rootSlot)
+				}
+			}
+			if n.Size != n.LeafLen() {
+				return 0, fmt.Errorf("tree: leaf size %d != entries %d under root %d", n.Size, n.LeafLen(), rootSlot)
+			}
+			return n.LeafLen(), nil
+		}
+		if n.Left == nil || n.Right == nil {
+			return 0, fmt.Errorf("tree: internal node missing a child under root %d", rootSlot)
+		}
+		seg := n.SplitSegment
+		for _, c := range []*Node{n.Left, n.Right} {
+			if c.Bits[seg] != n.Bits[seg]+1 {
+				return 0, fmt.Errorf("tree: child bits not parent+1 at segment %d under root %d", seg, rootSlot)
+			}
+			if c.Symbols[seg]>>1 != n.Symbols[seg] {
+				return 0, fmt.Errorf("tree: child symbol prefix mismatch at segment %d under root %d", seg, rootSlot)
+			}
+		}
+		if n.Left.Symbols[seg]&1 != 0 || n.Right.Symbols[seg]&1 != 1 {
+			return 0, fmt.Errorf("tree: children not 0/1 ordered at segment %d under root %d", seg, rootSlot)
+		}
+		ln, err := check(n.Left, rootSlot)
+		if err != nil {
+			return 0, err
+		}
+		rn, err := check(n.Right, rootSlot)
+		if err != nil {
+			return 0, err
+		}
+		if n.Size != ln+rn {
+			return 0, fmt.Errorf("tree: internal size %d != children sum %d under root %d", n.Size, ln+rn, rootSlot)
+		}
+		return ln + rn, nil
+	}
+	for l, r := range t.roots {
+		if r == nil {
+			continue
+		}
+		for seg := 0; seg < w; seg++ {
+			if r.Bits[seg] != 1 {
+				return fmt.Errorf("tree: root child %d has bits[%d]=%d, want 1", l, seg, r.Bits[seg])
+			}
+			if r.Symbols[seg] != uint8(l>>(w-1-seg))&1 {
+				return fmt.Errorf("tree: root child %d symbol mismatch at segment %d", l, seg)
+			}
+		}
+		if _, err := check(r, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

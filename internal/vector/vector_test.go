@@ -1,0 +1,242 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSeries(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+func TestSquaredEuclideanKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b []float32
+		want float64
+	}{
+		{nil, nil, 0},
+		{[]float32{1}, []float32{1}, 0},
+		{[]float32{0}, []float32{3}, 9},
+		{[]float32{1, 2, 3}, []float32{4, 6, 3}, 9 + 16},
+		{[]float32{1, 1, 1, 1, 1, 1, 1, 1, 1}, []float32{0, 0, 0, 0, 0, 0, 0, 0, 0}, 9},
+	}
+	for i, c := range cases {
+		if got := SquaredEuclidean(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("case %d: SquaredEuclidean = %v, want %v", i, got, c.want)
+		}
+		if got := ScalarSquaredEuclidean(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("case %d: ScalarSquaredEuclidean = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSquaredEuclideanMismatchedLengths(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	b := []float32{1, 2}
+	// Extra elements are ignored; only the common prefix is compared.
+	if got := SquaredEuclidean(a, b); got != 0 {
+		t.Errorf("SquaredEuclidean over common prefix = %v, want 0", got)
+	}
+	if got := SquaredEuclidean(b, a); got != 0 {
+		t.Errorf("SquaredEuclidean (swapped) = %v, want 0", got)
+	}
+}
+
+// The unrolled kernel must agree with the naive kernel on random input.
+func TestUnrolledMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 7, 8, 9, 15, 16, 17, 64, 128, 255, 256} {
+		a := randSeries(rng, n)
+		b := randSeries(rng, n)
+		fast := SquaredEuclidean(a, b)
+		slow := ScalarSquaredEuclidean(a, b)
+		if diff := math.Abs(fast - slow); diff > 1e-6*(1+slow) {
+			t.Errorf("n=%d: unrolled %v vs scalar %v (diff %v)", n, fast, slow, diff)
+		}
+	}
+}
+
+func TestUnrolledMatchesScalarProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)
+		r := rand.New(rand.NewSource(seed))
+		a := randSeries(r, n)
+		b := randSeries(r, n)
+		fast := SquaredEuclidean(a, b)
+		slow := ScalarSquaredEuclidean(a, b)
+		return math.Abs(fast-slow) <= 1e-6*(1+slow)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEarlyAbandonExactWhenUnderLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		a := randSeries(rng, n)
+		b := randSeries(rng, n)
+		exact := SquaredEuclidean(a, b)
+		got := SquaredEuclideanEarlyAbandon(a, b, exact+1)
+		if math.Abs(got-exact) > 1e-6*(1+exact) {
+			t.Fatalf("trial %d: early-abandon with generous limit = %v, want %v", trial, got, exact)
+		}
+		gotScalar := ScalarSquaredEuclideanEarlyAbandon(a, b, exact+1)
+		if math.Abs(gotScalar-exact) > 1e-6*(1+exact) {
+			t.Fatalf("trial %d: scalar early-abandon = %v, want %v", trial, gotScalar, exact)
+		}
+	}
+}
+
+func TestEarlyAbandonReturnsAtLeastLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 32 + rng.Intn(300)
+		a := randSeries(rng, n)
+		b := randSeries(rng, n)
+		exact := SquaredEuclidean(a, b)
+		if exact == 0 {
+			continue
+		}
+		limit := exact / 2
+		got := SquaredEuclideanEarlyAbandon(a, b, limit)
+		if got < limit {
+			t.Fatalf("trial %d: abandoned result %v < limit %v", trial, got, limit)
+		}
+	}
+}
+
+func TestEarlyAbandonZeroLimit(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}
+	b := make([]float32, len(a))
+	got := SquaredEuclideanEarlyAbandon(a, b, 0)
+	if got < 0 {
+		t.Errorf("negative distance %v", got)
+	}
+}
+
+func TestSquaredEnvelopeDistance(t *testing.T) {
+	x := []float32{0, 5, -5, 2}
+	lo := []float32{-1, -1, -1, -1}
+	hi := []float32{1, 1, 1, 1}
+	// 0 inside; 5 above by 4 (16); -5 below by 4 (16); 2 above by 1 (1).
+	want := 16.0 + 16.0 + 1.0
+	if got := SquaredEnvelopeDistance(x, lo, hi); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SquaredEnvelopeDistance = %v, want %v", got, want)
+	}
+}
+
+func TestSquaredEnvelopeDistanceInsideIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 100
+	x := randSeries(rng, n)
+	lo := make([]float32, n)
+	hi := make([]float32, n)
+	for i := range x {
+		lo[i] = x[i] - 1
+		hi[i] = x[i] + 1
+	}
+	if got := SquaredEnvelopeDistance(x, lo, hi); got != 0 {
+		t.Errorf("distance inside envelope = %v, want 0", got)
+	}
+}
+
+func TestSquaredEnvelopeDistanceEarlyAbandon(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		x := randSeries(rng, n)
+		q := randSeries(rng, n)
+		lo := make([]float32, n)
+		hi := make([]float32, n)
+		for i := range q {
+			lo[i] = q[i] - 0.1
+			hi[i] = q[i] + 0.1
+		}
+		exact := SquaredEnvelopeDistance(x, lo, hi)
+		got := SquaredEnvelopeDistanceEarlyAbandon(x, lo, hi, exact+1)
+		if math.Abs(got-exact) > 1e-6*(1+exact) {
+			t.Fatalf("trial %d: envelope early-abandon = %v, want %v", trial, got, exact)
+		}
+		if exact > 0 {
+			abandoned := SquaredEnvelopeDistanceEarlyAbandon(x, lo, hi, exact/2)
+			if abandoned < exact/2 {
+				t.Fatalf("trial %d: abandoned %v < limit %v", trial, abandoned, exact/2)
+			}
+		}
+	}
+}
+
+// Envelope distance degenerates to squared ED when the envelope collapses
+// to a single series.
+func TestEnvelopeDistanceDegeneratesToED(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		x := randSeries(rng, n)
+		q := randSeries(rng, n)
+		env := SquaredEnvelopeDistance(x, q, q)
+		ed := SquaredEuclidean(x, q)
+		if math.Abs(env-ed) > 1e-6*(1+ed) {
+			t.Fatalf("trial %d: collapsed envelope %v != ED %v", trial, env, ed)
+		}
+	}
+}
+
+func TestEnvelopeLowerBoundsED(t *testing.T) {
+	// For any envelope containing q, env distance <= ED(x, q).
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		r := rand.New(rand.NewSource(seed))
+		x := randSeries(r, n)
+		q := randSeries(r, n)
+		lo := make([]float32, n)
+		hi := make([]float32, n)
+		for i := range q {
+			w := float32(r.Float64())
+			lo[i] = q[i] - w
+			hi[i] = q[i] + w
+		}
+		return SquaredEnvelopeDistance(x, lo, hi) <= SquaredEuclidean(x, q)+1e-6
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMin(t *testing.T) {
+	if Min(1, 2) != 1 || Min(2, 1) != 1 || Min(3, 3) != 3 {
+		t.Error("Min is broken")
+	}
+}
+
+func BenchmarkSquaredEuclidean256(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x := randSeries(rng, 256)
+	y := randSeries(rng, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SquaredEuclidean(x, y)
+	}
+}
+
+func BenchmarkScalarSquaredEuclidean256(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	x := randSeries(rng, 256)
+	y := randSeries(rng, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ScalarSquaredEuclidean(x, y)
+	}
+}

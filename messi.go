@@ -1,0 +1,257 @@
+// Package messi is a pure-Go implementation of MESSI, the in-memory data
+// series index of Peng, Fatourou and Palpanas (ICDE 2020): an iSAX tree
+// built and queried by parallel workers, answering exact 1-NN (and k-NN)
+// similarity queries under Euclidean distance or constrained Dynamic Time
+// Warping.
+//
+// # Quick start
+//
+//	data := messi.RandomWalk(100_000, 256, 1) // or your own flat []float32
+//	ix, err := messi.BuildFlat(data, 256, nil)
+//	if err != nil { ... }
+//	m, err := ix.Search(query)                // exact nearest neighbor
+//	fmt.Println(m.Position, m.Distance)
+//
+// The index is immutable after Build and safe for concurrent queries.
+//
+// # Distances
+//
+// All Search functions return true (non-squared) distances. Internally the
+// library works with squared distances; Match.Distance is the square root
+// of the internal value. Data series are compared as-is: if you want the
+// standard z-normalized similarity semantics, either normalize your data
+// yourself or set Options.Normalize.
+package messi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dtw"
+	"repro/internal/series"
+	"repro/internal/tree"
+)
+
+// Options configures index construction and default query parallelism.
+// The zero value (or a nil *Options) selects the paper's defaults:
+// 16 segments, 256-symbol alphabet, 2000-series leaves, 20K-series chunks,
+// 24 index workers, 48 search workers, 24 priority queues.
+type Options struct {
+	// Segments is the number of PAA segments per iSAX word (w). The
+	// series length must be a multiple of it. Default 16.
+	Segments int
+	// Cardinality is the alphabet size per segment; must be a power of
+	// two up to 256. Default 256.
+	Cardinality int
+	// LeafCapacity is the maximum number of series per leaf before it
+	// splits. Default 2000.
+	LeafCapacity int
+	// ChunkSize is the number of series per construction work unit.
+	// Default 20000.
+	ChunkSize int
+	// InitialBufferSize is the initial per-worker iSAX buffer capacity
+	// in series. Default 5.
+	InitialBufferSize int
+	// IndexWorkers (Nw) is the number of construction goroutines.
+	// Default 24.
+	IndexWorkers int
+	// SearchWorkers (Ns) is the number of query goroutines. Default 48.
+	SearchWorkers int
+	// QueueCount (Nq) is the number of shared priority queues used
+	// during query answering; 1 reproduces the paper's MESSI-sq variant.
+	// Default 24.
+	QueueCount int
+	// Normalize, when true, z-normalizes every series in place during
+	// Build and z-normalizes (a copy of) every query.
+	Normalize bool
+}
+
+func (o *Options) toCore() (core.Options, bool, error) {
+	if o == nil {
+		return core.Options{}, false, nil
+	}
+	cardBits := 0
+	if o.Cardinality != 0 {
+		switch o.Cardinality {
+		case 2:
+			cardBits = 1
+		case 4:
+			cardBits = 2
+		case 8:
+			cardBits = 3
+		case 16:
+			cardBits = 4
+		case 32:
+			cardBits = 5
+		case 64:
+			cardBits = 6
+		case 128:
+			cardBits = 7
+		case 256:
+			cardBits = 8
+		default:
+			return core.Options{}, false, fmt.Errorf("messi: cardinality %d is not a power of two in [2,256]", o.Cardinality)
+		}
+	}
+	return core.Options{
+		Segments:      o.Segments,
+		CardBits:      cardBits,
+		LeafCapacity:  o.LeafCapacity,
+		ChunkSize:     o.ChunkSize,
+		InitBufferCap: o.InitialBufferSize,
+		IndexWorkers:  o.IndexWorkers,
+		SearchWorkers: o.SearchWorkers,
+		QueueCount:    o.QueueCount,
+	}, o.Normalize, nil
+}
+
+// Match is one query answer.
+type Match struct {
+	// Position is the index of the matching series in the build data
+	// (its row for Build, its offset/length for BuildFlat).
+	Position int
+	// Distance is the true distance between query and match (Euclidean,
+	// or constrained-DTW for SearchDTW).
+	Distance float64
+}
+
+// Index is an immutable MESSI index over a series collection.
+type Index struct {
+	inner     *core.Index
+	normalize bool
+}
+
+// Build indexes a slice of equal-length series (each row is copied into
+// the index's contiguous storage).
+func Build(rows [][]float32, opts *Options) (*Index, error) {
+	col, err := series.FromSlices(rows)
+	if err != nil {
+		return nil, err
+	}
+	return buildCollection(col, opts)
+}
+
+// BuildFlat indexes flat row-major storage without copying: series i
+// occupies data[i*seriesLen:(i+1)*seriesLen]. The caller must not modify
+// data afterwards (with Options.Normalize the build itself rewrites it).
+func BuildFlat(data []float32, seriesLen int, opts *Options) (*Index, error) {
+	col, err := series.NewCollection(data, seriesLen)
+	if err != nil {
+		return nil, err
+	}
+	return buildCollection(col, opts)
+}
+
+// BuildFromFile indexes a dataset file written by WriteSeriesFile (or the
+// messi-gen tool).
+func BuildFromFile(path string, opts *Options) (*Index, error) {
+	col, err := dataset.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return buildCollection(col, opts)
+}
+
+func buildCollection(col *series.Collection, opts *Options) (*Index, error) {
+	coreOpts, normalize, err := opts.toCore()
+	if err != nil {
+		return nil, err
+	}
+	if normalize {
+		col.ZNormalizeAll()
+	}
+	inner, err := core.Build(col, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner, normalize: normalize}, nil
+}
+
+// prepareQuery applies normalization when the index was built with it.
+func (ix *Index) prepareQuery(query []float32) []float32 {
+	if !ix.normalize {
+		return query
+	}
+	return series.ZNormalized(query)
+}
+
+// Search answers an exact 1-NN query under Euclidean distance.
+func (ix *Index) Search(query []float32) (Match, error) {
+	m, err := ix.inner.Search(ix.prepareQuery(query), core.SearchOptions{})
+	if err != nil {
+		return Match{}, err
+	}
+	return Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}, nil
+}
+
+// ApproxSearch answers an approximate 1-NN query: the initial step of the
+// exact algorithm only (the leaf matching the query's iSAX summary). It is
+// much cheaper than Search and its answer is typically very close to
+// exact; its distance is always an upper bound on the exact distance.
+func (ix *Index) ApproxSearch(query []float32) (Match, error) {
+	m, err := ix.inner.ApproxSearch(ix.prepareQuery(query), core.SearchOptions{})
+	if err != nil {
+		return Match{}, err
+	}
+	return Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}, nil
+}
+
+// SearchKNN answers an exact k-NN query under Euclidean distance,
+// returning up to k matches in ascending distance order.
+func (ix *Index) SearchKNN(query []float32, k int) ([]Match, error) {
+	ms, err := ix.inner.SearchKNN(ix.prepareQuery(query), k, core.SearchOptions{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}
+	}
+	return out, nil
+}
+
+// SearchDTW answers an exact 1-NN query under constrained DTW with a
+// Sakoe-Chiba warping window given as a fraction of the series length
+// (0.1 = the 10% window the paper uses).
+func (ix *Index) SearchDTW(query []float32, window float64) (Match, error) {
+	r := dtw.WindowSize(ix.inner.Data.Length, window)
+	m, err := ix.inner.SearchDTW(ix.prepareQuery(query), r, core.SearchOptions{})
+	if err != nil {
+		return Match{}, err
+	}
+	return Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}, nil
+}
+
+// Series returns (a view of) the indexed series at the given position.
+// Callers must not modify it.
+func (ix *Index) Series(position int) []float32 {
+	return ix.inner.Data.At(position)
+}
+
+// Len reports the number of indexed series.
+func (ix *Index) Len() int { return ix.inner.Data.Count() }
+
+// SeriesLen reports the length (points) of each indexed series.
+func (ix *Index) SeriesLen() int { return ix.inner.Data.Length }
+
+// Stats describes the shape of the built index tree.
+type Stats struct {
+	Series        int // series stored (== Len())
+	RootChildren  int // non-empty root subtrees
+	InternalNodes int
+	Leaves        int
+	MaxDepth      int // root children are depth 1
+	MaxLeafFill   int // largest leaf occupancy
+}
+
+// Stats returns tree shape statistics.
+func (ix *Index) Stats() Stats {
+	s := ix.inner.Stats()
+	return Stats(s)
+}
+
+// compile-time check that the conversion above stays in sync with the
+// internal stats type.
+var _ = func() Stats { return Stats(tree.Stats{}) }
