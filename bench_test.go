@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/dtw"
+	"repro/internal/engine"
 	"repro/internal/paris"
 	"repro/internal/scan"
 	"repro/internal/serial"
@@ -537,6 +539,76 @@ func BenchmarkAblationApproxVsExact(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkEngineThroughput — sustained concurrent query traffic, the
+// serving scenario beyond the paper's one-query-at-a-time evaluation:
+// `clients` goroutines each issue 1-NN queries as fast as they are
+// answered. Modes:
+//
+//   - spawn-per-query: the paper's execution, Index.Search spawning Ns
+//     fresh goroutines and allocating fresh priority queues per call;
+//   - pooled-exclusive: the persistent engine with default scheduling
+//     (each query owns the whole worker pool, queries queue for admission);
+//   - pooled-shared: the engine splitting the pool across `clients`
+//     concurrently admitted queries.
+func BenchmarkEngineThroughput(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	queries := benchQueriesFor(b, dataset.RandomWalk)
+	ix := buildMESSI(b, data, messiOpts())
+
+	runClients := func(b *testing.B, clients int, query func(q []float32) error) {
+		b.Helper()
+		b.ReportAllocs()
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= b.N {
+						return
+					}
+					if err := query(queries.At(i % queries.Count())); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for _, clients := range []int{1, 8} {
+		b.Run(fmt.Sprintf("clients=%d/spawn-per-query", clients), func(b *testing.B) {
+			runClients(b, clients, func(q []float32) error {
+				_, err := ix.Search(q, core.SearchOptions{})
+				return err
+			})
+		})
+		b.Run(fmt.Sprintf("clients=%d/pooled-exclusive", clients), func(b *testing.B) {
+			eng := engine.New(ix, engine.Options{})
+			defer eng.Close()
+			runClients(b, clients, func(q []float32) error {
+				_, err := eng.Search(q)
+				return err
+			})
+		})
+		b.Run(fmt.Sprintf("clients=%d/pooled-shared", clients), func(b *testing.B) {
+			perQuery := ix.Opts.SearchWorkers / clients
+			if perQuery < 1 {
+				perQuery = 1
+			}
+			eng := engine.New(ix, engine.Options{QueryWorkers: perQuery, MaxConcurrent: clients})
+			defer eng.Close()
+			runClients(b, clients, func(q []float32) error {
+				_, err := eng.Search(q)
+				return err
+			})
+		})
+	}
 }
 
 // BenchmarkKNN — the k-NN extension across k (the paper's k-NN

@@ -1,5 +1,5 @@
 // Command messi-gen writes synthetic dataset files in the binary format
-// understood by messi-query and messi.BuildFromFile.
+// understood by messi-query, messi-serve, and messi.BuildFromFile.
 //
 // Usage:
 //
@@ -9,25 +9,40 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/dataset"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "messi-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("messi-gen", flag.ContinueOnError)
 	var (
-		kind   = flag.String("kind", "random", "dataset family: random, seismic, or sald")
-		count  = flag.Int("count", 100000, "number of series")
-		length = flag.Int("length", 0, "series length (default: 256, or 128 for sald)")
-		seed   = flag.Int64("seed", 1, "generator seed")
-		out    = flag.String("out", "", "output file path (required)")
+		kind   = fs.String("kind", "random", "dataset family: random, seismic, or sald")
+		count  = fs.Int("count", 100000, "number of series")
+		length = fs.Int("length", 0, "series length (default: 256, or 128 for sald)")
+		seed   = fs.Int64("seed", 1, "generator seed")
+		out    = fs.String("out", "", "output file path (required)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *out == "" {
-		fatal(fmt.Errorf("-out is required"))
+		return errors.New("-out is required")
 	}
 	k := dataset.Kind(*kind)
 	n := *length
@@ -36,16 +51,12 @@ func main() {
 	}
 	col, err := dataset.Generate(k, *count, n, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := dataset.WriteFile(*out, col); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %d series × %d points (%d MB) to %s\n",
+	fmt.Fprintf(stdout, "wrote %d series × %d points (%d MB) to %s\n",
 		col.Count(), col.Length, col.Bytes()>>20, *out)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "messi-gen:", err)
-	os.Exit(1)
+	return nil
 }

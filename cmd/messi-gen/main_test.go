@@ -1,0 +1,54 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunWritesDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "data.bin")
+	var buf strings.Builder
+	err := run([]string{"-kind", "random", "-count", "200", "-length", "64", "-out", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote 200 series × 64 points") {
+		t.Fatalf("unexpected output: %q", buf.String())
+	}
+	col, err := dataset.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Count() != 200 || col.Length != 64 {
+		t.Fatalf("file shape %d×%d, want 200×64", col.Count(), col.Length)
+	}
+}
+
+func TestRunDefaultLengthPerKind(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sald.bin")
+	var buf strings.Builder
+	if err := run([]string{"-kind", "sald", "-count", "10", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	col, err := dataset.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Length != 128 {
+		t.Fatalf("sald default length %d, want 128", col.Length)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-count", "10"}, &buf); err == nil {
+		t.Error("missing -out did not error")
+	}
+	out := filepath.Join(t.TempDir(), "x.bin")
+	if err := run([]string{"-kind", "nope", "-count", "10", "-out", out}, &buf); err == nil {
+		t.Error("unknown kind did not error")
+	}
+}

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -21,18 +23,31 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "messi-query:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("messi-query", flag.ContinueOnError)
 	var (
-		dataPath  = flag.String("data", "", "dataset file to index (required)")
-		queryPath = flag.String("queries", "", "query file (required)")
-		k         = flag.Int("k", 1, "neighbors per query")
-		dtwWin    = flag.Float64("dtw", -1, "DTW warping window fraction (e.g. 0.1); <0 = Euclidean")
-		leafCap   = flag.Int("leaf", 0, "leaf capacity (default 2000)")
-		workers   = flag.Int("workers", 0, "search workers (default 48)")
-		queues    = flag.Int("queues", 0, "priority queues (default 24)")
+		dataPath  = fs.String("data", "", "dataset file to index (required)")
+		queryPath = fs.String("queries", "", "query file (required)")
+		k         = fs.Int("k", 1, "neighbors per query")
+		dtwWin    = fs.Float64("dtw", -1, "DTW warping window fraction (e.g. 0.1); <0 = Euclidean")
+		leafCap   = fs.Int("leaf", 0, "leaf capacity (default 2000)")
+		workers   = fs.Int("workers", 0, "search workers (default 48)")
+		queues    = fs.Int("queues", 0, "priority queues (default 24)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *dataPath == "" || *queryPath == "" {
-		fatal(fmt.Errorf("-data and -queries are required"))
+		return errors.New("-data and -queries are required")
 	}
 
 	opts := &messi.Options{
@@ -43,19 +58,19 @@ func main() {
 	buildStart := time.Now()
 	ix, err := messi.BuildFromFile(*dataPath, opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	st := ix.Stats()
-	fmt.Printf("indexed %d series × %d points in %v (%d root subtrees, %d leaves, depth %d)\n",
+	fmt.Fprintf(stdout, "indexed %d series × %d points in %v (%d root subtrees, %d leaves, depth %d)\n",
 		ix.Len(), ix.SeriesLen(), time.Since(buildStart).Round(time.Millisecond),
 		st.RootChildren, st.Leaves, st.MaxDepth)
 
 	qdata, qlen, err := messi.ReadSeriesFile(*queryPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if qlen != ix.SeriesLen() {
-		fatal(fmt.Errorf("query length %d does not match indexed length %d", qlen, ix.SeriesLen()))
+		return fmt.Errorf("query length %d does not match indexed length %d", qlen, ix.SeriesLen())
 	}
 	nq := len(qdata) / qlen
 
@@ -67,34 +82,32 @@ func main() {
 		case *dtwWin >= 0:
 			m, err := ix.SearchDTW(q, *dtwWin)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			elapsed := time.Since(start)
 			total += elapsed
-			fmt.Printf("query %3d: DTW 1-NN pos=%d dist=%.4f (%v)\n", qi, m.Position, m.Distance, elapsed.Round(time.Microsecond))
+			fmt.Fprintf(stdout, "query %3d: DTW 1-NN pos=%d dist=%.4f (%v)\n", qi, m.Position, m.Distance, elapsed.Round(time.Microsecond))
 		case *k > 1:
 			ms, err := ix.SearchKNN(q, *k)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			elapsed := time.Since(start)
 			total += elapsed
-			fmt.Printf("query %3d: %d-NN best pos=%d dist=%.4f worst dist=%.4f (%v)\n",
+			fmt.Fprintf(stdout, "query %3d: %d-NN best pos=%d dist=%.4f worst dist=%.4f (%v)\n",
 				qi, *k, ms[0].Position, ms[0].Distance, ms[len(ms)-1].Distance, elapsed.Round(time.Microsecond))
 		default:
 			m, err := ix.Search(q)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			elapsed := time.Since(start)
 			total += elapsed
-			fmt.Printf("query %3d: 1-NN pos=%d dist=%.4f (%v)\n", qi, m.Position, m.Distance, elapsed.Round(time.Microsecond))
+			fmt.Fprintf(stdout, "query %3d: 1-NN pos=%d dist=%.4f (%v)\n", qi, m.Position, m.Distance, elapsed.Round(time.Microsecond))
 		}
 	}
-	fmt.Printf("answered %d queries, avg %v/query\n", nq, (total / time.Duration(nq)).Round(time.Microsecond))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "messi-query:", err)
-	os.Exit(1)
+	if nq > 0 {
+		fmt.Fprintf(stdout, "answered %d queries, avg %v/query\n", nq, (total / time.Duration(nq)).Round(time.Microsecond))
+	}
+	return nil
 }

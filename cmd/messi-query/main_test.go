@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	messi "repro"
+)
+
+// writeQueryFixture writes a tiny dataset and a query file whose first
+// query is an exact copy of series 42, so the round trip has a known
+// answer.
+func writeQueryFixture(t *testing.T, dir string) (dataPath, queryPath string) {
+	t.Helper()
+	data := messi.RandomWalk(500, 64, 21)
+	dataPath = filepath.Join(dir, "data.bin")
+	if err := messi.WriteSeriesFile(dataPath, data, 64); err != nil {
+		t.Fatal(err)
+	}
+	queries := messi.RandomWalk(3, 64, 2121)
+	copy(queries[0:64], data[42*64:43*64])
+	queryPath = filepath.Join(dir, "queries.bin")
+	if err := messi.WriteSeriesFile(queryPath, queries, 64); err != nil {
+		t.Fatal(err)
+	}
+	return dataPath, queryPath
+}
+
+func TestRunEuclidean(t *testing.T) {
+	dataPath, queryPath := writeQueryFixture(t, t.TempDir())
+	var buf strings.Builder
+	err := run([]string{"-data", dataPath, "-queries", queryPath, "-leaf", "64"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "indexed 500 series × 64 points") {
+		t.Fatalf("missing build line in output:\n%s", out)
+	}
+	// Query 0 is an exact copy of series 42.
+	if !regexp.MustCompile(`query\s+0: 1-NN pos=42 dist=0\.0000`).MatchString(out) {
+		t.Fatalf("self query did not report pos=42 dist=0:\n%s", out)
+	}
+	if !strings.Contains(out, "answered 3 queries") {
+		t.Fatalf("missing summary line in output:\n%s", out)
+	}
+}
+
+func TestRunKNNAndDTW(t *testing.T) {
+	dataPath, queryPath := writeQueryFixture(t, t.TempDir())
+	var buf strings.Builder
+	if err := run([]string{"-data", dataPath, "-queries", queryPath, "-leaf", "64", "-k", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !regexp.MustCompile(`query\s+0: 3-NN best pos=42 dist=0\.0000`).MatchString(buf.String()) {
+		t.Fatalf("3-NN self query did not report pos=42:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-data", dataPath, "-queries", queryPath, "-leaf", "64", "-dtw", "0.1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !regexp.MustCompile(`query\s+0: DTW 1-NN pos=42 dist=0\.0000`).MatchString(buf.String()) {
+		t.Fatalf("DTW self query did not report pos=42:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(nil, &buf); err == nil {
+		t.Error("missing flags did not error")
+	}
+	dir := t.TempDir()
+	dataPath, _ := writeQueryFixture(t, dir)
+	short := messi.RandomWalk(2, 32, 1)
+	shortPath := filepath.Join(dir, "short.bin")
+	if err := messi.WriteSeriesFile(shortPath, short, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", dataPath, "-queries", shortPath}, &buf); err == nil {
+		t.Error("mismatched query length did not error")
+	}
+}
+
+// TestGenQueryRoundTripE2E is the real end-to-end path: build the
+// messi-gen and messi-query binaries, generate a tiny dataset plus
+// queries with one, answer them with the other.
+func TestGenQueryRoundTripE2E(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available:", err)
+	}
+	moduleRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	genBin := filepath.Join(dir, "messi-gen")
+	queryBin := filepath.Join(dir, "messi-query")
+
+	for bin, pkg := range map[string]string{genBin: "repro/cmd/messi-gen", queryBin: "repro/cmd/messi-query"} {
+		cmd := exec.Command(goBin, "build", "-o", bin, pkg)
+		cmd.Dir = moduleRoot
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	dataPath := filepath.Join(dir, "data.bin")
+	queryPath := filepath.Join(dir, "queries.bin")
+	runCmd := func(bin string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+		}
+		return string(out)
+	}
+
+	genOut := runCmd(genBin, "-kind", "random", "-count", "400", "-length", "64", "-out", dataPath)
+	if !strings.Contains(genOut, "wrote 400 series × 64 points") {
+		t.Fatalf("unexpected messi-gen output: %q", genOut)
+	}
+	runCmd(genBin, "-kind", "random", "-count", "4", "-length", "64", "-seed", "999", "-out", queryPath)
+
+	queryOut := runCmd(queryBin, "-data", dataPath, "-queries", queryPath, "-leaf", "64")
+	if !strings.Contains(queryOut, "indexed 400 series × 64 points") {
+		t.Fatalf("messi-query did not index the generated file:\n%s", queryOut)
+	}
+	matches := regexp.MustCompile(`query\s+\d+: 1-NN pos=\d+ dist=\d`).FindAllString(queryOut, -1)
+	if len(matches) != 4 {
+		t.Fatalf("expected 4 answered queries, found %d:\n%s", len(matches), queryOut)
+	}
+	if !strings.Contains(queryOut, "answered 4 queries") {
+		t.Fatalf("missing summary:\n%s", queryOut)
+	}
+	if _, err := os.Stat(dataPath); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+// Command messi-serve builds a MESSI index over a dataset file and serves
+// similarity queries over HTTP through a persistent query engine
+// (messi.Engine) — the sustained-multi-query serving scenario, as opposed
+// to messi-query's one-shot exploratory runs.
+//
+// Usage:
+//
+//	messi-gen -kind random -count 100000 -out data.bin
+//	messi-serve -data data.bin -addr :8080
+//
+// API (JSON over HTTP):
+//
+//	GET  /healthz         → 200 "ok" once serving
+//	GET  /v1/stats        → index shape and engine configuration
+//	POST /v1/query        → {"query":[...], "k":5}         → {"matches":[{"position":..,"distance":..}]}
+//	POST /v1/query/batch  → {"queries":[[...],[...], ...]} → {"results":[[...],[...]]}
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// connections, drains in-flight requests, then closes the engine pool.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	messi "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "messi-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("messi-serve", flag.ContinueOnError)
+	var (
+		dataPath  = fs.String("data", "", "dataset file to index (required)")
+		addr      = fs.String("addr", ":8080", "listen address")
+		leafCap   = fs.Int("leaf", 0, "leaf capacity (default 2000)")
+		pool      = fs.Int("pool", 0, "engine pool workers (default: search workers)")
+		perQuery  = fs.Int("per-query", 0, "worker units per query (default: whole pool)")
+		queues    = fs.Int("queues", 0, "priority queues per query (default 24)")
+		admit     = fs.Int("admit", 0, "max concurrently executing queries (default pool/per-query)")
+		normalize = fs.Bool("normalize", false, "z-normalize data and queries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" {
+		return errors.New("-data is required")
+	}
+
+	buildStart := time.Now()
+	ix, err := messi.BuildFromFile(*dataPath, &messi.Options{LeafCapacity: *leafCap, Normalize: *normalize})
+	if err != nil {
+		return err
+	}
+	log.Printf("indexed %d series × %d points in %v", ix.Len(), ix.SeriesLen(),
+		time.Since(buildStart).Round(time.Millisecond))
+
+	eng := ix.NewEngine(&messi.EngineOptions{
+		PoolWorkers:   *pool,
+		QueryWorkers:  *perQuery,
+		Queues:        *queues,
+		MaxConcurrent: *admit,
+	})
+	defer eng.Close()
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newHandler(eng),
+		// Bound slow clients: a connection may not hold a goroutine and
+		// fd forever by trickling bytes (batch bodies can be large, so
+		// the full-request ReadTimeout stays generous).
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return <-errc
+}
+
+// jsonMatch is the wire form of one answer.
+type jsonMatch struct {
+	Position int     `json:"position"`
+	Distance float64 `json:"distance"`
+}
+
+type queryRequest struct {
+	Query []float32 `json:"query"`
+	K     int       `json:"k,omitempty"`
+}
+
+type queryResponse struct {
+	Matches []jsonMatch `json:"matches"`
+}
+
+type batchRequest struct {
+	Queries [][]float32 `json:"queries"`
+}
+
+type batchResponse struct {
+	Results [][]jsonMatch `json:"results"`
+}
+
+type statsResponse struct {
+	Series        int `json:"series"`
+	SeriesLen     int `json:"series_len"`
+	RootChildren  int `json:"root_children"`
+	InternalNodes int `json:"internal_nodes"`
+	Leaves        int `json:"leaves"`
+	MaxDepth      int `json:"max_depth"`
+}
+
+// newHandler builds the HTTP API around a running engine.
+func newHandler(eng *messi.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		ix := eng.Index()
+		st := ix.Stats()
+		writeJSON(w, http.StatusOK, statsResponse{
+			Series:        st.Series,
+			SeriesLen:     ix.SeriesLen(),
+			RootChildren:  st.RootChildren,
+			InternalNodes: st.InternalNodes,
+			Leaves:        st.Leaves,
+			MaxDepth:      st.MaxDepth,
+		})
+	})
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		var req queryRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if req.K < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("k must be non-negative, got %d", req.K))
+			return
+		}
+		var matches []messi.Match
+		var err error
+		if req.K > 1 {
+			matches, err = eng.QueryKNN(req.Query, req.K)
+		} else {
+			var m messi.Match
+			m, err = eng.Query(req.Query)
+			matches = []messi.Match{m}
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, queryResponse{Matches: toJSONMatches(matches)})
+	})
+	mux.HandleFunc("POST /v1/query/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if len(req.Queries) == 0 {
+			writeError(w, http.StatusBadRequest, "queries must be non-empty")
+			return
+		}
+		matches, err := eng.QueryBatch(req.Queries)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		resp := batchResponse{Results: make([][]jsonMatch, len(matches))}
+		for i, m := range matches {
+			resp.Results[i] = toJSONMatches([]messi.Match{m})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+func toJSONMatches(ms []messi.Match) []jsonMatch {
+	out := make([]jsonMatch, len(ms))
+	for i, m := range ms {
+		out[i] = jsonMatch{Position: m.Position, Distance: m.Distance}
+	}
+	return out
+}
+
+// readJSON decodes the request body, writing a 400 and reporting false on
+// malformed input.
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("write response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

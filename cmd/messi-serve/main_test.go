@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	messi "repro"
+)
+
+// newTestHandler builds a small index and the HTTP API around it.
+func newTestHandler(t *testing.T) (http.Handler, *messi.Index) {
+	t.Helper()
+	data := messi.RandomWalk(1500, 64, 11)
+	ix, err := messi.BuildFlat(data, 64, &messi.Options{LeafCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := ix.NewEngine(&messi.EngineOptions{PoolWorkers: 4})
+	t.Cleanup(eng.Close)
+	return newHandler(eng), ix
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+	req.Header.Set("Content-Type", "application/json")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+func decode[T any](t *testing.T, rr *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(rr.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decoding %q: %v", rr.Body.String(), err)
+	}
+	return v
+}
+
+func TestHealthz(t *testing.T) {
+	h, _ := newTestHandler(t)
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d", rr.Code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	h, ix := newTestHandler(t)
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stats: status %d, body %s", rr.Code, rr.Body)
+	}
+	st := decode[statsResponse](t, rr)
+	if st.Series != ix.Len() || st.SeriesLen != ix.SeriesLen() {
+		t.Fatalf("stats %+v do not match index %d×%d", st, ix.Len(), ix.SeriesLen())
+	}
+	if st.Leaves == 0 {
+		t.Fatal("stats report zero leaves")
+	}
+}
+
+// TestQueryEndpoint: the served 1-NN answer must equal the library answer.
+func TestQueryEndpoint(t *testing.T) {
+	h, ix := newTestHandler(t)
+	q := make([]float32, 64)
+	copy(q, ix.Series(123))
+	want, err := ix.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rr := postJSON(t, h, "/v1/query", queryRequest{Query: q})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("query: status %d, body %s", rr.Code, rr.Body)
+	}
+	resp := decode[queryResponse](t, rr)
+	if len(resp.Matches) != 1 {
+		t.Fatalf("query returned %d matches, want 1", len(resp.Matches))
+	}
+	if got := resp.Matches[0]; got.Position != want.Position || got.Distance != want.Distance {
+		t.Fatalf("served %+v, library %+v", got, want)
+	}
+}
+
+func TestQueryKNNEndpoint(t *testing.T) {
+	h, ix := newTestHandler(t)
+	q := make([]float32, 64)
+	copy(q, ix.Series(7))
+	want, err := ix.SearchKNN(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rr := postJSON(t, h, "/v1/query", queryRequest{Query: q, K: 3})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("k-NN query: status %d, body %s", rr.Code, rr.Body)
+	}
+	resp := decode[queryResponse](t, rr)
+	if len(resp.Matches) != len(want) {
+		t.Fatalf("k-NN returned %d matches, want %d", len(resp.Matches), len(want))
+	}
+	for i, m := range resp.Matches {
+		if m.Position != want[i].Position || m.Distance != want[i].Distance {
+			t.Fatalf("k-NN match %d: served %+v, library %+v", i, m, want[i])
+		}
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	h, ix := newTestHandler(t)
+	queries := make([][]float32, 4)
+	for i := range queries {
+		queries[i] = make([]float32, 64)
+		copy(queries[i], ix.Series(i*100))
+	}
+	rr := postJSON(t, h, "/v1/query/batch", batchRequest{Queries: queries})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("batch: status %d, body %s", rr.Code, rr.Body)
+	}
+	resp := decode[batchResponse](t, rr)
+	if len(resp.Results) != len(queries) {
+		t.Fatalf("batch returned %d results, want %d", len(resp.Results), len(queries))
+	}
+	for i, ms := range resp.Results {
+		want, err := ix.Search(queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != 1 || ms[0].Position != want.Position {
+			t.Fatalf("batch result %d: served %+v, library %+v", i, ms, want)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	h, _ := newTestHandler(t)
+	cases := []struct {
+		name string
+		do   func() *httptest.ResponseRecorder
+	}{
+		{"malformed JSON", func() *httptest.ResponseRecorder {
+			req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader([]byte("{nope")))
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, req)
+			return rr
+		}},
+		{"wrong query length", func() *httptest.ResponseRecorder {
+			return postJSON(t, h, "/v1/query", queryRequest{Query: make([]float32, 7)})
+		}},
+		{"negative k", func() *httptest.ResponseRecorder {
+			return postJSON(t, h, "/v1/query", queryRequest{Query: make([]float32, 64), K: -2})
+		}},
+		{"empty batch", func() *httptest.ResponseRecorder {
+			return postJSON(t, h, "/v1/query/batch", batchRequest{})
+		}},
+		{"batch with bad query", func() *httptest.ResponseRecorder {
+			return postJSON(t, h, "/v1/query/batch", batchRequest{Queries: [][]float32{make([]float32, 5)}})
+		}},
+	}
+	for _, tc := range cases {
+		if rr := tc.do(); rr.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, rr.Code, rr.Body)
+		}
+	}
+}
+
+// TestRunFlagValidation: run() rejects a missing -data without starting.
+func TestRunFlagValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("run without -data did not error")
+	}
+	if err := run([]string{"-data", "/nonexistent/file.bin"}); err == nil {
+		t.Fatal("run with missing dataset file did not error")
+	}
+}

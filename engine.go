@@ -1,0 +1,104 @@
+package messi
+
+import (
+	"math"
+
+	"repro/internal/engine"
+)
+
+// EngineOptions configures a persistent query Engine. Zero fields inherit
+// from the index options.
+type EngineOptions struct {
+	// PoolWorkers is the number of long-lived worker goroutines shared by
+	// all queries. Default: the index's SearchWorkers.
+	PoolWorkers int
+	// QueryWorkers is the per-query parallelism: how many pool work units
+	// each query dispatches per phase. Default: PoolWorkers.
+	QueryWorkers int
+	// Queues is the number of priority queues per query. Default: the
+	// index's QueueCount.
+	Queues int
+	// MaxConcurrent bounds how many queries execute concurrently; further
+	// queries wait for admission. Default: PoolWorkers/QueryWorkers
+	// (at least 1).
+	MaxConcurrent int
+}
+
+// Engine is a persistent query engine over one Index: a long-lived worker
+// pool that amortizes goroutine spawns and per-query allocations across
+// queries, and runs many independent queries concurrently through the
+// shared pool. Results are identical to the Index's one-shot Search
+// functions. An Engine is safe for concurrent use; Close it when done.
+//
+//	eng := ix.NewEngine(nil)
+//	defer eng.Close()
+//	m, err := eng.Query(q)
+type Engine struct {
+	ix    *Index
+	inner *engine.Engine
+}
+
+// NewEngine starts a persistent query engine over the index. opts may be
+// nil for the defaults.
+func (ix *Index) NewEngine(opts *EngineOptions) *Engine {
+	var eo engine.Options
+	if opts != nil {
+		eo = engine.Options{
+			PoolWorkers:   opts.PoolWorkers,
+			QueryWorkers:  opts.QueryWorkers,
+			Queues:        opts.Queues,
+			MaxConcurrent: opts.MaxConcurrent,
+		}
+	}
+	return &Engine{ix: ix, inner: engine.New(ix.inner, eo)}
+}
+
+// Query answers an exact 1-NN query under Euclidean distance on the
+// shared pool. It blocks until the query is admitted and answered.
+func (e *Engine) Query(query []float32) (Match, error) {
+	m, err := e.inner.Search(e.ix.prepareQuery(query))
+	if err != nil {
+		return Match{}, err
+	}
+	return Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}, nil
+}
+
+// QueryKNN answers an exact k-NN query, returning up to k matches in
+// ascending distance order.
+func (e *Engine) QueryKNN(query []float32, k int) ([]Match, error) {
+	ms, err := e.inner.SearchKNN(e.ix.prepareQuery(query), k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}
+	}
+	return out, nil
+}
+
+// QueryBatch answers many independent 1-NN queries concurrently through
+// the pool; result i answers queries[i]. On error the returned slice is
+// still full-length (failed entries are zero).
+func (e *Engine) QueryBatch(queries [][]float32) ([]Match, error) {
+	prepared := queries
+	if e.ix.normalize {
+		prepared = make([][]float32, len(queries))
+		for i, q := range queries {
+			prepared[i] = e.ix.prepareQuery(q)
+		}
+	}
+	ms, batchErr := e.inner.SearchBatch(prepared)
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}
+	}
+	return out, batchErr
+}
+
+// Index returns the index this engine serves.
+func (e *Engine) Index() *Index { return e.ix }
+
+// Close waits for in-flight queries, then stops the worker pool. Queries
+// submitted after Close fail. Close is idempotent.
+func (e *Engine) Close() { e.inner.Close() }

@@ -1,0 +1,129 @@
+package messi
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEngineMatchesSearch: the pooled engine must agree exactly with the
+// one-shot Search/SearchKNN on the same inputs, including under the
+// Normalize option (the engine normalizes queries the same way).
+func TestEngineMatchesSearch(t *testing.T) {
+	for _, normalize := range []bool{false, true} {
+		data := RandomWalk(3000, 64, 3)
+		ix, err := BuildFlat(data, 64, &Options{LeafCapacity: 64, Normalize: normalize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := ix.NewEngine(&EngineOptions{PoolWorkers: 8})
+		queries := RandomWalk(10, 64, 303)
+		for i := 0; i < 10; i++ {
+			q := queries[i*64 : (i+1)*64]
+			want, err := ix.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("normalize=%v query %d: engine %+v, search %+v", normalize, i, got, want)
+			}
+
+			wantK, err := ix.SearchKNN(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotK, err := eng.QueryKNN(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range wantK {
+				if gotK[j] != wantK[j] {
+					t.Fatalf("normalize=%v query %d k-NN %d: engine %+v, search %+v", normalize, i, j, gotK[j], wantK[j])
+				}
+			}
+		}
+		eng.Close()
+	}
+}
+
+// TestEngineQueryBatch: batch results line up with per-query answers.
+func TestEngineQueryBatch(t *testing.T) {
+	data := RandomWalk(2000, 64, 5)
+	ix, err := BuildFlat(data, 64, &Options{LeafCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := ix.NewEngine(&EngineOptions{PoolWorkers: 6, QueryWorkers: 2})
+	defer eng.Close()
+
+	flat := RandomWalk(12, 64, 505)
+	queries := make([][]float32, 12)
+	for i := range queries {
+		queries[i] = flat[i*64 : (i+1)*64]
+	}
+	got, err := eng.QueryBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(queries) {
+		t.Fatalf("batch returned %d results for %d queries", len(got), len(queries))
+	}
+	for i, q := range queries {
+		want, err := ix.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("batch query %d: got %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestEngineConcurrentQueriers: ≥8 goroutines share one engine; every
+// answer must match the single-query path (run under -race in CI).
+func TestEngineConcurrentQueriers(t *testing.T) {
+	data := RandomWalk(2000, 64, 9)
+	ix, err := BuildFlat(data, 64, &Options{LeafCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := ix.NewEngine(&EngineOptions{PoolWorkers: 6, QueryWorkers: 3, MaxConcurrent: 4})
+	defer eng.Close()
+
+	flat := RandomWalk(8, 64, 909)
+	want := make([]Match, 8)
+	queries := make([][]float32, 8)
+	for i := range queries {
+		queries[i] = flat[i*64 : (i+1)*64]
+		m, err := ix.Search(queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = m
+	}
+
+	const queriers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 4; r++ {
+				i := (g + r) % len(queries)
+				got, err := eng.Query(queries[i])
+				if err != nil {
+					t.Errorf("querier %d: %v", g, err)
+					return
+				}
+				if got != want[i] {
+					t.Errorf("querier %d query %d: got %+v, want %+v", g, i, got, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

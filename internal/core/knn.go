@@ -7,7 +7,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/paa"
 	"repro/internal/stats"
 )
 
@@ -113,27 +112,27 @@ func (t *topK) results() []Match {
 	return out
 }
 
+// validateKNN checks the query shape and k for a k-NN search.
+func (ix *Index) validateKNN(query []float32, k int) error {
+	if err := ix.validateQuery(query); err != nil {
+		return err
+	}
+	if k <= 0 {
+		return fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	return nil
+}
+
 // SearchKNN answers an exact k-NN query using the MESSI machinery with the
 // top-k bound in place of the single BSF. It returns at most k matches
 // sorted by ascending distance.
 func (ix *Index) SearchKNN(query []float32, k int, opt SearchOptions) ([]Match, error) {
-	if err := ix.validateQuery(query); err != nil {
+	r, err := ix.NewKNNRun(query, k, nil, opt)
+	if err != nil {
 		return nil, err
 	}
-	if k <= 0 {
-		return nil, fmt.Errorf("core: k must be positive, got %d", k)
-	}
-	if k > ix.Data.Count() {
-		k = ix.Data.Count()
-	}
-	opt = opt.withDefaults(ix.Opts)
-
-	qpaa := paa.Transform(query, ix.Schema.Segments, nil)
-	qword := ix.Schema.WordFromPAA(qpaa, nil)
-	best := newTopK(k)
-	ix.approxSearch(query, qpaa, qword, best, opt.Counters)
-	ix.runSearchWorkers(query, qpaa, best, opt)
-	return best.results(), nil
+	r.Run()
+	return r.Matches(), nil
 }
 
 // assert interface satisfaction: both bounds plug into the same search.

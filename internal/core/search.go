@@ -53,61 +53,139 @@ type bound interface {
 	Update(dist float64, pos int64) bool
 }
 
-// Search answers an exact 1-NN query (Algorithm 5). The query must be
-// z-normalized by the caller if the indexed data is (the public API layer
-// handles this).
-func (ix *Index) Search(query []float32, opt SearchOptions) (Match, error) {
-	if err := ix.validateQuery(query); err != nil {
-		return Match{}, err
-	}
-	opt = opt.withDefaults(ix.Opts)
-	bd := opt.Breakdown
+// QueryState holds the per-query scratch resources — PAA buffer, iSAX word
+// buffer, and the priority-queue set — that a long-lived query engine
+// reuses across queries instead of reallocating per search. A QueryState
+// may back at most one SearchRun at a time; the zero value is ready to use.
+type QueryState struct {
+	paaBuf  []float64
+	wordBuf []uint8
+	queues  pqueue.Set[*tree.Node]
+}
 
+// NewQueryState returns an empty reusable scratch state.
+func NewQueryState() *QueryState { return &QueryState{} }
+
+// SearchRun is one in-flight exact query: the shared per-query state
+// (pruning bound, priority queues, root-claim counter) that any number of
+// workers operate on. It decomposes Algorithm 6 into two phases so that
+// workers can be either goroutines spawned for this query (Run) or units
+// dispatched onto a persistent pool (internal/engine):
+//
+//	InsertPhase — claim root subtrees via Fetch&Inc, prune, push
+//	              non-prunable leaves into the queues (lines 1-6);
+//	DrainPhase  — after every InsertPhase call has returned (the
+//	              all-inserted barrier of line 7), drain queues until all
+//	              are finished (lines 8-13).
+//
+// All phase methods are safe for concurrent use; pid distinguishes
+// workers for queue-cursor and randomization purposes.
+type SearchRun struct {
+	ix      *Index
+	query   []float32
+	qpaa    []float64
+	bnd     bound
+	bsf     *stats.BSF // set for 1-NN runs
+	top     *topK      // set for k-NN runs
+	queues  *pqueue.Set[*tree.Node]
+	rootCtr atomic.Int64
+	opt     SearchOptions
+}
+
+// NewSearchRun prepares an exact 1-NN query: it validates the query,
+// computes its PAA and iSAX summaries, seeds the BSF with the approximate
+// search, and readies the queue set. st may be nil (fresh allocations) or
+// a reused QueryState. The query must already be z-normalized if the
+// indexed data is (the public API layer handles this).
+func (ix *Index) NewSearchRun(query []float32, st *QueryState, opt SearchOptions) (*SearchRun, error) {
+	if err := ix.validateQuery(query); err != nil {
+		return nil, err
+	}
+	bsf := stats.NewBSF()
+	r := &SearchRun{ix: ix, query: query, bnd: bsf, bsf: bsf, opt: opt.withDefaults(ix.Opts)}
+	r.init(st)
+	return r, nil
+}
+
+// NewKNNRun prepares an exact k-NN query (see NewSearchRun); k is clamped
+// to the collection size.
+func (ix *Index) NewKNNRun(query []float32, k int, st *QueryState, opt SearchOptions) (*SearchRun, error) {
+	if err := ix.validateKNN(query, k); err != nil {
+		return nil, err
+	}
+	if k > ix.Data.Count() {
+		k = ix.Data.Count()
+	}
+	best := newTopK(k)
+	r := &SearchRun{ix: ix, query: query, bnd: best, top: best, opt: opt.withDefaults(ix.Opts)}
+	r.init(st)
+	return r, nil
+}
+
+// init computes the query summaries (into st's buffers when available),
+// seeds the bound via the approximate search, and sizes the queue set.
+func (r *SearchRun) init(st *QueryState) {
+	bd := r.opt.Breakdown
 	var tInit time.Time
 	if bd.Enabled() {
 		tInit = time.Now()
 	}
-	qpaa := paa.Transform(query, ix.Schema.Segments, nil)
-	qword := ix.Schema.WordFromPAA(qpaa, nil)
-	bsf := stats.NewBSF()
-	ix.approxSearch(query, qpaa, qword, bsf, opt.Counters)
+	var paaBuf []float64
+	var wordBuf []uint8
+	if st != nil {
+		paaBuf, wordBuf = st.paaBuf, st.wordBuf
+	}
+	r.qpaa = paa.Transform(r.query, r.ix.Schema.Segments, paaBuf)
+	qword := r.ix.Schema.WordFromPAA(r.qpaa, wordBuf)
+	if st != nil {
+		st.paaBuf, st.wordBuf = r.qpaa, qword
+		st.queues.Resize(r.opt.Queues, 64)
+		r.queues = &st.queues
+	} else {
+		r.queues = pqueue.NewSet[*tree.Node](r.opt.Queues, 64)
+	}
+	r.ix.approxSearch(r.query, r.qpaa, qword, r.bnd, r.opt.Counters)
 	if bd.Enabled() {
 		bd.Add(stats.PhaseInit, time.Since(tInit))
 	}
-
-	ix.runSearchWorkers(query, qpaa, bsf, opt)
-
-	d, pos := bsf.Best()
-	return Match{Position: int(pos), Dist: d}, nil
 }
 
-// runSearchWorkers executes the two-stage parallel search of Algorithm 6
-// against an arbitrary bound (1-NN BSF or k-NN top-k).
-func (ix *Index) runSearchWorkers(query []float32, qpaa []float64, bnd bound, opt SearchOptions) {
-	queues := pqueue.NewSet[*tree.Node](opt.Queues, 64)
-	var rootCtr atomic.Int64
+// Run executes the query with opt.Workers goroutines spawned for this run
+// only — the paper's original per-query execution mode (Algorithm 5/6).
+func (r *SearchRun) Run() {
 	var insertBarrier sync.WaitGroup // all-inserted barrier (Algorithm 6 line 7)
-	insertBarrier.Add(opt.Workers)
+	insertBarrier.Add(r.opt.Workers)
 	var wg sync.WaitGroup
-	for pid := 0; pid < opt.Workers; pid++ {
+	for pid := 0; pid < r.opt.Workers; pid++ {
 		wg.Add(1)
 		go func(pid int) {
 			defer wg.Done()
-			ix.searchWorker(query, qpaa, bnd, queues, &rootCtr, &insertBarrier, pid, opt)
+			r.InsertPhase(pid)
+			insertBarrier.Done()
+			insertBarrier.Wait()
+			r.DrainPhase(pid)
 		}(pid)
 	}
 	wg.Wait()
 }
 
-// searchWorker is Algorithm 6: claim root subtrees via Fetch&Inc and push
-// non-prunable leaves into the queues; after the barrier, drain queues
-// until every queue is finished.
-func (ix *Index) searchWorker(query []float32, qpaa []float64, bnd bound,
-	queues *pqueue.Set[*tree.Node], rootCtr *atomic.Int64, barrier *sync.WaitGroup,
-	pid int, opt SearchOptions) {
+// Best returns the 1-NN answer. Call only after all workers finished.
+func (r *SearchRun) Best() Match {
+	d, pos := r.bsf.Best()
+	return Match{Position: int(pos), Dist: d}
+}
 
-	ctrs, bd := opt.Counters, opt.Breakdown
-	cursor := pid % opt.Queues // round-robin insertion cursor (line 2)
+// Matches returns the k-NN answers sorted by ascending distance. Call
+// only after all workers finished.
+func (r *SearchRun) Matches() []Match { return r.top.results() }
+
+// InsertPhase is the tree-traversal half of Algorithm 6: claim root
+// subtrees via Fetch&Inc and push non-prunable leaves into the queues.
+// Every participating worker must call it exactly once, and all calls
+// must return before the first DrainPhase call starts.
+func (r *SearchRun) InsertPhase(pid int) {
+	ctrs, bd := r.opt.Counters, r.opt.Breakdown
+	cursor := pid % r.opt.Queues // round-robin insertion cursor (line 2)
 
 	var tStart time.Time
 	if bd.Enabled() {
@@ -115,43 +193,57 @@ func (ix *Index) searchWorker(query []float32, qpaa []float64, bnd bound,
 	}
 	var insertTime time.Duration
 	for {
-		i := int(rootCtr.Add(1) - 1)
-		if i >= len(ix.activeRoots) {
+		i := int(r.rootCtr.Add(1) - 1)
+		if i >= len(r.ix.activeRoots) {
 			break
 		}
-		root := ix.Tree.Root(int(ix.activeRoots[i]))
-		ix.traverse(root, qpaa, bnd, queues, &cursor, &insertTime, ctrs, bd)
+		root := r.ix.Tree.Root(int(r.ix.activeRoots[i]))
+		r.ix.traverse(root, r.qpaa, r.bnd, r.queues, &cursor, &insertTime, ctrs, bd)
 	}
 	if bd.Enabled() {
 		bd.Add(stats.PhaseTreePass, time.Since(tStart)-insertTime)
 		bd.Add(stats.PhasePQInsert, insertTime)
 	}
+}
 
-	barrier.Done()
-	barrier.Wait()
+// DrainPhase is the queue-processing half of Algorithm 6 (lines 8-13):
+// drain queues until every queue is finished.
+func (r *SearchRun) DrainPhase(pid int) {
+	ctrs, bd := r.opt.Counters, r.opt.Breakdown
 
-	if opt.LocalQueues {
+	if r.opt.LocalQueues {
 		// Ablation mode: drain only this worker's private queue; no
 		// stealing. Workers whose queues drain early sit idle — the
 		// load imbalance the paper rejected this design for.
-		ix.processQueue(queues.Queue(pid%opt.Queues), query, qpaa, bnd, ctrs, bd)
+		r.ix.processQueue(r.queues.Queue(pid%r.opt.Queues), r.query, r.qpaa, r.bnd, ctrs, bd)
 		return
 	}
 
-	// Queue processing (lines 8-13). The next queue to work on is chosen
-	// starting from a randomized position — the load-balancing scheme the
-	// paper settled on ("workers use randomization to choose the priority
-	// queues they will work on").
+	// The next queue to work on is chosen starting from a randomized
+	// position — the load-balancing scheme the paper settled on ("workers
+	// use randomization to choose the priority queues they will work on").
 	rnd := uint64(pid)*0x9E3779B97F4A7C15 + 0x1234567
-	q := pid % opt.Queues
+	q := pid % r.opt.Queues
 	for {
-		ix.processQueue(queues.Queue(q), query, qpaa, bnd, ctrs, bd)
+		r.ix.processQueue(r.queues.Queue(q), r.query, r.qpaa, r.bnd, ctrs, bd)
 		rnd = rnd*6364136223846793005 + 1442695040888963407 // LCG step
-		q = queues.NextUnfinished(int(rnd>>33) % opt.Queues)
+		q = r.queues.NextUnfinished(int(rnd>>33) % r.opt.Queues)
 		if q < 0 {
 			return
 		}
 	}
+}
+
+// Search answers an exact 1-NN query (Algorithm 5). The query must be
+// z-normalized by the caller if the indexed data is (the public API layer
+// handles this).
+func (ix *Index) Search(query []float32, opt SearchOptions) (Match, error) {
+	r, err := ix.NewSearchRun(query, nil, opt)
+	if err != nil {
+		return Match{}, err
+	}
+	r.Run()
+	return r.Best(), nil
 }
 
 // traverse is Algorithm 7: prune subtrees whose lower bound exceeds the

@@ -1,0 +1,246 @@
+// Package engine provides a persistent query engine on top of a built
+// MESSI index: a long-lived pool of worker goroutines that answers many
+// queries over the index's lifetime, amortizing the goroutine spawns and
+// the priority-queue/PAA-buffer allocations that the per-query execution
+// mode (core.Index.Search) pays on every call.
+//
+// The paper (and its VLDBJ journal extension) evaluates one query at a
+// time with Ns freshly spawned workers; a serving system instead sees a
+// sustained stream of concurrent queries. The engine keeps the paper's
+// algorithm intact — each query still runs Algorithm 6's two phases
+// against its own bound and queue set — but executes the phases as work
+// units dispatched onto the shared pool:
+//
+//   - admission: at most MaxConcurrent queries execute at once; each
+//     dispatches QueryWorkers insert units, waits for all of them (the
+//     all-inserted barrier), then dispatches QueryWorkers drain units.
+//   - pool goroutines never block on query-level barriers (the caller
+//     does), so any mix of in-flight queries is deadlock-free: one query
+//     may own every pool worker, or K queries interleave their units.
+//   - per-query scratch (PAA buffer, iSAX word buffer, queue set) comes
+//     from a sync.Pool of core.QueryState and is returned after each
+//     query.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// ErrClosed is returned by queries submitted after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Options configures an Engine. Zero fields inherit from the index
+// options (which themselves default to the paper's values).
+type Options struct {
+	// PoolWorkers is the number of long-lived worker goroutines shared
+	// by all queries. Default: the index's SearchWorkers (Ns).
+	PoolWorkers int
+	// QueryWorkers is the number of work units each query dispatches per
+	// phase — the per-query parallelism. Default: PoolWorkers (a lone
+	// query owns the whole pool).
+	QueryWorkers int
+	// Queues is the number of priority queues per query (Nq). Default:
+	// the index's QueueCount.
+	Queues int
+	// MaxConcurrent is the number of queries allowed to execute
+	// concurrently; further queries wait for admission. Default:
+	// max(1, PoolWorkers/QueryWorkers), the pool's saturation point.
+	MaxConcurrent int
+}
+
+func (o Options) withDefaults(ixOpts core.Options) Options {
+	if o.PoolWorkers <= 0 {
+		o.PoolWorkers = ixOpts.SearchWorkers
+	}
+	if o.QueryWorkers <= 0 || o.QueryWorkers > o.PoolWorkers {
+		o.QueryWorkers = o.PoolWorkers
+	}
+	if o.Queues <= 0 {
+		o.Queues = ixOpts.QueueCount
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = o.PoolWorkers / o.QueryWorkers
+		if o.MaxConcurrent < 1 {
+			o.MaxConcurrent = 1
+		}
+	}
+	return o
+}
+
+// task is one unit of query work executed by a pool goroutine; pid is the
+// goroutine's index in the pool.
+type task func(pid int)
+
+// Engine is a persistent query engine over one index. It is safe for
+// concurrent use by multiple goroutines. Close it when done to release
+// the pool.
+type Engine struct {
+	ix     *core.Index
+	opts   Options
+	tasks  chan task
+	admit  chan struct{}
+	states sync.Pool
+	wg     sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed vs. in-flight queries
+	closed bool
+}
+
+// New starts an engine over the given index.
+func New(ix *core.Index, opts Options) *Engine {
+	opts = opts.withDefaults(ix.Opts)
+	e := &Engine{
+		ix:    ix,
+		opts:  opts,
+		tasks: make(chan task, 4*opts.PoolWorkers),
+		admit: make(chan struct{}, opts.MaxConcurrent),
+	}
+	e.states.New = func() any { return core.NewQueryState() }
+	e.wg.Add(opts.PoolWorkers)
+	for pid := 0; pid < opts.PoolWorkers; pid++ {
+		go func(pid int) {
+			defer e.wg.Done()
+			for t := range e.tasks {
+				t(pid)
+			}
+		}(pid)
+	}
+	return e
+}
+
+// Options returns the engine's effective (defaulted) options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Index returns the underlying index.
+func (e *Engine) Index() *core.Index { return e.ix }
+
+// searchOpt builds the per-query options handed to core.
+func (e *Engine) searchOpt() core.SearchOptions {
+	return core.SearchOptions{Workers: e.opts.QueryWorkers, Queues: e.opts.Queues}
+}
+
+// Search answers an exact 1-NN query on the shared pool. It blocks until
+// the query is admitted and answered.
+func (e *Engine) Search(query []float32) (core.Match, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return core.Match{}, ErrClosed
+	}
+	e.admit <- struct{}{}
+	defer func() { <-e.admit }()
+
+	st := e.states.Get().(*core.QueryState)
+	run, err := e.ix.NewSearchRun(query, st, e.searchOpt())
+	if err != nil {
+		e.states.Put(st)
+		return core.Match{}, err
+	}
+	e.execute(run)
+	m := run.Best()
+	e.states.Put(st)
+	return m, nil
+}
+
+// SearchKNN answers an exact k-NN query on the shared pool, returning up
+// to k matches in ascending distance order.
+func (e *Engine) SearchKNN(query []float32, k int) ([]core.Match, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	e.admit <- struct{}{}
+	defer func() { <-e.admit }()
+
+	st := e.states.Get().(*core.QueryState)
+	run, err := e.ix.NewKNNRun(query, k, st, e.searchOpt())
+	if err != nil {
+		e.states.Put(st)
+		return nil, err
+	}
+	e.execute(run)
+	ms := run.Matches()
+	e.states.Put(st)
+	return ms, nil
+}
+
+// SearchBatch answers many independent 1-NN queries, running up to
+// MaxConcurrent of them through the pool at once. result[i] answers
+// queries[i]. On error it still returns the full slice (failed entries
+// are zero) along with the first error encountered.
+func (e *Engine) SearchBatch(queries [][]float32) ([]core.Match, error) {
+	out := make([]core.Match, len(queries))
+	errs := make([]error, len(queries))
+	// MaxConcurrent submitter goroutines claiming queries via Fetch&Inc:
+	// admission caps useful parallelism there anyway, and a fixed fleet
+	// keeps one huge batch from allocating one goroutine per query.
+	submitters := e.opts.MaxConcurrent
+	if submitters > len(queries) {
+		submitters = len(queries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < submitters; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				out[i], errs[i] = e.Search(queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("engine: batch query %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// execute runs one prepared query through the pool: QueryWorkers insert
+// units, the all-inserted barrier (awaited here, never inside a pool
+// goroutine), then QueryWorkers drain units.
+func (e *Engine) execute(run *core.SearchRun) {
+	e.dispatch(run.InsertPhase)
+	e.dispatch(run.DrainPhase)
+}
+
+// dispatch enqueues QueryWorkers calls of phase and waits for all of them
+// to finish.
+func (e *Engine) dispatch(phase func(pid int)) {
+	var wg sync.WaitGroup
+	wg.Add(e.opts.QueryWorkers)
+	for i := 0; i < e.opts.QueryWorkers; i++ {
+		e.tasks <- func(pid int) {
+			defer wg.Done()
+			phase(pid)
+		}
+	}
+	wg.Wait()
+}
+
+// Close waits for in-flight queries to finish, stops the pool, and
+// releases its goroutines. Queries submitted after Close return
+// ErrClosed. Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.tasks)
+	e.mu.Unlock()
+	e.wg.Wait()
+}

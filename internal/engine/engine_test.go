@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/series"
+)
+
+const (
+	testSeries = 4000
+	testLength = 128
+)
+
+var (
+	testOnce sync.Once
+	testIx   *core.Index
+	testQs   *series.Collection
+)
+
+// testIndex builds one small index (and query set) shared by all tests.
+func testIndex(t *testing.T) (*core.Index, *series.Collection) {
+	t.Helper()
+	testOnce.Do(func() {
+		data, err := dataset.Generate(dataset.RandomWalk, testSeries, testLength, 7)
+		if err != nil {
+			panic(err)
+		}
+		ix, err := core.Build(data, core.Options{LeafCapacity: 100})
+		if err != nil {
+			panic(err)
+		}
+		qs, err := dataset.Queries(dataset.RandomWalk, 16, testLength, 7007)
+		if err != nil {
+			panic(err)
+		}
+		testIx, testQs = ix, qs
+	})
+	return testIx, testQs
+}
+
+// TestSearchMatchesCore: the pooled engine must return exactly the answer
+// of the per-query-spawn core search on the same inputs.
+func TestSearchMatchesCore(t *testing.T) {
+	ix, qs := testIndex(t)
+	e := New(ix, Options{PoolWorkers: 8})
+	defer e.Close()
+	for i := 0; i < qs.Count(); i++ {
+		q := qs.At(i)
+		want, err := ix.Search(q, core.SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("query %d: engine %+v, core %+v", i, got, want)
+		}
+	}
+}
+
+// TestSearchKNNMatchesCore: k-NN parity between the engine and core.
+func TestSearchKNNMatchesCore(t *testing.T) {
+	ix, qs := testIndex(t)
+	e := New(ix, Options{PoolWorkers: 8})
+	defer e.Close()
+	for _, k := range []int{1, 5, 20} {
+		for i := 0; i < 4; i++ {
+			q := qs.At(i)
+			want, err := ix.SearchKNN(q, k, core.SearchOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.SearchKNN(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d query %d: engine returned %d matches, core %d", k, i, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("k=%d query %d match %d: engine %+v, core %+v", k, i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentQueriers hammers one engine from many goroutines (run
+// under -race in CI) and checks every answer against the single-query
+// path.
+func TestConcurrentQueriers(t *testing.T) {
+	ix, qs := testIndex(t)
+	want := make([]core.Match, qs.Count())
+	for i := range want {
+		m, err := ix.Search(qs.At(i), core.SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = m
+	}
+
+	// A deliberately over-subscribed configuration: more concurrent
+	// queriers than admission slots, fewer pool workers than queriers.
+	e := New(ix, Options{PoolWorkers: 6, QueryWorkers: 3, MaxConcurrent: 4})
+	defer e.Close()
+
+	const queriers = 10
+	const rounds = 5
+	var wg sync.WaitGroup
+	errc := make(chan error, queriers)
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % qs.Count()
+				got, err := e.Search(qs.At(i))
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got != want[i] {
+					t.Errorf("querier %d round %d query %d: got %+v, want %+v", g, r, i, got, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestSearchBatch: batch answers match element-wise, and a bad query
+// surfaces an error without corrupting the others.
+func TestSearchBatch(t *testing.T) {
+	ix, qs := testIndex(t)
+	e := New(ix, Options{PoolWorkers: 8, QueryWorkers: 2})
+	defer e.Close()
+
+	queries := make([][]float32, qs.Count())
+	for i := range queries {
+		queries[i] = qs.At(i)
+	}
+	got, err := e.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		want, err := ix.Search(queries[i], core.SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("batch query %d: got %+v, want %+v", i, got[i], want)
+		}
+	}
+
+	bad := [][]float32{qs.At(0), make([]float32, testLength/2)}
+	if _, err := e.SearchBatch(bad); err == nil {
+		t.Fatal("batch with a wrong-length query did not error")
+	}
+}
+
+// TestClose: queries after Close fail with ErrClosed; Close is idempotent.
+func TestClose(t *testing.T) {
+	ix, qs := testIndex(t)
+	e := New(ix, Options{PoolWorkers: 4})
+	if _, err := e.Search(qs.At(0)); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close()
+	if _, err := e.Search(qs.At(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Search after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := e.SearchKNN(qs.At(0), 3); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SearchKNN after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestOptionDefaults: zero options inherit from the index; QueryWorkers
+// is clamped to the pool size.
+func TestOptionDefaults(t *testing.T) {
+	ix, _ := testIndex(t)
+	e := New(ix, Options{})
+	defer e.Close()
+	o := e.Options()
+	if o.PoolWorkers != ix.Opts.SearchWorkers {
+		t.Errorf("PoolWorkers = %d, want index default %d", o.PoolWorkers, ix.Opts.SearchWorkers)
+	}
+	if o.QueryWorkers != o.PoolWorkers {
+		t.Errorf("QueryWorkers = %d, want PoolWorkers %d", o.QueryWorkers, o.PoolWorkers)
+	}
+	if o.Queues != ix.Opts.QueueCount {
+		t.Errorf("Queues = %d, want index default %d", o.Queues, ix.Opts.QueueCount)
+	}
+	if o.MaxConcurrent != 1 {
+		t.Errorf("MaxConcurrent = %d, want 1", o.MaxConcurrent)
+	}
+
+	e2 := New(ix, Options{PoolWorkers: 12, QueryWorkers: 99, Queues: 3})
+	defer e2.Close()
+	o2 := e2.Options()
+	if o2.QueryWorkers != 12 {
+		t.Errorf("QueryWorkers = %d, want clamp to PoolWorkers 12", o2.QueryWorkers)
+	}
+	if o2.Queues != 3 {
+		t.Errorf("Queues = %d, want 3", o2.Queues)
+	}
+}

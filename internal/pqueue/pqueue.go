@@ -130,22 +130,37 @@ func (q *Queue[T]) siftDown(i int) {
 	}
 }
 
-// Set is a fixed group of Nq shared queues implementing the paper's
-// insertion and claiming protocol.
+// Set is a group of Nq shared queues implementing the paper's insertion
+// and claiming protocol. A Set is resettable and resizable so a long-lived
+// engine can reuse one set (and its queues' backing arrays) across
+// queries; the zero value is an empty set ready for Resize.
 type Set[T any] struct {
-	queues []*Queue[T]
+	queues []*Queue[T] // the active queues: all[:nq]
+	all    []*Queue[T] // every queue ever allocated, retained across shrinks
 }
 
 // NewSet creates nq empty queues (nq >= 1 is enforced by clamping).
 func NewSet[T any](nq, capacity int) *Set[T] {
+	s := &Set[T]{}
+	s.Resize(nq, capacity)
+	return s
+}
+
+// Resize reconfigures the set to exactly nq active queues (clamped to
+// >= 1) and resets every queue. Queues allocated by earlier, larger sizes
+// are retained and reused on regrowth; newly allocated queues start with
+// the given capacity.
+func (s *Set[T]) Resize(nq, capacity int) {
 	if nq < 1 {
 		nq = 1
 	}
-	s := &Set[T]{queues: make([]*Queue[T], nq)}
-	for i := range s.queues {
-		s.queues[i] = New[T](capacity)
+	for len(s.all) < nq {
+		s.all = append(s.all, New[T](capacity))
 	}
-	return s
+	s.queues = s.all[:nq]
+	for _, q := range s.all {
+		q.Reset()
+	}
 }
 
 // Size returns the number of queues in the set.

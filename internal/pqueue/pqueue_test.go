@@ -275,6 +275,45 @@ func TestSetReset(t *testing.T) {
 	}
 }
 
+func TestSetResize(t *testing.T) {
+	var s Set[int] // zero value: empty set ready for Resize
+	s.Resize(4, 8)
+	if s.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", s.Size())
+	}
+	cursor := 0
+	for i := 0; i < 8; i++ {
+		s.PushRoundRobin(&cursor, float64(i), i)
+	}
+	s.Queue(3).MarkFinished()
+	grown := s.Queue(3)
+
+	// Shrinking resets content and finished flags; the active prefix is
+	// exactly nq queues.
+	s.Resize(2, 8)
+	if s.Size() != 2 {
+		t.Fatalf("after shrink Size = %d, want 2", s.Size())
+	}
+	if s.TotalLen() != 0 {
+		t.Errorf("Resize did not empty queues: %d items", s.TotalLen())
+	}
+
+	// Regrowing reuses the queues allocated by the earlier, larger size.
+	s.Resize(4, 8)
+	if s.Size() != 4 {
+		t.Fatalf("after regrow Size = %d, want 4", s.Size())
+	}
+	if s.Queue(3) != grown {
+		t.Error("regrow did not reuse the previously allocated queue")
+	}
+	if s.Queue(3).Finished() {
+		t.Error("regrow did not clear the finished flag")
+	}
+	if s.Resize(0, 8); s.Size() != 1 {
+		t.Errorf("Resize(0) Size = %d, want clamp to 1", s.Size())
+	}
+}
+
 func BenchmarkPushPop(b *testing.B) {
 	q := New[int](1024)
 	rng := rand.New(rand.NewSource(3))
