@@ -13,8 +13,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -22,16 +24,30 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "messi-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("messi-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig       = flag.String("fig", "all", "figure number (5-19) or 'all'")
-		seriesN   = flag.Int("series", 0, "base collection size in series (default 100000)")
-		length    = flag.Int("length", 0, "series length in points (default 256)")
-		queries   = flag.Int("queries", 0, "queries per measurement (default 10)")
-		dtwSeries = flag.Int("dtw-series", 0, "collection size for the DTW figure (default 5000)")
-		seed      = flag.Int64("seed", 0, "generator seed (default 1)")
-		verbose   = flag.Bool("v", false, "log progress to stderr")
+		fig       = fs.String("fig", "all", "figure number (5-19) or 'all'")
+		seriesN   = fs.Int("series", 0, "base collection size in series (default 100000)")
+		length    = fs.Int("length", 0, "series length in points (default 256)")
+		queries   = fs.Int("queries", 0, "queries per measurement (default 10)")
+		dtwSeries = fs.Int("dtw-series", 0, "collection size for the DTW figure (default 5000)")
+		seed      = fs.Int64("seed", 0, "generator seed (default 1)")
+		verbose   = fs.Bool("v", false, "log progress to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := experiments.Config{
 		Series:    *seriesN,
@@ -41,29 +57,20 @@ func main() {
 		Seed:      *seed,
 	}
 	if *verbose {
-		cfg.Progress = os.Stderr
+		cfg.Progress = stderr
 	}
 
 	if *fig == "all" {
-		if err := experiments.RunAll(cfg, os.Stdout); err != nil {
-			fatal(err)
-		}
-		return
+		return experiments.RunAll(cfg, stdout)
 	}
 	n, err := strconv.Atoi(*fig)
 	if err != nil {
-		fatal(fmt.Errorf("-fig must be a number or 'all', got %q", *fig))
+		return fmt.Errorf("-fig must be a number or 'all', got %q", *fig)
 	}
 	table, err := experiments.Run(n, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if _, err := table.WriteTo(os.Stdout); err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "messi-bench:", err)
-	os.Exit(1)
+	_, err = table.WriteTo(stdout)
+	return err
 }

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunOneTinyFigure: run() produces a well-formed table for a single
+// figure at smoke scale.
+func TestRunOneTinyFigure(t *testing.T) {
+	var out, errw strings.Builder
+	args := []string{"-fig", "8", "-series", "1000", "-length", "64", "-queries", "1"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("run(%v): %v (stderr: %s)", args, err, errw.String())
+	}
+	if !strings.Contains(out.String(), "Figure 8") {
+		t.Fatalf("output does not contain the figure header:\n%s", out.String())
+	}
+}
+
+// TestRunFlagValidation: bad flags fail without running anything.
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-fig", "nope"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("non-numeric -fig accepted")
+	}
+	if err := run([]string{"-fig", "4"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

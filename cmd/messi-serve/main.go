@@ -7,13 +7,21 @@
 //
 //	messi-gen -kind random -count 100000 -out data.bin
 //	messi-serve -data data.bin -addr :8080
+//	messi-serve -data data.bin -live -rebuild-threshold 50000
 //
 // API (JSON over HTTP):
 //
 //	GET  /healthz         → 200 "ok" once serving
-//	GET  /v1/stats        → index shape and engine configuration
+//	GET  /v1/stats        → index shape, generation and delta occupancy
 //	POST /v1/query        → {"query":[...], "k":5}         → {"matches":[{"position":..,"distance":..}]}
 //	POST /v1/query/batch  → {"queries":[[...],[...], ...]} → {"results":[[...],[...]]}
+//	POST /v1/series       → {"series":[[...], ...]}        → {"first_position":..,"count":..} (live mode only)
+//
+// With -live the server runs a messi.LiveIndex: POST /v1/series appends
+// new series that are searchable immediately, and a background rebuild
+// merges them into the next index generation once the delta buffer
+// crosses -rebuild-threshold. Without -live the index is immutable and
+// /v1/series is not registered.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections, drains in-flight requests, then closes the engine pool.
@@ -29,6 +37,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -56,6 +66,8 @@ func run(args []string) error {
 		queues    = fs.Int("queues", 0, "priority queues per query (default 24)")
 		admit     = fs.Int("admit", 0, "max concurrently executing queries (default pool/per-query)")
 		normalize = fs.Bool("normalize", false, "z-normalize data and queries")
+		liveMode  = fs.Bool("live", false, "serve a mutable live index accepting appends on POST /v1/series")
+		threshold = fs.Int("rebuild-threshold", 0, "live mode: delta series triggering a background rebuild (default 100000)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,25 +76,47 @@ func run(args []string) error {
 		return errors.New("-data is required")
 	}
 
+	opts := &messi.Options{LeafCapacity: *leafCap, Normalize: *normalize}
+	var handler http.Handler
 	buildStart := time.Now()
-	ix, err := messi.BuildFromFile(*dataPath, &messi.Options{LeafCapacity: *leafCap, Normalize: *normalize})
-	if err != nil {
-		return err
-	}
-	log.Printf("indexed %d series × %d points in %v", ix.Len(), ix.SeriesLen(),
-		time.Since(buildStart).Round(time.Millisecond))
+	if *liveMode {
+		lix, err := messi.BuildLiveFromFile(*dataPath, opts, &messi.LiveOptions{
+			RebuildThreshold: *threshold,
+			Engine: messi.EngineOptions{
+				PoolWorkers:   *pool,
+				QueryWorkers:  *perQuery,
+				Queues:        *queues,
+				MaxConcurrent: *admit,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer lix.Close()
+		log.Printf("live-indexed %d series × %d points in %v (rebuild threshold %d)",
+			lix.Len(), lix.SeriesLen(), time.Since(buildStart).Round(time.Millisecond), *threshold)
+		handler = newHandler(&liveBackend{lix: lix})
+	} else {
+		ix, err := messi.BuildFromFile(*dataPath, opts)
+		if err != nil {
+			return err
+		}
+		log.Printf("indexed %d series × %d points in %v", ix.Len(), ix.SeriesLen(),
+			time.Since(buildStart).Round(time.Millisecond))
 
-	eng := ix.NewEngine(&messi.EngineOptions{
-		PoolWorkers:   *pool,
-		QueryWorkers:  *perQuery,
-		Queues:        *queues,
-		MaxConcurrent: *admit,
-	})
-	defer eng.Close()
+		eng := ix.NewEngine(&messi.EngineOptions{
+			PoolWorkers:   *pool,
+			QueryWorkers:  *perQuery,
+			Queues:        *queues,
+			MaxConcurrent: *admit,
+		})
+		defer eng.Close()
+		handler = newHandler(&engineBackend{eng: eng})
+	}
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newHandler(eng),
+		Handler: handler,
 		// Bound slow clients: a connection may not hold a goroutine and
 		// fd forever by trickling bytes (batch bodies can be large, so
 		// the full-request ReadTimeout stays generous).
@@ -140,33 +174,143 @@ type batchResponse struct {
 	Results [][]jsonMatch `json:"results"`
 }
 
-type statsResponse struct {
-	Series        int `json:"series"`
-	SeriesLen     int `json:"series_len"`
-	RootChildren  int `json:"root_children"`
-	InternalNodes int `json:"internal_nodes"`
-	Leaves        int `json:"leaves"`
-	MaxDepth      int `json:"max_depth"`
+type appendRequest struct {
+	Series [][]float32 `json:"series"`
 }
 
-// newHandler builds the HTTP API around a running engine.
-func newHandler(eng *messi.Engine) http.Handler {
+type appendResponse struct {
+	FirstPosition int `json:"first_position"`
+	Count         int `json:"count"`
+}
+
+type statsResponse struct {
+	Series        int   `json:"series"`
+	SeriesLen     int   `json:"series_len"`
+	RootChildren  int   `json:"root_children"`
+	InternalNodes int   `json:"internal_nodes"`
+	Leaves        int   `json:"leaves"`
+	MaxDepth      int   `json:"max_depth"`
+	MaxLeafFill   int   `json:"max_leaf_fill"`
+	Live          bool  `json:"live"`
+	Generation    int64 `json:"generation,omitempty"`
+	BaseSeries    int   `json:"base_series,omitempty"`
+	DeltaSeries   int   `json:"delta_series,omitempty"`
+	Rebuilding    bool  `json:"rebuilding,omitempty"`
+}
+
+// backend abstracts the two serving modes: a static index behind the
+// persistent engine, or a mutable live index accepting appends.
+type backend interface {
+	query(q []float32) (messi.Match, error)
+	queryKNN(q []float32, k int) ([]messi.Match, error)
+	queryBatch(qs [][]float32) ([]messi.Match, error)
+	stats() statsResponse
+}
+
+// appender is implemented by backends that accept new series (live mode).
+type appender interface {
+	appendSeries(rows [][]float32) (int, error)
+}
+
+// engineBackend serves an immutable index through messi.Engine.
+type engineBackend struct {
+	eng *messi.Engine
+}
+
+func (b *engineBackend) query(q []float32) (messi.Match, error) { return b.eng.Query(q) }
+func (b *engineBackend) queryKNN(q []float32, k int) ([]messi.Match, error) {
+	return b.eng.QueryKNN(q, k)
+}
+func (b *engineBackend) queryBatch(qs [][]float32) ([]messi.Match, error) {
+	return b.eng.QueryBatch(qs)
+}
+func (b *engineBackend) stats() statsResponse {
+	ix := b.eng.Index()
+	st := ix.Stats()
+	return statsResponse{
+		Series:        st.Series,
+		SeriesLen:     ix.SeriesLen(),
+		RootChildren:  st.RootChildren,
+		InternalNodes: st.InternalNodes,
+		Leaves:        st.Leaves,
+		MaxDepth:      st.MaxDepth,
+		MaxLeafFill:   st.MaxLeafFill,
+	}
+}
+
+// liveBackend serves a messi.LiveIndex (streaming ingestion mode).
+type liveBackend struct {
+	lix *messi.LiveIndex
+}
+
+func (b *liveBackend) query(q []float32) (messi.Match, error) { return b.lix.Search(q) }
+func (b *liveBackend) queryKNN(q []float32, k int) ([]messi.Match, error) {
+	return b.lix.SearchKNN(q, k)
+}
+func (b *liveBackend) queryBatch(qs [][]float32) ([]messi.Match, error) {
+	// A fixed submitter fleet claiming queries via Fetch&Inc, mirroring
+	// Engine.SearchBatch: the engine's admission control caps useful
+	// parallelism downstream, this just keeps the pipe full.
+	out := make([]messi.Match, len(qs))
+	errs := make([]error, len(qs))
+	submitters := 8
+	if submitters > len(qs) {
+		submitters = len(qs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < submitters; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				out[i], errs[i] = b.lix.Search(qs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("batch query %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+func (b *liveBackend) appendSeries(rows [][]float32) (int, error) {
+	return b.lix.AppendBatch(rows)
+}
+func (b *liveBackend) stats() statsResponse {
+	st := b.lix.Stats()
+	return statsResponse{
+		Series:        st.Series,
+		SeriesLen:     b.lix.SeriesLen(),
+		RootChildren:  st.Index.RootChildren,
+		InternalNodes: st.Index.InternalNodes,
+		Leaves:        st.Index.Leaves,
+		MaxDepth:      st.Index.MaxDepth,
+		MaxLeafFill:   st.Index.MaxLeafFill,
+		Live:          true,
+		Generation:    st.Generation,
+		BaseSeries:    st.BaseSeries,
+		DeltaSeries:   st.DeltaSeries,
+		Rebuilding:    st.Rebuilding,
+	}
+}
+
+// newHandler builds the HTTP API around a serving backend. The append
+// endpoint is registered only when the backend supports it (live mode).
+func newHandler(b backend) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		ix := eng.Index()
-		st := ix.Stats()
-		writeJSON(w, http.StatusOK, statsResponse{
-			Series:        st.Series,
-			SeriesLen:     ix.SeriesLen(),
-			RootChildren:  st.RootChildren,
-			InternalNodes: st.InternalNodes,
-			Leaves:        st.Leaves,
-			MaxDepth:      st.MaxDepth,
-		})
+		writeJSON(w, http.StatusOK, b.stats())
 	})
 	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
 		var req queryRequest
@@ -180,10 +324,10 @@ func newHandler(eng *messi.Engine) http.Handler {
 		var matches []messi.Match
 		var err error
 		if req.K > 1 {
-			matches, err = eng.QueryKNN(req.Query, req.K)
+			matches, err = b.queryKNN(req.Query, req.K)
 		} else {
 			var m messi.Match
-			m, err = eng.Query(req.Query)
+			m, err = b.query(req.Query)
 			matches = []messi.Match{m}
 		}
 		if err != nil {
@@ -201,7 +345,7 @@ func newHandler(eng *messi.Engine) http.Handler {
 			writeError(w, http.StatusBadRequest, "queries must be non-empty")
 			return
 		}
-		matches, err := eng.QueryBatch(req.Queries)
+		matches, err := b.queryBatch(req.Queries)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
@@ -212,6 +356,24 @@ func newHandler(eng *messi.Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	if app, ok := b.(appender); ok {
+		mux.HandleFunc("POST /v1/series", func(w http.ResponseWriter, r *http.Request) {
+			var req appendRequest
+			if !readJSON(w, r, &req) {
+				return
+			}
+			if len(req.Series) == 0 {
+				writeError(w, http.StatusBadRequest, "series must be non-empty")
+				return
+			}
+			first, err := app.appendSeries(req.Series)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, appendResponse{FirstPosition: first, Count: len(req.Series)})
+		})
+	}
 	return mux
 }
 

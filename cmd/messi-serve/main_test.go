@@ -20,7 +20,20 @@ func newTestHandler(t *testing.T) (http.Handler, *messi.Index) {
 	}
 	eng := ix.NewEngine(&messi.EngineOptions{PoolWorkers: 4})
 	t.Cleanup(eng.Close)
-	return newHandler(eng), ix
+	return newHandler(&engineBackend{eng: eng}), ix
+}
+
+// newLiveTestHandler builds a small live index and the HTTP API around it.
+func newLiveTestHandler(t *testing.T) (http.Handler, *messi.LiveIndex) {
+	t.Helper()
+	data := messi.RandomWalk(800, 64, 12)
+	lix, err := messi.BuildLiveFlat(data, 64, &messi.Options{LeafCapacity: 64, SearchWorkers: 4},
+		&messi.LiveOptions{RebuildThreshold: 1 << 30, ScanWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lix.Close)
+	return newHandler(&liveBackend{lix: lix}), lix
 }
 
 func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
@@ -69,6 +82,127 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if st.Leaves == 0 {
 		t.Fatal("stats report zero leaves")
+	}
+	if st.MaxLeafFill != ix.Stats().MaxLeafFill || st.MaxLeafFill == 0 {
+		t.Fatalf("stats max_leaf_fill = %d, index reports %d", st.MaxLeafFill, ix.Stats().MaxLeafFill)
+	}
+	if st.Live {
+		t.Fatal("static index reported live=true")
+	}
+}
+
+// TestAppendNotRegisteredStatic: /v1/series must not exist without -live.
+func TestAppendNotRegisteredStatic(t *testing.T) {
+	h, _ := newTestHandler(t)
+	rr := postJSON(t, h, "/v1/series", appendRequest{Series: [][]float32{make([]float32, 64)}})
+	if rr.Code == http.StatusOK {
+		t.Fatalf("static handler accepted an append (status %d)", rr.Code)
+	}
+}
+
+// TestLiveAppendAndQuery: appended series are immediately searchable and
+// the live stats expose generation and delta occupancy.
+func TestLiveAppendAndQuery(t *testing.T) {
+	h, lix := newLiveTestHandler(t)
+
+	novel := make([]float32, 64)
+	for i := range novel {
+		novel[i] = 1000 + float32(i)
+	}
+	rr := postJSON(t, h, "/v1/series", appendRequest{Series: [][]float32{novel}})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("append: status %d, body %s", rr.Code, rr.Body)
+	}
+	ar := decode[appendResponse](t, rr)
+	if ar.FirstPosition != 800 || ar.Count != 1 {
+		t.Fatalf("append response %+v, want first_position 800 count 1", ar)
+	}
+
+	rr = postJSON(t, h, "/v1/query", queryRequest{Query: novel})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("query: status %d, body %s", rr.Code, rr.Body)
+	}
+	qr := decode[queryResponse](t, rr)
+	if len(qr.Matches) != 1 || qr.Matches[0].Position != 800 || qr.Matches[0].Distance != 0 {
+		t.Fatalf("freshly appended series not found: %+v", qr.Matches)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	srr := httptest.NewRecorder()
+	h.ServeHTTP(srr, req)
+	st := decode[statsResponse](t, srr)
+	if !st.Live || st.Series != 801 || st.DeltaSeries != 1 || st.BaseSeries != 800 || st.Generation != 1 {
+		t.Fatalf("live stats %+v", st)
+	}
+
+	// After a flush the appended series is part of the next generation.
+	if err := lix.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	srr = httptest.NewRecorder()
+	h.ServeHTTP(srr, req)
+	st = decode[statsResponse](t, srr)
+	if st.DeltaSeries != 0 || st.BaseSeries != 801 || st.Generation != 2 {
+		t.Fatalf("post-flush live stats %+v", st)
+	}
+	rr = postJSON(t, h, "/v1/query", queryRequest{Query: novel})
+	qr = decode[queryResponse](t, rr)
+	if len(qr.Matches) != 1 || qr.Matches[0].Position != 800 || qr.Matches[0].Distance != 0 {
+		t.Fatalf("appended series lost across rebuild: %+v", qr.Matches)
+	}
+}
+
+// TestLiveBatchEndpoint: batch answers in live mode match one-shot live
+// searches, including over freshly appended series.
+func TestLiveBatchEndpoint(t *testing.T) {
+	h, lix := newLiveTestHandler(t)
+	novel := make([]float32, 64)
+	for i := range novel {
+		novel[i] = -500 - float32(i)
+	}
+	if rr := postJSON(t, h, "/v1/series", appendRequest{Series: [][]float32{novel}}); rr.Code != http.StatusOK {
+		t.Fatalf("append: status %d, body %s", rr.Code, rr.Body)
+	}
+	queries := make([][]float32, 5)
+	for i := range queries {
+		s, err := lix.Series(i * 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = make([]float32, 64)
+		copy(queries[i], s)
+	}
+	queries = append(queries, novel)
+	rr := postJSON(t, h, "/v1/query/batch", batchRequest{Queries: queries})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("live batch: status %d, body %s", rr.Code, rr.Body)
+	}
+	resp := decode[batchResponse](t, rr)
+	if len(resp.Results) != len(queries) {
+		t.Fatalf("live batch returned %d results, want %d", len(resp.Results), len(queries))
+	}
+	for i, ms := range resp.Results {
+		want, err := lix.Search(queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != 1 || ms[0].Position != want.Position {
+			t.Fatalf("live batch result %d: served %+v, library %+v", i, ms, want)
+		}
+	}
+	if last := resp.Results[len(queries)-1][0]; last.Position != 800 || last.Distance != 0 {
+		t.Fatalf("batch did not find the appended series: %+v", last)
+	}
+}
+
+// TestLiveBadAppends: malformed append bodies are rejected.
+func TestLiveBadAppends(t *testing.T) {
+	h, _ := newLiveTestHandler(t)
+	if rr := postJSON(t, h, "/v1/series", appendRequest{}); rr.Code != http.StatusBadRequest {
+		t.Errorf("empty append: status %d, want 400", rr.Code)
+	}
+	if rr := postJSON(t, h, "/v1/series", appendRequest{Series: [][]float32{{1, 2}}}); rr.Code != http.StatusBadRequest {
+		t.Errorf("short series append: status %d, want 400", rr.Code)
 	}
 }
 

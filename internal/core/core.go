@@ -58,6 +58,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// FillDefaults returns o with zero fields replaced by the paper's
+// defaults — the same normalization Build applies internally, exported
+// for layers (like the live index) that need the effective values before
+// building.
+func FillDefaults(o Options) Options { return o.withDefaults() }
+
 // ErrEmptyIndex is returned when querying an index with no series.
 var ErrEmptyIndex = errors.New("core: index contains no series")
 

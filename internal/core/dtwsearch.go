@@ -39,6 +39,9 @@ func (ix *Index) SearchDTW(query []float32, window int, opt SearchOptions) (Matc
 	}
 	env := ix.newDTWQuery(query, window)
 	bsf := stats.NewBSF()
+	for _, s := range opt.Seeds {
+		bsf.Update(s.Dist, int64(s.Position))
+	}
 	ix.approxSearchDTW(env, bsf, opt.Counters)
 	if bd.Enabled() {
 		bd.Add(stats.PhaseInit, time.Since(tInit))

@@ -25,6 +25,14 @@ type SearchOptions struct {
 	// benchmarks. It forces Queues == Workers.
 	LocalQueues bool
 
+	// Seeds are externally known candidate matches (for example the best
+	// matches from a delta-buffer scan in a live index) applied to the
+	// pruning bound before the search starts. They tighten pruning and
+	// take part in the answer: a seed whose distance remains best is
+	// returned as-is, so its Position may lie outside this index's
+	// collection.
+	Seeds []Match
+
 	// Counters, when non-nil, accumulates operation counts (Figure 17).
 	Counters *stats.Counters
 	// Breakdown, when non-nil, accumulates per-phase wall time across
@@ -113,8 +121,10 @@ func (ix *Index) NewKNNRun(query []float32, k int, st *QueryState, opt SearchOpt
 	if err := ix.validateKNN(query, k); err != nil {
 		return nil, err
 	}
-	if k > ix.Data.Count() {
-		k = ix.Data.Count()
+	// Seeds may reference series outside this index (a live index's delta
+	// buffer), so the answer set can be larger than the collection.
+	if k > ix.Data.Count()+len(opt.Seeds) {
+		k = ix.Data.Count() + len(opt.Seeds)
 	}
 	best := newTopK(k)
 	r := &SearchRun{ix: ix, query: query, bnd: best, top: best, opt: opt.withDefaults(ix.Opts)}
@@ -143,6 +153,9 @@ func (r *SearchRun) init(st *QueryState) {
 		r.queues = &st.queues
 	} else {
 		r.queues = pqueue.NewSet[*tree.Node](r.opt.Queues, 64)
+	}
+	for _, s := range r.opt.Seeds {
+		r.bnd.Update(s.Dist, int64(s.Position))
 	}
 	r.ix.approxSearch(r.query, r.qpaa, qword, r.bnd, r.opt.Counters)
 	if bd.Enabled() {

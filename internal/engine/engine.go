@@ -34,6 +34,11 @@ import (
 // ErrClosed is returned by queries submitted after Close.
 var ErrClosed = errors.New("engine: closed")
 
+// ErrNoIndex is returned by queries while the engine has no index yet (an
+// engine may be started before its first generation is built and receive
+// one later via Swap).
+var ErrNoIndex = errors.New("engine: no index installed")
+
 // Options configures an Engine. Zero fields inherit from the index
 // options (which themselves default to the paper's values).
 type Options struct {
@@ -57,11 +62,17 @@ func (o Options) withDefaults(ixOpts core.Options) Options {
 	if o.PoolWorkers <= 0 {
 		o.PoolWorkers = ixOpts.SearchWorkers
 	}
+	if o.PoolWorkers <= 0 {
+		o.PoolWorkers = core.DefaultSearchWorkers
+	}
 	if o.QueryWorkers <= 0 || o.QueryWorkers > o.PoolWorkers {
 		o.QueryWorkers = o.PoolWorkers
 	}
 	if o.Queues <= 0 {
 		o.Queues = ixOpts.QueueCount
+	}
+	if o.Queues <= 0 {
+		o.Queues = core.DefaultQueueCount
 	}
 	if o.MaxConcurrent <= 0 {
 		o.MaxConcurrent = o.PoolWorkers / o.QueryWorkers
@@ -76,11 +87,14 @@ func (o Options) withDefaults(ixOpts core.Options) Options {
 // goroutine's index in the pool.
 type task func(pid int)
 
-// Engine is a persistent query engine over one index. It is safe for
-// concurrent use by multiple goroutines. Close it when done to release
-// the pool.
+// Engine is a persistent query engine over a swappable index: the current
+// index generation is held behind an atomic pointer, and Swap atomically
+// replaces it (RCU-style — queries already executing finish against the
+// generation they loaded at admission; new queries see the new one). It
+// is safe for concurrent use by multiple goroutines. Close it when done
+// to release the pool.
 type Engine struct {
-	ix     *core.Index
+	ix     atomic.Pointer[core.Index]
 	opts   Options
 	tasks  chan task
 	admit  chan struct{}
@@ -91,15 +105,21 @@ type Engine struct {
 	closed bool
 }
 
-// New starts an engine over the given index.
+// New starts an engine over the given index. ix may be nil — queries fail
+// with ErrNoIndex until a generation is installed via Swap — which lets a
+// live index start empty and stream data in.
 func New(ix *core.Index, opts Options) *Engine {
-	opts = opts.withDefaults(ix.Opts)
+	var ixOpts core.Options
+	if ix != nil {
+		ixOpts = ix.Opts
+	}
+	opts = opts.withDefaults(ixOpts)
 	e := &Engine{
-		ix:    ix,
 		opts:  opts,
 		tasks: make(chan task, 4*opts.PoolWorkers),
 		admit: make(chan struct{}, opts.MaxConcurrent),
 	}
+	e.ix.Store(ix)
 	e.states.New = func() any { return core.NewQueryState() }
 	e.wg.Add(opts.PoolWorkers)
 	for pid := 0; pid < opts.PoolWorkers; pid++ {
@@ -116,17 +136,33 @@ func New(ix *core.Index, opts Options) *Engine {
 // Options returns the engine's effective (defaulted) options.
 func (e *Engine) Options() Options { return e.opts }
 
-// Index returns the underlying index.
-func (e *Engine) Index() *core.Index { return e.ix }
+// Index returns the current index generation (nil if none installed).
+func (e *Engine) Index() *core.Index { return e.ix.Load() }
+
+// Swap atomically installs a new index generation and returns the
+// previous one. In-flight queries keep running against the generation
+// they loaded; queries admitted after Swap see the new one. The old
+// generation may be released once its queries drain (Go's GC handles
+// this — callers need no quiescence protocol).
+func (e *Engine) Swap(ix *core.Index) *core.Index {
+	return e.ix.Swap(ix)
+}
 
 // searchOpt builds the per-query options handed to core.
-func (e *Engine) searchOpt() core.SearchOptions {
-	return core.SearchOptions{Workers: e.opts.QueryWorkers, Queues: e.opts.Queues}
+func (e *Engine) searchOpt(seeds []core.Match) core.SearchOptions {
+	return core.SearchOptions{Workers: e.opts.QueryWorkers, Queues: e.opts.Queues, Seeds: seeds}
 }
 
 // Search answers an exact 1-NN query on the shared pool. It blocks until
 // the query is admitted and answered.
 func (e *Engine) Search(query []float32) (core.Match, error) {
+	return e.SearchSeeded(query, nil)
+}
+
+// SearchSeeded is Search with externally known candidate matches applied
+// to the pruning bound before the search starts (see
+// core.SearchOptions.Seeds). A seed that remains best is returned as-is.
+func (e *Engine) SearchSeeded(query []float32, seeds []core.Match) (core.Match, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
@@ -135,8 +171,12 @@ func (e *Engine) Search(query []float32) (core.Match, error) {
 	e.admit <- struct{}{}
 	defer func() { <-e.admit }()
 
+	ix := e.ix.Load()
+	if ix == nil {
+		return core.Match{}, ErrNoIndex
+	}
 	st := e.states.Get().(*core.QueryState)
-	run, err := e.ix.NewSearchRun(query, st, e.searchOpt())
+	run, err := ix.NewSearchRun(query, st, e.searchOpt(seeds))
 	if err != nil {
 		e.states.Put(st)
 		return core.Match{}, err
@@ -150,6 +190,12 @@ func (e *Engine) Search(query []float32) (core.Match, error) {
 // SearchKNN answers an exact k-NN query on the shared pool, returning up
 // to k matches in ascending distance order.
 func (e *Engine) SearchKNN(query []float32, k int) ([]core.Match, error) {
+	return e.SearchKNNSeeded(query, k, nil)
+}
+
+// SearchKNNSeeded is SearchKNN with externally known candidate matches
+// participating in the top-k set (see core.SearchOptions.Seeds).
+func (e *Engine) SearchKNNSeeded(query []float32, k int, seeds []core.Match) ([]core.Match, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
@@ -158,8 +204,12 @@ func (e *Engine) SearchKNN(query []float32, k int) ([]core.Match, error) {
 	e.admit <- struct{}{}
 	defer func() { <-e.admit }()
 
+	ix := e.ix.Load()
+	if ix == nil {
+		return nil, ErrNoIndex
+	}
 	st := e.states.Get().(*core.QueryState)
-	run, err := e.ix.NewKNNRun(query, k, st, e.searchOpt())
+	run, err := ix.NewKNNRun(query, k, st, e.searchOpt(seeds))
 	if err != nil {
 		e.states.Put(st)
 		return nil, err

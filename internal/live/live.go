@@ -1,0 +1,574 @@
+// Package live implements a mutable MESSI index as a layered system over
+// the immutable core: freshly appended series land in a concurrent delta
+// buffer (internal/delta) and are answered by exact brute-force scan
+// (internal/scan), while the bulk of the data lives in an immutable
+// core.Index generation queried through the persistent engine
+// (internal/engine). A query fuses the two paths by scanning the delta
+// first and seeding the tree search's pruning bound with the delta's best
+// matches — the delta answer both participates in the result and tightens
+// tree pruning.
+//
+// When the delta exceeds a configurable threshold, a background rebuild
+// merges it with the current generation into a new core.Index using the
+// paper's parallel construction, then atomically swaps the generation in
+// (RCU-style: the view — generation + frozen delta + active delta — is an
+// immutable value behind an atomic pointer). In-flight queries finish on
+// the view they loaded; appends arriving during the rebuild go to a fresh
+// active delta and become part of the next generation. Neither queries
+// nor appends ever block on a rebuild.
+//
+// Positions are stable across rebuilds: series are numbered in append
+// order (the initial collection first), and the merge preserves that
+// order, so a position handed out by Append refers to the same series
+// forever.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/engine"
+	"repro/internal/isax"
+	"repro/internal/scan"
+	"repro/internal/series"
+	"repro/internal/tree"
+)
+
+// DefaultRebuildThreshold is the default number of active-delta series
+// that triggers a background generation rebuild.
+const DefaultRebuildThreshold = 100_000
+
+// DefaultScanWorkers is the default parallelism of the delta brute-force
+// scan. The delta is small by construction, so a handful of workers keeps
+// the scan off the query's critical path without stealing cores from the
+// tree search.
+const DefaultScanWorkers = 8
+
+// ErrClosed is returned by operations on a closed live index.
+var ErrClosed = errors.New("live: index closed")
+
+// ErrEmpty is returned by queries against a live index holding no series.
+var ErrEmpty = errors.New("live: index contains no series")
+
+// Options configures a live index.
+type Options struct {
+	// Core configures every immutable generation (construction and
+	// default query parameters); zero fields use the paper's defaults.
+	Core core.Options
+	// Engine configures the persistent query pool shared by all
+	// generations.
+	Engine engine.Options
+	// RebuildThreshold is the active-delta size (series) that triggers a
+	// background rebuild. Default DefaultRebuildThreshold.
+	RebuildThreshold int
+	// ScanWorkers is the delta-scan parallelism. Default DefaultScanWorkers.
+	ScanWorkers int
+	// BlockSeries is the delta storage block granularity. Default
+	// delta.DefaultBlockSeries.
+	BlockSeries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RebuildThreshold <= 0 {
+		o.RebuildThreshold = DefaultRebuildThreshold
+	}
+	if o.ScanWorkers <= 0 {
+		o.ScanWorkers = DefaultScanWorkers
+	}
+	return o
+}
+
+// view is one immutable configuration of the index: the current
+// generation, the frozen delta snapshot being merged by an in-flight (or
+// failed) rebuild, and the active delta receiving appends. Queries load
+// the whole view with one atomic read; the three position ranges are
+// [0, baseLen), [baseLen, baseLen+frozen.Len()), and
+// [activeStart, activeStart+active.Len()).
+type view struct {
+	base    *core.Index     // nil before the first generation exists
+	baseLen int             // series in base (0 when base == nil)
+	frozen  *delta.Snapshot // nil unless a rebuild is pending/in flight
+	active  *delta.Buffer
+}
+
+// frozenLen reports the frozen snapshot's size (0 when none).
+func (v *view) frozenLen() int {
+	if v.frozen == nil {
+		return 0
+	}
+	return v.frozen.Len()
+}
+
+// activeStart is the global position of the active delta's first series.
+func (v *view) activeStart() int { return v.baseLen + v.frozenLen() }
+
+// Index is a mutable MESSI index: an immutable generation plus a delta
+// buffer, with generational background rebuilds. All methods are safe for
+// concurrent use.
+type Index struct {
+	opts      Options
+	seriesLen int
+	eng       *engine.Engine
+	view      atomic.Pointer[view]
+	gen       atomic.Int64 // immutable generations built so far
+
+	mu         sync.Mutex // serializes appends and view transitions
+	cond       *sync.Cond // broadcast when a rebuild finishes
+	rebuilding bool
+	closed     bool
+	rebuildErr error // last rebuild failure (sticky until a rebuild succeeds)
+}
+
+// New creates a live index for series of the given length. initial may be
+// nil or empty (the index starts with no generation and answers purely
+// from the delta); when non-empty it is indexed synchronously as
+// generation 1 and retained, like core.Build, without copying.
+func New(seriesLen int, initial *series.Collection, opts Options) (*Index, error) {
+	opts.Core = core.FillDefaults(opts.Core)
+	opts = opts.withDefaults()
+	// The engine inherits its pool shape from the core options even when
+	// the index starts empty (engine.New would otherwise only see them
+	// once a generation exists).
+	if opts.Engine.PoolWorkers <= 0 {
+		opts.Engine.PoolWorkers = opts.Core.SearchWorkers
+	}
+	if opts.Engine.Queues <= 0 {
+		opts.Engine.Queues = opts.Core.QueueCount
+	}
+	if initial != nil && initial.Count() > 0 && initial.Length != seriesLen {
+		return nil, fmt.Errorf("live: initial collection series length %d, want %d", initial.Length, seriesLen)
+	}
+	// Validate the schema once up front so generation rebuilds cannot fail
+	// on configuration (a bad length/segments combination surfaces here,
+	// not in a background goroutine).
+	if _, err := isax.NewSchema(seriesLen, opts.Core.Segments, opts.Core.CardBits); err != nil {
+		return nil, err
+	}
+	ix := &Index{opts: opts, seriesLen: seriesLen}
+	ix.cond = sync.NewCond(&ix.mu)
+
+	var base *core.Index
+	if initial != nil && initial.Count() > 0 {
+		var err error
+		base, err = core.Build(initial, opts.Core)
+		if err != nil {
+			return nil, err
+		}
+		ix.gen.Store(1)
+	}
+	baseLen := 0
+	if base != nil {
+		baseLen = base.Data.Count()
+	}
+	ix.view.Store(&view{
+		base:    base,
+		baseLen: baseLen,
+		active:  delta.New(seriesLen, opts.BlockSeries),
+	})
+	ix.eng = engine.New(base, opts.Engine)
+	return ix, nil
+}
+
+// SeriesLen reports the length (points) of each indexed series.
+func (ix *Index) SeriesLen() int { return ix.seriesLen }
+
+// Len reports the number of series currently searchable.
+func (ix *Index) Len() int {
+	v := ix.view.Load()
+	return v.activeStart() + v.active.Len()
+}
+
+// Generation reports how many immutable generations have been built.
+func (ix *Index) Generation() int64 { return ix.gen.Load() }
+
+// Engine returns the persistent query engine serving the current
+// generation (for callers that want direct, delta-blind tree queries).
+func (ix *Index) Engine() *engine.Engine { return ix.eng }
+
+// Append adds one series (copied) and returns its stable position. The
+// series is searchable as soon as Append returns.
+func (ix *Index) Append(s []float32) (int, error) {
+	if len(s) != ix.seriesLen {
+		return 0, fmt.Errorf("live: series length %d, index series length %d", len(s), ix.seriesLen)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return 0, ErrClosed
+	}
+	v := ix.view.Load()
+	idx, err := v.active.Append(s)
+	if err != nil {
+		return 0, err
+	}
+	ix.maybeRebuildLocked()
+	return v.activeStart() + idx, nil
+}
+
+// AppendBatch adds a batch of series atomically (contiguous positions)
+// and returns the position of the first.
+func (ix *Index) AppendBatch(rows [][]float32) (int, error) {
+	for i, r := range rows {
+		if len(r) != ix.seriesLen {
+			return 0, fmt.Errorf("live: batch series %d has length %d, index series length %d", i, len(r), ix.seriesLen)
+		}
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return 0, ErrClosed
+	}
+	v := ix.view.Load()
+	idx, err := v.active.AppendBatch(rows)
+	if err != nil {
+		return 0, err
+	}
+	ix.maybeRebuildLocked()
+	return v.activeStart() + idx, nil
+}
+
+// maybeRebuildLocked launches a background rebuild when the active delta
+// has crossed the threshold (or a failed rebuild left a frozen snapshot
+// behind) and none is in flight. Caller holds mu.
+func (ix *Index) maybeRebuildLocked() {
+	if ix.rebuilding || ix.closed {
+		return
+	}
+	v := ix.view.Load()
+	if v.frozen == nil && v.active.Len() < ix.opts.RebuildThreshold {
+		return
+	}
+	ix.startRebuildLocked()
+}
+
+// startRebuildLocked freezes the active delta (unless a frozen snapshot
+// is already pending from a failed attempt) and launches the background
+// merge. Caller holds mu with !rebuilding && !closed. It is a no-op when
+// there is nothing to merge.
+func (ix *Index) startRebuildLocked() {
+	v := ix.view.Load()
+	if v.frozen == nil {
+		frozen := v.active.Snapshot()
+		if frozen.Len() == 0 {
+			return
+		}
+		v = &view{
+			base:    v.base,
+			baseLen: v.baseLen,
+			frozen:  frozen,
+			active:  delta.New(ix.seriesLen, ix.opts.BlockSeries),
+		}
+		ix.view.Store(v)
+	}
+	ix.rebuilding = true
+	go ix.rebuild(v)
+}
+
+// rebuild merges the view's generation and frozen delta into a new
+// immutable generation and swaps it in. It runs in its own goroutine;
+// queries and appends proceed concurrently against the frozen view.
+func (ix *Index) rebuild(v *view) {
+	total := v.baseLen + v.frozen.Len()
+	flat := make([]float32, total*ix.seriesLen)
+	if v.base != nil {
+		copy(flat, v.base.Data.Data)
+	}
+	err := v.frozen.CopyInto(flat[v.baseLen*ix.seriesLen:])
+	var newIx *core.Index
+	if err == nil {
+		var col *series.Collection
+		if col, err = series.NewCollection(flat, ix.seriesLen); err == nil {
+			newIx, err = core.Build(col, ix.opts.Core)
+		}
+	}
+
+	ix.mu.Lock()
+	if err != nil {
+		// Keep the frozen snapshot in the view: it stays searchable, and
+		// the next Append/Flush retries the merge.
+		ix.rebuildErr = err
+	} else {
+		cur := ix.view.Load() // only rebuilds store the view after freeze, and only one runs
+		// Swap the engine BEFORE publishing the new view. A query that
+		// loads the old view against the new generation is safe — the
+		// frozen series it scans exist in both, at the same positions, and
+		// the bounds dedupe by position — but the reverse order would open
+		// a window where a query sees a frozen-free view while the engine
+		// still serves the old generation, losing the merged series.
+		ix.eng.Swap(newIx)
+		ix.view.Store(&view{base: newIx, baseLen: total, active: cur.active})
+		ix.gen.Add(1)
+		ix.rebuildErr = nil
+	}
+	ix.rebuilding = false
+	ix.cond.Broadcast()
+	// Appends during the rebuild may already have crossed the threshold.
+	ix.maybeRebuildLocked()
+	ix.mu.Unlock()
+}
+
+// Flush synchronously merges all buffered series into the immutable
+// generation: it waits for any in-flight rebuild, then keeps rebuilding
+// until the delta is empty (or a rebuild fails). After a Flush with no
+// concurrent appends, Stats().DeltaSeries is 0.
+func (ix *Index) Flush() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for {
+		if ix.closed {
+			return ErrClosed
+		}
+		if ix.rebuilding {
+			ix.cond.Wait()
+			continue
+		}
+		if ix.rebuildErr != nil {
+			return ix.rebuildErr
+		}
+		v := ix.view.Load()
+		if v.frozen == nil && v.active.Len() == 0 {
+			return nil
+		}
+		ix.startRebuildLocked()
+	}
+}
+
+// Close stops background rebuilds (waiting for an in-flight one) and
+// shuts down the query pool. Appends and Flushes after Close return
+// ErrClosed; queries that reach the engine return engine.ErrClosed.
+func (ix *Index) Close() {
+	ix.mu.Lock()
+	if ix.closed {
+		ix.mu.Unlock()
+		return
+	}
+	ix.closed = true
+	for ix.rebuilding {
+		ix.cond.Wait()
+	}
+	ix.mu.Unlock()
+	ix.eng.Close()
+}
+
+// Stats describes the live index's current shape.
+type Stats struct {
+	Series      int        // total searchable series (base + delta)
+	BaseSeries  int        // series in the current immutable generation
+	DeltaSeries int        // series in the delta (frozen + active)
+	Generation  int64      // immutable generations built so far
+	Rebuilding  bool       // a background rebuild is in flight
+	Tree        tree.Stats // current generation's tree shape (zero when none)
+}
+
+// Stats returns a point-in-time snapshot of the index shape.
+func (ix *Index) Stats() Stats {
+	v := ix.view.Load()
+	ix.mu.Lock()
+	rebuilding := ix.rebuilding
+	ix.mu.Unlock()
+	st := Stats{
+		BaseSeries:  v.baseLen,
+		DeltaSeries: v.frozenLen() + v.active.Len(),
+		Generation:  ix.gen.Load(),
+		Rebuilding:  rebuilding,
+	}
+	st.Series = st.BaseSeries + st.DeltaSeries
+	if v.base != nil {
+		st.Tree = v.base.Stats()
+	}
+	return st
+}
+
+// Series returns (a view of) the series at the given stable position.
+// The caller must not modify it.
+func (ix *Index) Series(pos int) ([]float32, error) {
+	v := ix.view.Load()
+	switch {
+	case pos < 0:
+		return nil, fmt.Errorf("live: negative position %d", pos)
+	case pos < v.baseLen:
+		return v.base.Data.At(pos), nil
+	case pos < v.activeStart():
+		return v.frozen.At(pos - v.baseLen), nil
+	default:
+		snap := v.active.Snapshot()
+		idx := pos - v.activeStart()
+		if idx >= snap.Len() {
+			return nil, fmt.Errorf("live: position %d out of range [0,%d)", pos, v.activeStart()+snap.Len())
+		}
+		return snap.At(idx), nil
+	}
+}
+
+// validateQuery checks the query length against the index shape.
+func (ix *Index) validateQuery(query []float32) error {
+	if len(query) != ix.seriesLen {
+		return fmt.Errorf("live: query length %d, index series length %d", len(query), ix.seriesLen)
+	}
+	return nil
+}
+
+// Search answers an exact 1-NN query under Euclidean distance over the
+// union of the immutable generation and the delta.
+func (ix *Index) Search(query []float32) (core.Match, error) {
+	if err := ix.validateQuery(query); err != nil {
+		return core.Match{}, err
+	}
+	v := ix.view.Load()
+	seeds, err := ix.delta1NN(v, query)
+	if err != nil {
+		return core.Match{}, err
+	}
+	if v.base == nil {
+		if len(seeds) == 0 {
+			return core.Match{}, ErrEmpty
+		}
+		return seeds[0], nil
+	}
+	return ix.eng.SearchSeeded(query, seeds)
+}
+
+// SearchKNN answers an exact k-NN query over the union of generation and
+// delta, returning up to k matches in ascending distance order.
+func (ix *Index) SearchKNN(query []float32, k int) ([]core.Match, error) {
+	if err := ix.validateQuery(query); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("live: k must be positive, got %d", k)
+	}
+	v := ix.view.Load()
+	seeds, err := ix.deltaKNN(v, query, k)
+	if err != nil {
+		return nil, err
+	}
+	if v.base == nil {
+		if len(seeds) == 0 {
+			return nil, ErrEmpty
+		}
+		return seeds, nil
+	}
+	return ix.eng.SearchKNNSeeded(query, k, seeds)
+}
+
+// SearchDTW answers an exact 1-NN query under constrained DTW with a
+// Sakoe-Chiba band of the given radius (points) over the union of
+// generation and delta.
+func (ix *Index) SearchDTW(query []float32, window int) (core.Match, error) {
+	if err := ix.validateQuery(query); err != nil {
+		return core.Match{}, err
+	}
+	v := ix.view.Load()
+	seeds, err := ix.deltaDTW(v, query, window)
+	if err != nil {
+		return core.Match{}, err
+	}
+	if v.base == nil {
+		if len(seeds) == 0 {
+			return core.Match{}, ErrEmpty
+		}
+		return seeds[0], nil
+	}
+	return v.base.SearchDTW(query, window, core.SearchOptions{Seeds: seeds})
+}
+
+// forEachDeltaChunk runs fn over every contiguous chunk of the view's
+// delta (frozen snapshot first, then a fresh snapshot of the active
+// buffer), passing each chunk's global start position.
+func (ix *Index) forEachDeltaChunk(v *view, fn func(col *series.Collection, start int) error) error {
+	emit := func(snap *delta.Snapshot, start int) error {
+		cols, err := snap.Collections()
+		if err != nil {
+			return err
+		}
+		off := start
+		for _, col := range cols {
+			if err := fn(col, off); err != nil {
+				return err
+			}
+			off += col.Count()
+		}
+		return nil
+	}
+	if v.frozen != nil {
+		if err := emit(v.frozen, v.baseLen); err != nil {
+			return err
+		}
+	}
+	active := v.active.Snapshot()
+	if active.Len() > 0 {
+		if err := emit(active, v.activeStart()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deltaBest folds a per-chunk 1-NN scan over the delta, returning zero
+// or one seed match with a global position.
+func (ix *Index) deltaBest(v *view, scanChunk func(col *series.Collection) (core.Match, error)) ([]core.Match, error) {
+	best := core.Match{Position: -1, Dist: math.Inf(1)}
+	err := ix.forEachDeltaChunk(v, func(col *series.Collection, start int) error {
+		m, err := scanChunk(col)
+		if err != nil {
+			return err
+		}
+		if m.Dist < best.Dist {
+			best = core.Match{Position: start + m.Position, Dist: m.Dist}
+		}
+		return nil
+	})
+	if err != nil || best.Position < 0 {
+		return nil, err
+	}
+	return []core.Match{best}, nil
+}
+
+// delta1NN brute-force scans the delta for the query's nearest neighbor.
+func (ix *Index) delta1NN(v *view, query []float32) ([]core.Match, error) {
+	return ix.deltaBest(v, func(col *series.Collection) (core.Match, error) {
+		return scan.Search1NN(col, query, ix.opts.ScanWorkers, nil)
+	})
+}
+
+// deltaKNN brute-force scans the delta for the query's k nearest
+// neighbors (global positions, ascending distance).
+func (ix *Index) deltaKNN(v *view, query []float32, k int) ([]core.Match, error) {
+	var all []core.Match
+	err := ix.forEachDeltaChunk(v, func(col *series.Collection, start int) error {
+		ms, err := scan.SearchKNN(col, query, k, ix.opts.ScanWorkers, nil)
+		if err != nil {
+			return err
+		}
+		for _, m := range ms {
+			all = append(all, core.Match{Position: start + m.Position, Dist: m.Dist})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Position < all[j].Position
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+// deltaDTW brute-force scans the delta under constrained DTW.
+func (ix *Index) deltaDTW(v *view, query []float32, window int) ([]core.Match, error) {
+	return ix.deltaBest(v, func(col *series.Collection) (core.Match, error) {
+		return scan.SearchDTW(col, query, window, ix.opts.ScanWorkers, nil)
+	})
+}

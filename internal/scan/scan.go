@@ -16,6 +16,7 @@ package scan
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -79,6 +80,117 @@ func Search1NN(data *series.Collection, query []float32, workers int, ctrs *stat
 		}
 	}
 	return best, nil
+}
+
+// kheap is a bounded max-heap of the k best matches seen by one scan
+// worker; the root (worst retained match) is the early-abandon limit once
+// the heap is full.
+type kheap struct {
+	k    int
+	heap []core.Match // max-heap on Dist
+}
+
+// limit returns the current pruning threshold: the k-th best distance, or
+// +Inf until k matches are held.
+func (h *kheap) limit() float64 {
+	if len(h.heap) < h.k {
+		return math.Inf(1)
+	}
+	return h.heap[0].Dist
+}
+
+// offer inserts a candidate if it beats the current k-th best.
+func (h *kheap) offer(m core.Match) {
+	if len(h.heap) < h.k {
+		h.heap = append(h.heap, m)
+		i := len(h.heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h.heap[p].Dist >= h.heap[i].Dist {
+				break
+			}
+			h.heap[p], h.heap[i] = h.heap[i], h.heap[p]
+			i = p
+		}
+		return
+	}
+	if m.Dist >= h.heap[0].Dist {
+		return
+	}
+	h.heap[0] = m
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(h.heap) {
+			return
+		}
+		big := l
+		if r := l + 1; r < len(h.heap) && h.heap[r].Dist > h.heap[l].Dist {
+			big = r
+		}
+		if h.heap[i].Dist >= h.heap[big].Dist {
+			return
+		}
+		h.heap[i], h.heap[big] = h.heap[big], h.heap[i]
+		i = big
+	}
+}
+
+// SearchKNN is the k-NN generalization of Search1NN: every worker scans
+// its partition keeping a thread-local k-best heap (early-abandoning each
+// distance against its own k-th best), and the per-worker sets are merged
+// once at the end. It returns at most k matches in ascending distance
+// order (ties broken by position).
+func SearchKNN(data *series.Collection, query []float32, k, workers int, ctrs *stats.Counters) ([]core.Match, error) {
+	if err := validate(data, query); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("scan: k must be positive, got %d", k)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n := data.Count()
+	if workers > n {
+		workers = n
+	}
+	locals := make([]*kheap, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			h := &kheap{k: k}
+			var count int64
+			for i := lo; i < hi; i++ {
+				d := vector.SquaredEuclideanEarlyAbandon(data.At(i), query, h.limit())
+				count++
+				if d < h.limit() {
+					h.offer(core.Match{Position: i, Dist: d})
+				}
+			}
+			ctrs.AddRealDist(count)
+			locals[w] = h
+		}(w)
+	}
+	wg.Wait()
+	var all []core.Match
+	for _, h := range locals {
+		all = append(all, h.heap...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Position < all[j].Position
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
 }
 
 // SearchDTW is the DTW scan. With workers == 1 it is the serial UCR Suite

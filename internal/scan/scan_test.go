@@ -32,6 +32,53 @@ func brute1NN(data *series.Collection, query []float32) core.Match {
 	return best
 }
 
+// bruteKNN is the oracle: all distances, fully sorted.
+func bruteKNN(data *series.Collection, query []float32, k int) []core.Match {
+	all := make([]core.Match, data.Count())
+	for i := 0; i < data.Count(); i++ {
+		all[i] = core.Match{Position: i, Dist: vector.SquaredEuclidean(data.At(i), query)}
+	}
+	for i := 1; i < len(all); i++ { // insertion sort keeps the test dependency-free
+		for j := i; j > 0 && (all[j].Dist < all[j-1].Dist ||
+			(all[j].Dist == all[j-1].Dist && all[j].Position < all[j-1].Position)); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestSearchKNNMatchesBruteForce(t *testing.T) {
+	data := genData(t, 600, 64)
+	queries, _ := dataset.Queries(dataset.RandomWalk, 8, 64, 33)
+	for _, workers := range []int{1, 3, 8} {
+		for _, k := range []int{1, 5, 700} { // 700 > collection: returns everything
+			for qi := 0; qi < queries.Count(); qi++ {
+				q := queries.At(qi)
+				want := bruteKNN(data, q, k)
+				got, err := SearchKNN(data, q, k, workers, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d k=%d query %d: %d matches, want %d", workers, k, qi, len(got), len(want))
+				}
+				for i := range got {
+					if math.Abs(got[i].Dist-want[i].Dist) > 1e-6*(1+want[i].Dist) {
+						t.Fatalf("workers=%d k=%d query %d rank %d: dist %v, want %v",
+							workers, k, qi, i, got[i].Dist, want[i].Dist)
+					}
+				}
+			}
+		}
+	}
+	if _, err := SearchKNN(data, queries.At(0), 0, 1, nil); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
 func TestSearch1NNMatchesBruteForce(t *testing.T) {
 	data := genData(t, 1200, 64)
 	queries, _ := dataset.Queries(dataset.RandomWalk, 15, 64, 31)

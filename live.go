@@ -1,0 +1,220 @@
+package messi
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dtw"
+	"repro/internal/engine"
+	"repro/internal/live"
+	"repro/internal/series"
+)
+
+// LiveOptions configures streaming ingestion for a LiveIndex. The zero
+// value (or a nil *LiveOptions) selects the defaults.
+type LiveOptions struct {
+	// RebuildThreshold is the number of buffered (delta) series that
+	// triggers a background generation rebuild. Default 100000.
+	RebuildThreshold int
+	// ScanWorkers is the parallelism of the delta brute-force scan on the
+	// query path. Default 8.
+	ScanWorkers int
+	// Engine configures the persistent query pool answering the
+	// tree-search side of every query (same semantics as Index.NewEngine).
+	Engine EngineOptions
+}
+
+func (o *LiveOptions) toLive(coreOpts core.Options) live.Options {
+	lo := live.Options{Core: coreOpts}
+	if o != nil {
+		lo.RebuildThreshold = o.RebuildThreshold
+		lo.ScanWorkers = o.ScanWorkers
+		lo.Engine = engine.Options{
+			PoolWorkers:   o.Engine.PoolWorkers,
+			QueryWorkers:  o.Engine.QueryWorkers,
+			Queues:        o.Engine.Queues,
+			MaxConcurrent: o.Engine.MaxConcurrent,
+		}
+	}
+	return lo
+}
+
+// LiveIndex is a mutable MESSI index supporting streaming ingestion:
+// Append adds series that are immediately searchable (answered exactly
+// from a delta buffer fused with the indexed generation), and a
+// background rebuild periodically merges the delta into a new immutable
+// generation without blocking queries or appends. Search results are
+// identical to a fresh Build over the union of all the data.
+//
+//	ix, _ := messi.NewLive(256, nil, nil)          // start empty
+//	pos, _ := ix.Append(mySeries)                  // searchable immediately
+//	m, _ := ix.Search(query)
+//	ix.Close()
+//
+// A LiveIndex is safe for concurrent use; Close it when done.
+type LiveIndex struct {
+	inner     *live.Index
+	normalize bool
+}
+
+// NewLive creates an empty live index for series of the given length.
+// Both option structs may be nil for the defaults.
+func NewLive(seriesLen int, opts *Options, lopts *LiveOptions) (*LiveIndex, error) {
+	return newLive(seriesLen, nil, opts, lopts)
+}
+
+// BuildLive creates a live index seeded with an initial batch of series
+// (each row copied), indexed synchronously as the first generation.
+func BuildLive(rows [][]float32, opts *Options, lopts *LiveOptions) (*LiveIndex, error) {
+	col, err := series.FromSlices(rows)
+	if err != nil {
+		return nil, err
+	}
+	return newLive(col.Length, col, opts, lopts)
+}
+
+// BuildLiveFlat creates a live index seeded with flat row-major storage
+// (retained without copying, like BuildFlat; the caller must not modify
+// data afterwards).
+func BuildLiveFlat(data []float32, seriesLen int, opts *Options, lopts *LiveOptions) (*LiveIndex, error) {
+	col, err := series.NewCollection(data, seriesLen)
+	if err != nil {
+		return nil, err
+	}
+	return newLive(seriesLen, col, opts, lopts)
+}
+
+// BuildLiveFromFile creates a live index seeded with a dataset file
+// written by WriteSeriesFile or the messi-gen tool.
+func BuildLiveFromFile(path string, opts *Options, lopts *LiveOptions) (*LiveIndex, error) {
+	col, err := dataset.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return newLive(col.Length, col, opts, lopts)
+}
+
+func newLive(seriesLen int, col *series.Collection, opts *Options, lopts *LiveOptions) (*LiveIndex, error) {
+	coreOpts, normalize, err := opts.toCore()
+	if err != nil {
+		return nil, err
+	}
+	if normalize && col != nil {
+		col.ZNormalizeAll()
+	}
+	inner, err := live.New(seriesLen, col, lopts.toLive(coreOpts))
+	if err != nil {
+		return nil, err
+	}
+	return &LiveIndex{inner: inner, normalize: normalize}, nil
+}
+
+// prepareQuery applies normalization when the index was built with it.
+func (ix *LiveIndex) prepareQuery(query []float32) []float32 {
+	if !ix.normalize {
+		return query
+	}
+	return series.ZNormalized(query)
+}
+
+// Append adds one series (copied) and returns its stable position. The
+// series is searchable as soon as Append returns, before any rebuild.
+func (ix *LiveIndex) Append(s []float32) (int, error) {
+	if ix.normalize {
+		s = series.ZNormalized(s)
+	}
+	return ix.inner.Append(s)
+}
+
+// AppendBatch adds a batch of series (copied) atomically, returning the
+// position of the first; the batch occupies contiguous positions.
+func (ix *LiveIndex) AppendBatch(rows [][]float32) (int, error) {
+	if ix.normalize {
+		normalized := make([][]float32, len(rows))
+		for i, r := range rows {
+			normalized[i] = series.ZNormalized(r)
+		}
+		rows = normalized
+	}
+	return ix.inner.AppendBatch(rows)
+}
+
+// Search answers an exact 1-NN query under Euclidean distance over all
+// appended and indexed series.
+func (ix *LiveIndex) Search(query []float32) (Match, error) {
+	m, err := ix.inner.Search(ix.prepareQuery(query))
+	if err != nil {
+		return Match{}, err
+	}
+	return Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}, nil
+}
+
+// SearchKNN answers an exact k-NN query, returning up to k matches in
+// ascending distance order.
+func (ix *LiveIndex) SearchKNN(query []float32, k int) ([]Match, error) {
+	ms, err := ix.inner.SearchKNN(ix.prepareQuery(query), k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}
+	}
+	return out, nil
+}
+
+// SearchDTW answers an exact 1-NN query under constrained DTW with a
+// Sakoe-Chiba warping window given as a fraction of the series length
+// (0.1 = the 10% window the paper uses).
+func (ix *LiveIndex) SearchDTW(query []float32, window float64) (Match, error) {
+	r := dtw.WindowSize(ix.inner.SeriesLen(), window)
+	m, err := ix.inner.SearchDTW(ix.prepareQuery(query), r)
+	if err != nil {
+		return Match{}, err
+	}
+	return Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}, nil
+}
+
+// Flush synchronously merges all buffered series into the immutable
+// generation; afterwards (absent concurrent appends) the delta is empty.
+func (ix *LiveIndex) Flush() error { return ix.inner.Flush() }
+
+// Series returns (a view of) the series at the given stable position.
+// Callers must not modify it.
+func (ix *LiveIndex) Series(position int) ([]float32, error) {
+	return ix.inner.Series(position)
+}
+
+// Len reports the number of searchable series.
+func (ix *LiveIndex) Len() int { return ix.inner.Len() }
+
+// SeriesLen reports the length (points) of each indexed series.
+func (ix *LiveIndex) SeriesLen() int { return ix.inner.SeriesLen() }
+
+// Close stops background rebuilds and the query pool. Appends and
+// queries after Close fail; Close is idempotent.
+func (ix *LiveIndex) Close() { ix.inner.Close() }
+
+// LiveStats describes a live index's current shape.
+type LiveStats struct {
+	Series      int   // total searchable series (base + delta)
+	BaseSeries  int   // series in the current immutable generation
+	DeltaSeries int   // series buffered in the delta
+	Generation  int64 // immutable generations built so far
+	Rebuilding  bool  // a background rebuild is in flight
+	Index       Stats // current generation's tree shape (zero until one exists)
+}
+
+// Stats returns a point-in-time snapshot of the index shape.
+func (ix *LiveIndex) Stats() LiveStats {
+	s := ix.inner.Stats()
+	return LiveStats{
+		Series:      s.Series,
+		BaseSeries:  s.BaseSeries,
+		DeltaSeries: s.DeltaSeries,
+		Generation:  s.Generation,
+		Rebuilding:  s.Rebuilding,
+		Index:       Stats(s.Tree),
+	}
+}

@@ -26,6 +26,7 @@ package messi
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -73,27 +74,11 @@ func (o *Options) toCore() (core.Options, bool, error) {
 		return core.Options{}, false, nil
 	}
 	cardBits := 0
-	if o.Cardinality != 0 {
-		switch o.Cardinality {
-		case 2:
-			cardBits = 1
-		case 4:
-			cardBits = 2
-		case 8:
-			cardBits = 3
-		case 16:
-			cardBits = 4
-		case 32:
-			cardBits = 5
-		case 64:
-			cardBits = 6
-		case 128:
-			cardBits = 7
-		case 256:
-			cardBits = 8
-		default:
-			return core.Options{}, false, fmt.Errorf("messi: cardinality %d is not a power of two in [2,256]", o.Cardinality)
+	if c := o.Cardinality; c != 0 {
+		if c < 2 || c > 256 || bits.OnesCount(uint(c)) != 1 {
+			return core.Options{}, false, fmt.Errorf("messi: cardinality %d is not a power of two in [2,256]", c)
 		}
+		cardBits = bits.TrailingZeros(uint(c))
 	}
 	return core.Options{
 		Segments:      o.Segments,
