@@ -10,6 +10,7 @@ package messi
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -609,6 +610,37 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkSnapshotLoad — restart cost: loading a snapshot versus
+// rebuilding the index from raw data (the win snapshots exist for; the
+// ROADMAP's restart-without-downtime scenario). Load skips the whole
+// construction pipeline — PAA transforms, quantization, splits — and
+// reads the checksummed series block in one pass.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	ix, err := BuildFlat(data.Data, benchLength, &Options{LeafCapacity: benchLeafCap})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.snap")
+	if err := ix.Save(path); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := BuildFlat(data.Data, benchLength, &Options{LeafCapacity: benchLeafCap}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Load(path); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkKNN — the k-NN extension across k (the paper's k-NN

@@ -1,0 +1,174 @@
+// Command benchdiff is the CI performance-regression gate: it parses two
+// `go test -bench` text outputs (base and head), compares ns/op per
+// benchmark, prints a markdown table, and exits non-zero when any
+// benchmark matching -match regressed by more than -threshold.
+//
+// It complements benchstat (which renders the human-facing comparison in
+// the job summary): benchstat needs multiple samples for its statistics,
+// while the CI gate runs a single -benchtime=1x pass per ref and needs a
+// deterministic pass/fail on a plain ratio.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=1x ./... > head.txt
+//	git checkout $BASE && go test -run='^$' -bench=. -benchtime=1x ./... > base.txt
+//	benchdiff -base base.txt -head head.txt -match 'BenchmarkEngineThroughput' -threshold 0.30
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the comparison, returning the process exit code: 0 when no
+// gated benchmark regressed beyond the threshold, 1 otherwise.
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		basePath  = fs.String("base", "", "base `go test -bench` output file (required)")
+		headPath  = fs.String("head", "", "head `go test -bench` output file (required)")
+		match     = fs.String("match", ".", "regexp of benchmark names the gate applies to")
+		threshold = fs.Float64("threshold", 0.30, "fail when head ns/op exceeds base by more than this fraction")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if *basePath == "" || *headPath == "" {
+		return 0, errors.New("-base and -head are required")
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		return 0, fmt.Errorf("bad -match: %w", err)
+	}
+	if *threshold <= 0 {
+		return 0, fmt.Errorf("threshold must be positive, got %v", *threshold)
+	}
+
+	base, err := parseFile(*basePath)
+	if err != nil {
+		return 0, err
+	}
+	head, err := parseFile(*headPath)
+	if err != nil {
+		return 0, err
+	}
+
+	names := make([]string, 0, len(head))
+	for name := range head {
+		if _, ok := base[name]; ok && re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return 0, fmt.Errorf("no benchmarks matched %q in both files", *match)
+	}
+
+	fmt.Fprintf(stdout, "| benchmark | base ns/op | head ns/op | delta | gate (>%+.0f%%) |\n", *threshold*100)
+	fmt.Fprintln(stdout, "| --- | ---: | ---: | ---: | --- |")
+	failed := 0
+	for _, name := range names {
+		b, h := base[name], head[name]
+		delta := h/b - 1
+		verdict := "ok"
+		if delta > *threshold {
+			verdict = "REGRESSION"
+			failed++
+		}
+		fmt.Fprintf(stdout, "| %s | %.0f | %.0f | %+.1f%% | %s |\n", name, b, h, delta*100, verdict)
+	}
+	if failed > 0 {
+		fmt.Fprintf(stdout, "\n%d benchmark(s) regressed by more than %.0f%%\n", failed, *threshold*100)
+		return 1, nil
+	}
+	fmt.Fprintf(stdout, "\nno regressions beyond %.0f%% across %d benchmark(s)\n", *threshold*100, len(names))
+	return 0, nil
+}
+
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return m, nil
+}
+
+// parse extracts ns/op per benchmark from `go test -bench` text output.
+// Result lines look like:
+//
+//	BenchmarkName/sub=1-8   	     100	  12345 ns/op	  67 B/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped so runs on machines with
+// different core counts still compare. Benchmarks appearing several
+// times (e.g. -count > 1) are averaged.
+func parse(r io.Reader) (map[string]float64, error) {
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Locate the "<value> ns/op" pair; position varies with extra
+		// metrics but ns/op always names its preceding value.
+		nsPerOp := -1.0
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op value in %q", sc.Text())
+				}
+				nsPerOp = v
+				break
+			}
+		}
+		if nsPerOp < 0 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		sums[name] += nsPerOp
+		counts[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name := range sums {
+		sums[name] /= float64(counts[name])
+	}
+	return sums, nil
+}

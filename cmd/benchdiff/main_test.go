@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkEngineThroughput/clients=1/pooled-exclusive-8         	     100	   1000000 ns/op	     512 B/op	       3 allocs/op
+BenchmarkEngineThroughput/clients=8/pooled-shared-8            	     100	   2000000 ns/op
+BenchmarkFig05ChunkSize/chunk=10-8                             	      10	  50000000 ns/op
+BenchmarkFig07LeafSizeQuery/leaf=50/sq-8                       	     100	    300000 ns/op
+PASS
+`
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestNoRegressionPasses(t *testing.T) {
+	head := strings.ReplaceAll(baseBench, "2000000", "2100000") // +5%, under the gate
+	base := writeFile(t, "base.txt", baseBench)
+	headP := writeFile(t, "head.txt", head)
+	var out strings.Builder
+	code, err := run([]string{"-base", base, "-head", headP, "-match", "BenchmarkEngineThroughput|BenchmarkFig05"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d for a +5%% change, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+// TestInjectedRegressionFails: the acceptance check — a >30% slowdown in
+// a gated benchmark must fail the gate.
+func TestInjectedRegressionFails(t *testing.T) {
+	head := strings.ReplaceAll(baseBench, "   1000000 ns/op", "   1400000 ns/op") // +40%
+	base := writeFile(t, "base.txt", baseBench)
+	headP := writeFile(t, "head.txt", head)
+	var out strings.Builder
+	code, err := run([]string{"-base", base, "-head", headP, "-match", "BenchmarkEngineThroughput"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d for a +40%% regression, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("output does not flag the regression: %s", out.String())
+	}
+}
+
+// TestUnmatchedBenchmarksIgnored: a regression outside -match does not
+// trip the gate.
+func TestUnmatchedBenchmarksIgnored(t *testing.T) {
+	head := strings.ReplaceAll(baseBench, "    300000 ns/op", "    900000 ns/op") // 3x, but a query bench
+	base := writeFile(t, "base.txt", baseBench)
+	headP := writeFile(t, "head.txt", head)
+	var out strings.Builder
+	code, err := run([]string{"-base", base, "-head", headP,
+		"-match", "^BenchmarkEngineThroughput|^BenchmarkFig05"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 (regression is outside the gate)\n%s", code, out.String())
+	}
+}
+
+func TestGOMAXPROCSSuffixStripped(t *testing.T) {
+	head := strings.ReplaceAll(baseBench, "-8 ", "-16") // different core count
+	base := writeFile(t, "base.txt", baseBench)
+	headP := writeFile(t, "head.txt", head)
+	var out strings.Builder
+	if code, err := run([]string{"-base", base, "-head", headP}, &out); err != nil || code != 0 {
+		t.Fatalf("code %d err %v: suffix-stripped names must still match\n%s", code, err, out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	base := writeFile(t, "base.txt", baseBench)
+	var out strings.Builder
+	if _, err := run([]string{"-base", base}, &out); err == nil {
+		t.Error("missing -head did not error")
+	}
+	empty := writeFile(t, "empty.txt", "PASS\n")
+	if _, err := run([]string{"-base", base, "-head", empty}, &out); err == nil {
+		t.Error("empty head file did not error")
+	}
+	headP := writeFile(t, "head.txt", baseBench)
+	if _, err := run([]string{"-base", base, "-head", headP, "-match", "NoSuchBenchmark"}, &out); err == nil {
+		t.Error("zero matched benchmarks did not error")
+	}
+}

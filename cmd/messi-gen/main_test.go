@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	messi "repro"
 	"repro/internal/dataset"
 )
 
@@ -45,10 +46,68 @@ func TestRunDefaultLengthPerKind(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	var buf strings.Builder
 	if err := run([]string{"-count", "10"}, &buf); err == nil {
-		t.Error("missing -out did not error")
+		t.Error("missing -out and -snapshot did not error")
 	}
 	out := filepath.Join(t.TempDir(), "x.bin")
 	if err := run([]string{"-kind", "nope", "-count", "10", "-out", out}, &buf); err == nil {
 		t.Error("unknown kind did not error")
+	}
+}
+
+// TestRunEmitsSnapshot: -snapshot writes a ready-to-serve snapshot that
+// Load restores to the same index a fresh build over -out produces.
+func TestRunEmitsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "data.bin")
+	snap := filepath.Join(dir, "index.snap")
+	var buf strings.Builder
+	err := run([]string{"-kind", "random", "-count", "500", "-length", "64",
+		"-out", out, "-snapshot", snap, "-leaf", "64"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "index snapshot of 500 series") {
+		t.Fatalf("unexpected output: %q", buf.String())
+	}
+
+	loaded, err := messi.Load(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := messi.BuildFromFile(out, &messi.Options{LeafCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != built.Len() || loaded.Stats() != built.Stats() {
+		t.Fatalf("snapshot stats %+v, rebuilt stats %+v", loaded.Stats(), built.Stats())
+	}
+	q := make([]float32, 64)
+	copy(q, built.Series(123))
+	want, err := built.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("snapshot answered %+v, rebuild %+v", got, want)
+	}
+}
+
+// TestRunSnapshotOnly: -snapshot without -out writes only the snapshot.
+func TestRunSnapshotOnly(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "only.snap")
+	var buf strings.Builder
+	if err := run([]string{"-kind", "random", "-count", "100", "-length", "32", "-snapshot", snap}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := messi.Load(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 100 || ix.SeriesLen() != 32 {
+		t.Fatalf("snapshot shape %d×%d, want 100×32", ix.Len(), ix.SeriesLen())
 	}
 }

@@ -8,6 +8,8 @@
 //	messi-gen -kind random -count 100000 -out data.bin
 //	messi-serve -data data.bin -addr :8080
 //	messi-serve -data data.bin -live -rebuild-threshold 50000
+//	messi-gen   -kind random -count 100000 -snapshot index.snap
+//	messi-serve -snapshot index.snap            # restart in seconds, no rebuild
 //
 // API (JSON over HTTP):
 //
@@ -16,12 +18,19 @@
 //	POST /v1/query        → {"query":[...], "k":5}         → {"matches":[{"position":..,"distance":..}]}
 //	POST /v1/query/batch  → {"queries":[[...],[...], ...]} → {"results":[[...],[...]]}
 //	POST /v1/series       → {"series":[[...], ...]}        → {"first_position":..,"count":..} (live mode only)
+//	POST /v1/snapshot     → {"path":"..."} (optional)      → {"path":..,"series":..,"bytes":..}
 //
 // With -live the server runs a messi.LiveIndex: POST /v1/series appends
 // new series that are searchable immediately, and a background rebuild
 // merges them into the next index generation once the delta buffer
 // crosses -rebuild-threshold. Without -live the index is immutable and
 // /v1/series is not registered.
+//
+// With -snapshot the server boots from the named index snapshot when it
+// exists (falling back to building from -data when it does not), and the
+// same path is the default target of POST /v1/snapshot — so a serve →
+// snapshot → restart cycle needs no other coordination. In live mode the
+// snapshot is also rewritten automatically on flush and shutdown.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections, drains in-flight requests, then closes the engine pool.
@@ -33,6 +42,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -58,7 +68,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("messi-serve", flag.ContinueOnError)
 	var (
-		dataPath  = fs.String("data", "", "dataset file to index (required)")
+		dataPath  = fs.String("data", "", "dataset file to index (this or -snapshot is required)")
+		snapPath  = fs.String("snapshot", "", "index snapshot: booted from when present, default target of POST /v1/snapshot")
 		addr      = fs.String("addr", ":8080", "listen address")
 		leafCap   = fs.Int("leaf", 0, "leaf capacity (default 2000)")
 		pool      = fs.Int("pool", 0, "engine pool workers (default: search workers)")
@@ -72,46 +83,54 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *dataPath == "" {
-		return errors.New("-data is required")
+	if *dataPath == "" && *snapPath == "" {
+		return errors.New("one of -data or -snapshot is required")
 	}
 
 	opts := &messi.Options{LeafCapacity: *leafCap, Normalize: *normalize}
+	engOpts := messi.EngineOptions{
+		PoolWorkers:   *pool,
+		QueryWorkers:  *perQuery,
+		Queues:        *queues,
+		MaxConcurrent: *admit,
+	}
 	var handler http.Handler
-	buildStart := time.Now()
+	// In live mode with a snapshot path, a graceful shutdown must not
+	// lose series still sitting in the delta: Close alone snapshots only
+	// the already-merged generation, so drain the delta first.
+	persistOnShutdown := func() {}
 	if *liveMode {
-		lix, err := messi.BuildLiveFromFile(*dataPath, opts, &messi.LiveOptions{
+		lix, source, err := bootLive(*dataPath, *snapPath, opts, &messi.LiveOptions{
 			RebuildThreshold: *threshold,
-			Engine: messi.EngineOptions{
-				PoolWorkers:   *pool,
-				QueryWorkers:  *perQuery,
-				Queues:        *queues,
-				MaxConcurrent: *admit,
-			},
+			SnapshotPath:     *snapPath,
+			Engine:           engOpts,
 		})
 		if err != nil {
 			return err
 		}
 		defer lix.Close()
-		log.Printf("live-indexed %d series × %d points in %v (rebuild threshold %d)",
-			lix.Len(), lix.SeriesLen(), time.Since(buildStart).Round(time.Millisecond), *threshold)
-		handler = newHandler(&liveBackend{lix: lix})
+		log.Printf("%s: %d series × %d points (rebuild threshold %d)",
+			source, lix.Len(), lix.SeriesLen(), *threshold)
+		handler = newHandler(&liveBackend{lix: lix}, *snapPath)
+		if *snapPath != "" {
+			persistOnShutdown = func() {
+				if err := lix.Save(*snapPath); err != nil {
+					log.Printf("shutdown snapshot: %v", err)
+					return
+				}
+				log.Printf("snapshot of %d series saved to %s", lix.Len(), *snapPath)
+			}
+		}
 	} else {
-		ix, err := messi.BuildFromFile(*dataPath, opts)
+		ix, source, err := bootStatic(*dataPath, *snapPath, opts)
 		if err != nil {
 			return err
 		}
-		log.Printf("indexed %d series × %d points in %v", ix.Len(), ix.SeriesLen(),
-			time.Since(buildStart).Round(time.Millisecond))
+		log.Printf("%s: %d series × %d points", source, ix.Len(), ix.SeriesLen())
 
-		eng := ix.NewEngine(&messi.EngineOptions{
-			PoolWorkers:   *pool,
-			QueryWorkers:  *perQuery,
-			Queues:        *queues,
-			MaxConcurrent: *admit,
-		})
+		eng := ix.NewEngine(&engOpts)
 		defer eng.Close()
-		handler = newHandler(&engineBackend{eng: eng})
+		handler = newHandler(&engineBackend{eng: eng}, *snapPath)
 	}
 
 	srv := &http.Server{
@@ -148,7 +167,55 @@ func run(args []string) error {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	persistOnShutdown()
 	return <-errc
+}
+
+// boot resolves what the server serves: the snapshot when one is
+// available, the dataset file otherwise. It returns a human-readable
+// source description for the boot log. Load failures name the failing
+// path — a dataset error is additionally logged before it aborts startup
+// (the listener never opens), so a restart loop is diagnosable from the
+// server's own output, not just the exit status.
+func boot[T any](dataPath, snapPath, loadedAs, builtAs string,
+	loadSnap func(string) (T, error), build func(string) (T, error)) (T, string, error) {
+
+	var zero T
+	start := time.Now()
+	if snapPath != "" {
+		if _, err := os.Stat(snapPath); err == nil {
+			ix, err := loadSnap(snapPath)
+			if err != nil {
+				return zero, "", fmt.Errorf("load snapshot %s: %w", snapPath, err)
+			}
+			return ix, fmt.Sprintf("%s %s in %v", loadedAs, snapPath, time.Since(start).Round(time.Millisecond)), nil
+		}
+		if dataPath == "" {
+			return zero, "", fmt.Errorf("snapshot %s does not exist and no -data to build from", snapPath)
+		}
+		log.Printf("snapshot %s not found, building from %s", snapPath, dataPath)
+	}
+	ix, err := build(dataPath)
+	if err != nil {
+		err = fmt.Errorf("load dataset %s: %w", dataPath, err)
+		log.Print(err)
+		return zero, "", err
+	}
+	return ix, fmt.Sprintf("%s %s in %v", builtAs, dataPath, time.Since(start).Round(time.Millisecond)), nil
+}
+
+func bootStatic(dataPath, snapPath string, opts *messi.Options) (*messi.Index, string, error) {
+	return boot(dataPath, snapPath, "loaded snapshot", "indexed",
+		messi.Load,
+		func(p string) (*messi.Index, error) { return messi.BuildFromFile(p, opts) })
+}
+
+// bootLive is bootStatic for -live mode: a snapshot becomes the live
+// index's first generation, a dataset file is live-indexed from scratch.
+func bootLive(dataPath, snapPath string, opts *messi.Options, lopts *messi.LiveOptions) (*messi.LiveIndex, string, error) {
+	return boot(dataPath, snapPath, "loaded live snapshot", "live-indexed",
+		func(p string) (*messi.LiveIndex, error) { return messi.LoadLive(p, opts, lopts) },
+		func(p string) (*messi.LiveIndex, error) { return messi.BuildLiveFromFile(p, opts, lopts) })
 }
 
 // jsonMatch is the wire form of one answer.
@@ -183,6 +250,16 @@ type appendResponse struct {
 	Count         int `json:"count"`
 }
 
+type snapshotRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+type snapshotResponse struct {
+	Path   string `json:"path"`
+	Series int    `json:"series"`
+	Bytes  int64  `json:"bytes"`
+}
+
 type statsResponse struct {
 	Series        int   `json:"series"`
 	SeriesLen     int   `json:"series_len"`
@@ -205,6 +282,10 @@ type backend interface {
 	queryKNN(q []float32, k int) ([]messi.Match, error)
 	queryBatch(qs [][]float32) ([]messi.Match, error)
 	stats() statsResponse
+	// snapshot persists the served index to path (atomically) and
+	// reports how many series it covers. Live backends flush first, so
+	// the snapshot includes everything appended so far.
+	snapshot(path string) (int, error)
 }
 
 // appender is implemented by backends that accept new series (live mode).
@@ -223,6 +304,13 @@ func (b *engineBackend) queryKNN(q []float32, k int) ([]messi.Match, error) {
 }
 func (b *engineBackend) queryBatch(qs [][]float32) ([]messi.Match, error) {
 	return b.eng.QueryBatch(qs)
+}
+func (b *engineBackend) snapshot(path string) (int, error) {
+	ix := b.eng.Index()
+	if err := ix.Save(path); err != nil {
+		return 0, err
+	}
+	return ix.Len(), nil
 }
 func (b *engineBackend) stats() statsResponse {
 	ix := b.eng.Index()
@@ -283,6 +371,12 @@ func (b *liveBackend) queryBatch(qs [][]float32) ([]messi.Match, error) {
 func (b *liveBackend) appendSeries(rows [][]float32) (int, error) {
 	return b.lix.AppendBatch(rows)
 }
+func (b *liveBackend) snapshot(path string) (int, error) {
+	if err := b.lix.Save(path); err != nil {
+		return 0, err
+	}
+	return b.lix.Len(), nil
+}
 func (b *liveBackend) stats() statsResponse {
 	st := b.lix.Stats()
 	return statsResponse{
@@ -303,7 +397,9 @@ func (b *liveBackend) stats() statsResponse {
 
 // newHandler builds the HTTP API around a serving backend. The append
 // endpoint is registered only when the backend supports it (live mode).
-func newHandler(b backend) http.Handler {
+// defaultSnapshotPath (the -snapshot flag) is where POST /v1/snapshot
+// writes when the request names no path of its own.
+func newHandler(b backend, defaultSnapshotPath string) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -355,6 +451,34 @@ func newHandler(b backend) http.Handler {
 			resp.Results[i] = toJSONMatches([]messi.Match{m})
 		}
 		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		// The body is optional: an empty POST snapshots to the default.
+		var req snapshotRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		path := req.Path
+		if path == "" {
+			path = defaultSnapshotPath
+		}
+		if path == "" {
+			writeError(w, http.StatusBadRequest, "no snapshot path: pass {\"path\":...} or start with -snapshot")
+			return
+		}
+		series, err := b.snapshot(path)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		var size int64
+		if fi, err := os.Stat(path); err == nil {
+			size = fi.Size()
+		}
+		writeJSON(w, http.StatusOK, snapshotResponse{Path: path, Series: series, Bytes: size})
 	})
 	if app, ok := b.(appender); ok {
 		mux.HandleFunc("POST /v1/series", func(w http.ResponseWriter, r *http.Request) {

@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	messi "repro"
@@ -20,7 +23,7 @@ func newTestHandler(t *testing.T) (http.Handler, *messi.Index) {
 	}
 	eng := ix.NewEngine(&messi.EngineOptions{PoolWorkers: 4})
 	t.Cleanup(eng.Close)
-	return newHandler(&engineBackend{eng: eng}), ix
+	return newHandler(&engineBackend{eng: eng}, ""), ix
 }
 
 // newLiveTestHandler builds a small live index and the HTTP API around it.
@@ -33,7 +36,7 @@ func newLiveTestHandler(t *testing.T) (http.Handler, *messi.LiveIndex) {
 		t.Fatal(err)
 	}
 	t.Cleanup(lix.Close)
-	return newHandler(&liveBackend{lix: lix}), lix
+	return newHandler(&liveBackend{lix: lix}, ""), lix
 }
 
 func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
@@ -314,9 +317,157 @@ func TestBadRequests(t *testing.T) {
 // TestRunFlagValidation: run() rejects a missing -data without starting.
 func TestRunFlagValidation(t *testing.T) {
 	if err := run(nil); err == nil {
-		t.Fatal("run without -data did not error")
+		t.Fatal("run without -data or -snapshot did not error")
 	}
 	if err := run([]string{"-data", "/nonexistent/file.bin"}); err == nil {
 		t.Fatal("run with missing dataset file did not error")
+	}
+}
+
+// TestRunLiveDatasetLoadError: a bad dataset in -live mode must abort
+// startup with an error naming the failing path (and run's caller exits
+// non-zero on it) — not fail silently before the listener opens.
+func TestRunLiveDatasetLoadError(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.bin")
+	err := run([]string{"-live", "-data", missing})
+	if err == nil {
+		t.Fatal("run -live with missing dataset file did not error")
+	}
+	if !strings.Contains(err.Error(), missing) {
+		t.Fatalf("error %q does not name the failing path %q", err, missing)
+	}
+
+	// Same for a present-but-corrupt dataset file.
+	corrupt := filepath.Join(t.TempDir(), "corrupt.bin")
+	if err := os.WriteFile(corrupt, []byte("this is not a dataset"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-live", "-data", corrupt})
+	if err == nil {
+		t.Fatal("run -live with corrupt dataset file did not error")
+	}
+	if !strings.Contains(err.Error(), corrupt) {
+		t.Fatalf("error %q does not name the failing path %q", err, corrupt)
+	}
+}
+
+// TestSnapshotEndpointAndBoot: POST /v1/snapshot writes a loadable
+// snapshot, and bootStatic prefers it over rebuilding.
+func TestSnapshotEndpointAndBoot(t *testing.T) {
+	h, ix := newTestHandler(t)
+	path := filepath.Join(t.TempDir(), "served.snap")
+
+	rr := postJSON(t, h, "/v1/snapshot", snapshotRequest{Path: path})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("snapshot: status %d, body %s", rr.Code, rr.Body)
+	}
+	sr := decode[snapshotResponse](t, rr)
+	if sr.Path != path || sr.Series != ix.Len() || sr.Bytes == 0 {
+		t.Fatalf("snapshot response %+v", sr)
+	}
+
+	loaded, err := messi.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float32, 64)
+	copy(q, ix.Series(42))
+	want, err := ix.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("loaded snapshot answered %+v, served index %+v", got, want)
+	}
+
+	// bootStatic: snapshot present → loaded (no -data needed).
+	booted, source, err := bootStatic("", path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if booted.Len() != ix.Len() {
+		t.Fatalf("booted %d series, want %d", booted.Len(), ix.Len())
+	}
+	if !strings.Contains(source, "snapshot") {
+		t.Fatalf("boot source %q does not mention the snapshot", source)
+	}
+	// Snapshot absent and no data: a startup error, not a silent build.
+	if _, _, err := bootStatic("", filepath.Join(t.TempDir(), "missing.snap"), nil); err == nil {
+		t.Fatal("bootStatic with missing snapshot and no data did not error")
+	}
+}
+
+// TestSnapshotEndpointDefaults: empty body uses the -snapshot default;
+// no default at all is a 400.
+func TestSnapshotEndpointDefaults(t *testing.T) {
+	h, _ := newTestHandler(t) // constructed with no default path
+	rr := postJSON(t, h, "/v1/snapshot", snapshotRequest{})
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("snapshot without any path: status %d, want 400", rr.Code)
+	}
+
+	data := messi.RandomWalk(900, 64, 13)
+	ix, err := messi.BuildFlat(data, 64, &messi.Options{LeafCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := ix.NewEngine(&messi.EngineOptions{PoolWorkers: 4})
+	t.Cleanup(eng.Close)
+	def := filepath.Join(t.TempDir(), "default.snap")
+	hd := newHandler(&engineBackend{eng: eng}, def)
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/snapshot", nil)
+	rr = httptest.NewRecorder()
+	hd.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("snapshot to default: status %d, body %s", rr.Code, rr.Body)
+	}
+	if sr := decode[snapshotResponse](t, rr); sr.Path != def {
+		t.Fatalf("snapshot wrote to %q, want default %q", sr.Path, def)
+	}
+	if _, err := messi.Load(def); err != nil {
+		t.Fatalf("default-path snapshot not loadable: %v", err)
+	}
+}
+
+// TestLiveSnapshotEndpoint: in live mode the endpoint flushes first, so
+// freshly appended series are part of the snapshot, and bootLive resumes
+// from it.
+func TestLiveSnapshotEndpoint(t *testing.T) {
+	h, lix := newLiveTestHandler(t)
+	novel := make([]float32, 64)
+	for i := range novel {
+		novel[i] = 777 + float32(i)
+	}
+	if rr := postJSON(t, h, "/v1/series", appendRequest{Series: [][]float32{novel}}); rr.Code != http.StatusOK {
+		t.Fatalf("append: status %d, body %s", rr.Code, rr.Body)
+	}
+	path := filepath.Join(t.TempDir(), "live.snap")
+	rr := postJSON(t, h, "/v1/snapshot", snapshotRequest{Path: path})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("snapshot: status %d, body %s", rr.Code, rr.Body)
+	}
+	if sr := decode[snapshotResponse](t, rr); sr.Series != lix.Len() {
+		t.Fatalf("snapshot response %+v, want %d series", sr, lix.Len())
+	}
+
+	booted, source, err := bootLive("", path, nil, &messi.LiveOptions{ScanWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer booted.Close()
+	if !strings.Contains(source, "snapshot") {
+		t.Fatalf("boot source %q does not mention the snapshot", source)
+	}
+	m, err := booted.Search(novel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Position != 800 || m.Distance != 0 {
+		t.Fatalf("appended series missing from live snapshot boot: %+v", m)
 	}
 }

@@ -130,6 +130,44 @@ type Index struct {
 // from the delta); when non-empty it is indexed synchronously as
 // generation 1 and retained, like core.Build, without copying.
 func New(seriesLen int, initial *series.Collection, opts Options) (*Index, error) {
+	if initial != nil && initial.Count() > 0 && initial.Length != seriesLen {
+		return nil, fmt.Errorf("live: initial collection series length %d, want %d", initial.Length, seriesLen)
+	}
+	ix, err := prepare(seriesLen, opts)
+	if err != nil {
+		return nil, err
+	}
+	var base *core.Index
+	if initial != nil && initial.Count() > 0 {
+		if base, err = core.Build(initial, ix.opts.Core); err != nil {
+			return nil, err
+		}
+	}
+	return ix.start(base), nil
+}
+
+// NewFromIndex boots a live index from an already-built (typically
+// snapshot-restored) generation, skipping the construction pipeline
+// entirely: base becomes generation 1 and future rebuilds merge appends
+// into it. Structural options (segments, cardinality, leaf capacity) are
+// taken from base so later generations keep its shape; runtime options
+// (workers, queues, thresholds) come from opts.
+func NewFromIndex(base *core.Index, opts Options) (*Index, error) {
+	if base == nil || base.Data.Count() == 0 {
+		return nil, fmt.Errorf("live: cannot boot from an empty index")
+	}
+	opts.Core.Segments = base.Opts.Segments
+	opts.Core.CardBits = base.Opts.CardBits
+	opts.Core.LeafCapacity = base.Opts.LeafCapacity
+	ix, err := prepare(base.Data.Length, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ix.start(base), nil
+}
+
+// prepare validates options and builds the not-yet-started index shell.
+func prepare(seriesLen int, opts Options) (*Index, error) {
 	opts.Core = core.FillDefaults(opts.Core)
 	opts = opts.withDefaults()
 	// The engine inherits its pool shape from the core options even when
@@ -141,9 +179,6 @@ func New(seriesLen int, initial *series.Collection, opts Options) (*Index, error
 	if opts.Engine.Queues <= 0 {
 		opts.Engine.Queues = opts.Core.QueueCount
 	}
-	if initial != nil && initial.Count() > 0 && initial.Length != seriesLen {
-		return nil, fmt.Errorf("live: initial collection series length %d, want %d", initial.Length, seriesLen)
-	}
 	// Validate the schema once up front so generation rebuilds cannot fail
 	// on configuration (a bad length/segments combination surfaces here,
 	// not in a background goroutine).
@@ -152,27 +187,24 @@ func New(seriesLen int, initial *series.Collection, opts Options) (*Index, error
 	}
 	ix := &Index{opts: opts, seriesLen: seriesLen}
 	ix.cond = sync.NewCond(&ix.mu)
+	return ix, nil
+}
 
-	var base *core.Index
-	if initial != nil && initial.Count() > 0 {
-		var err error
-		base, err = core.Build(initial, opts.Core)
-		if err != nil {
-			return nil, err
-		}
-		ix.gen.Store(1)
-	}
+// start publishes the initial view around base (which may be nil) and
+// spins up the query engine.
+func (ix *Index) start(base *core.Index) *Index {
 	baseLen := 0
 	if base != nil {
 		baseLen = base.Data.Count()
+		ix.gen.Store(1)
 	}
 	ix.view.Store(&view{
 		base:    base,
 		baseLen: baseLen,
-		active:  delta.New(seriesLen, opts.BlockSeries),
+		active:  delta.New(ix.seriesLen, ix.opts.BlockSeries),
 	})
-	ix.eng = engine.New(base, opts.Engine)
-	return ix, nil
+	ix.eng = engine.New(base, ix.opts.Engine)
+	return ix
 }
 
 // SeriesLen reports the length (points) of each indexed series.
@@ -190,6 +222,11 @@ func (ix *Index) Generation() int64 { return ix.gen.Load() }
 // Engine returns the persistent query engine serving the current
 // generation (for callers that want direct, delta-blind tree queries).
 func (ix *Index) Engine() *engine.Engine { return ix.eng }
+
+// Base returns the current immutable generation (nil before the first
+// rebuild of an initially-empty index). After a Flush with no concurrent
+// appends it covers every series — the state a snapshot should capture.
+func (ix *Index) Base() *core.Index { return ix.view.Load().base }
 
 // Append adds one series (copied) and returns its stable position. The
 // series is searchable as soon as Append returns.

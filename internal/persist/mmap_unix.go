@@ -1,0 +1,28 @@
+//go:build unix
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file copy-on-write. The mapping is
+// intentionally never unmapped: the restored index aliases it for its
+// whole lifetime (a process typically loads one snapshot at boot).
+// MAP_PRIVATE means neither later in-place writes through the index (there
+// are none today) nor the mapping itself can modify the file, and
+// WriteFile replaces snapshots by rename (fresh inode), so an existing
+// mapping never observes a rewrite.
+func mmapFile(f *os.File) ([]byte, bool) {
+	fi, err := f.Stat()
+	if err != nil || fi.Size() <= 0 || fi.Size() != int64(int(fi.Size())) {
+		return nil, false
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}

@@ -1,0 +1,185 @@
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/isax"
+)
+
+// Flat is a pointer-free representation of a Tree suitable for
+// serialization: every node of every non-empty root subtree appears in
+// Nodes, children strictly after their parent (preorder), with subtree
+// roots listed in RootSlots/RootNodes. Leaf payloads reference the
+// original node storage (no copies), so a Flat must not outlive
+// modifications to the tree it came from.
+type Flat struct {
+	RootSlots []int32 // slot number of each non-empty root subtree, ascending
+	RootNodes []int32 // index into Nodes of each root subtree's top node
+	Nodes     []FlatNode
+}
+
+// FlatNode is one node of a flattened tree. Left/Right are indices into
+// Flat.Nodes for internal nodes and -1 for leaves.
+type FlatNode struct {
+	Symbols      []uint8 // per-segment symbol (len = segments)
+	Bits         []uint8 // per-segment cardinality bits (len = segments)
+	SplitSegment uint8   // internal nodes only
+	Left, Right  int32   // -1 for leaves
+	Unsplittable bool
+	Words        []uint8 // leaf entries: flat words, stride = segments
+	Positions    []int32 // leaf entries: series positions
+}
+
+// IsLeaf reports whether the flat node is a leaf.
+func (n *FlatNode) IsLeaf() bool { return n.Left < 0 }
+
+// Flatten converts the tree into its Flat form. The result shares leaf
+// entry storage with the tree.
+func (t *Tree) Flatten() *Flat {
+	f := &Flat{}
+	var walk func(n *Node) int32
+	walk = func(n *Node) int32 {
+		idx := int32(len(f.Nodes))
+		f.Nodes = append(f.Nodes, FlatNode{
+			Symbols:      n.Symbols,
+			Bits:         n.Bits,
+			Left:         -1,
+			Right:        -1,
+			Unsplittable: n.unsplittable,
+			Words:        n.Words,
+			Positions:    n.Positions,
+		})
+		if !n.IsLeaf() {
+			f.Nodes[idx].SplitSegment = uint8(n.SplitSegment)
+			// The children are appended after this call returns, so their
+			// indices are only known then; patch the parent afterwards.
+			left := walk(n.Left)
+			right := walk(n.Right)
+			f.Nodes[idx].Left = left
+			f.Nodes[idx].Right = right
+		}
+		return idx
+	}
+	for slot, r := range t.roots {
+		if r == nil {
+			continue
+		}
+		f.RootSlots = append(f.RootSlots, int32(slot))
+		f.RootNodes = append(f.RootNodes, walk(r))
+	}
+	return f
+}
+
+// Entries reports the total number of leaf entries stored in the flat
+// tree (the number of indexed series).
+func (f *Flat) Entries() int {
+	total := 0
+	for i := range f.Nodes {
+		total += len(f.Nodes[i].Positions)
+	}
+	return total
+}
+
+// Unflatten reconstructs a Tree from its Flat form, validating the
+// structural invariants that serialization could have violated: index
+// bounds, preorder child ordering, single-use of every node, per-node
+// slice shapes, and leaf capacity (unless unsplittable). Node sizes are
+// recomputed. Leaf payloads are shared with f, not copied.
+func Unflatten(schema *isax.Schema, leafCapacity int, f *Flat) (*Tree, error) {
+	t, err := New(schema, leafCapacity)
+	if err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, fmt.Errorf("tree: nil flat tree")
+	}
+	if len(f.RootSlots) != len(f.RootNodes) {
+		return nil, fmt.Errorf("tree: flat root slots/nodes length mismatch (%d vs %d)", len(f.RootSlots), len(f.RootNodes))
+	}
+	w := schema.Segments
+	n := int32(len(f.Nodes))
+	refs := make([]uint8, n) // times each node is referenced as root or child
+
+	var build func(idx int32) (*Node, int, error)
+	build = func(idx int32) (*Node, int, error) {
+		fn := &f.Nodes[idx]
+		if len(fn.Symbols) != w || len(fn.Bits) != w {
+			return nil, 0, fmt.Errorf("tree: flat node %d has %d/%d summary segments, want %d", idx, len(fn.Symbols), len(fn.Bits), w)
+		}
+		node := &Node{
+			Symbols:      fn.Symbols,
+			Bits:         fn.Bits,
+			unsplittable: fn.Unsplittable,
+		}
+		if fn.IsLeaf() {
+			if fn.Right >= 0 {
+				return nil, 0, fmt.Errorf("tree: flat node %d is half-internal", idx)
+			}
+			if len(fn.Words) != len(fn.Positions)*w {
+				return nil, 0, fmt.Errorf("tree: flat leaf %d has %d word bytes for %d entries", idx, len(fn.Words), len(fn.Positions))
+			}
+			if len(fn.Positions) > leafCapacity && !fn.Unsplittable {
+				return nil, 0, fmt.Errorf("tree: flat leaf %d holds %d entries over capacity %d without being unsplittable", idx, len(fn.Positions), leafCapacity)
+			}
+			node.Words = fn.Words
+			node.Positions = fn.Positions
+			node.Size = len(fn.Positions)
+			return node, node.Size, nil
+		}
+		if len(fn.Words) != 0 || len(fn.Positions) != 0 {
+			return nil, 0, fmt.Errorf("tree: flat internal node %d carries leaf entries", idx)
+		}
+		if int(fn.SplitSegment) >= w {
+			return nil, 0, fmt.Errorf("tree: flat node %d split segment %d out of range", idx, fn.SplitSegment)
+		}
+		node.SplitSegment = int(fn.SplitSegment)
+		size := 0
+		for _, child := range [2]int32{fn.Left, fn.Right} {
+			if child <= idx || child >= n {
+				return nil, 0, fmt.Errorf("tree: flat node %d child %d out of preorder range (%d,%d)", idx, child, idx, n)
+			}
+			if refs[child]++; refs[child] > 1 {
+				return nil, 0, fmt.Errorf("tree: flat node %d referenced more than once", child)
+			}
+			c, cs, err := build(child)
+			if err != nil {
+				return nil, 0, err
+			}
+			if node.Left == nil {
+				node.Left = c
+			} else {
+				node.Right = c
+			}
+			size += cs
+		}
+		node.Size = size
+		return node, size, nil
+	}
+
+	for i, slot := range f.RootSlots {
+		if slot < 0 || int(slot) >= t.RootCount() {
+			return nil, fmt.Errorf("tree: flat root slot %d out of range [0,%d)", slot, t.RootCount())
+		}
+		if t.roots[slot] != nil {
+			return nil, fmt.Errorf("tree: flat root slot %d appears twice", slot)
+		}
+		idx := f.RootNodes[i]
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("tree: flat root node %d out of range [0,%d)", idx, n)
+		}
+		if refs[idx]++; refs[idx] > 1 {
+			return nil, fmt.Errorf("tree: flat node %d referenced more than once", idx)
+		}
+		root, _, err := build(idx)
+		if err != nil {
+			return nil, err
+		}
+		t.roots[slot] = root
+	}
+	for i := int32(0); i < n; i++ {
+		if refs[i] == 0 {
+			return nil, fmt.Errorf("tree: flat node %d unreachable", i)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,173 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildRandomTree inserts n realistic words into a fresh tree.
+func buildRandomTree(t *testing.T, n, leafCap int) *Tree {
+	t.Helper()
+	s := newSchema(t)
+	tr, err := New(s, leafCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		word := wordFromRandomSeries(rng, s)
+		tr.Insert(tr.EnsureRoot(s.RootIndex(word)), word, int32(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	tr := buildRandomTree(t, 3000, 16)
+	f := tr.Flatten()
+	if got := f.Entries(); got != 3000 {
+		t.Fatalf("Flatten entries = %d, want 3000", got)
+	}
+
+	back, err := Unflatten(tr.Schema, tr.LeafCapacity, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.CheckInvariants(); err != nil {
+		t.Fatalf("unflattened tree violates invariants: %v", err)
+	}
+	if got, want := back.Stats(), tr.Stats(); got != want {
+		t.Fatalf("unflattened stats %+v, want %+v", got, want)
+	}
+
+	// Same leaves reachable by descent: every original entry's word must
+	// land in a leaf containing its position.
+	w := tr.Schema.Segments
+	tr.ForEachLeaf(func(n *Node) {
+		for i := 0; i < n.LeafLen(); i++ {
+			word := n.Word(i, w)
+			slot := tr.Schema.RootIndex(word)
+			leaf := back.DescendToLeaf(back.Root(slot), word)
+			found := false
+			for _, p := range leaf.Positions {
+				if p == n.Positions[i] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("position %d not found under its word after round trip", n.Positions[i])
+			}
+		}
+	})
+}
+
+func TestFlattenEmptyTree(t *testing.T) {
+	s := newSchema(t)
+	tr, _ := New(s, 16)
+	f := tr.Flatten()
+	if len(f.Nodes) != 0 || len(f.RootSlots) != 0 {
+		t.Fatalf("empty tree flattened to %d nodes, %d roots", len(f.Nodes), len(f.RootSlots))
+	}
+	back, err := Unflatten(s, 16, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Stats(); got.Leaves != 0 || got.Series != 0 {
+		t.Fatalf("unflattened empty tree has stats %+v", got)
+	}
+}
+
+// TestUnflattenRejectsCorruption: each structurally invalid mutation of a
+// valid Flat must be rejected, never panic or build a broken tree.
+func TestUnflattenRejectsCorruption(t *testing.T) {
+	tr := buildRandomTree(t, 1200, 8)
+	s := tr.Schema
+
+	// Find an internal node to corrupt child links on.
+	internal := -1
+	fresh := func() *Flat { return tr.Flatten() }
+	for i, n := range fresh().Nodes {
+		if !n.IsLeaf() {
+			internal = i
+			break
+		}
+	}
+	if internal < 0 {
+		t.Fatal("test tree has no internal node; lower the leaf capacity")
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(f *Flat)
+	}{
+		{"root slot out of range", func(f *Flat) { f.RootSlots[0] = int32(s.RootFanout()) }},
+		{"negative root slot", func(f *Flat) { f.RootSlots[0] = -1 }},
+		{"duplicate root slot", func(f *Flat) {
+			if len(f.RootSlots) < 2 {
+				t.Skip("needs two roots")
+			}
+			f.RootSlots[1] = f.RootSlots[0]
+		}},
+		{"root node index out of range", func(f *Flat) { f.RootNodes[0] = int32(len(f.Nodes)) }},
+		{"child before parent", func(f *Flat) { f.Nodes[internal].Left = int32(internal) }},
+		{"child out of range", func(f *Flat) { f.Nodes[internal].Right = int32(len(f.Nodes)) }},
+		{"split segment out of range", func(f *Flat) { f.Nodes[internal].SplitSegment = uint8(s.Segments) }},
+		{"wrong symbol width", func(f *Flat) { f.Nodes[0].Symbols = f.Nodes[0].Symbols[:4] }},
+		{"leaf words/positions mismatch", func(f *Flat) {
+			for i := range f.Nodes {
+				if f.Nodes[i].IsLeaf() && len(f.Nodes[i].Positions) > 0 {
+					f.Nodes[i].Words = f.Nodes[i].Words[:len(f.Nodes[i].Words)-1]
+					return
+				}
+			}
+		}},
+		{"internal node with entries", func(f *Flat) {
+			f.Nodes[internal].Positions = []int32{1}
+			f.Nodes[internal].Words = make([]uint8, s.Segments)
+		}},
+		{"roots/nodes length mismatch", func(f *Flat) { f.RootNodes = f.RootNodes[:len(f.RootNodes)-1] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := fresh()
+			tc.mutate(f)
+			if _, err := Unflatten(s, tr.LeafCapacity, f); err == nil {
+				t.Fatal("corrupt flat tree accepted")
+			}
+		})
+	}
+
+	if _, err := Unflatten(s, tr.LeafCapacity, nil); err == nil {
+		t.Fatal("nil flat tree accepted")
+	}
+}
+
+// TestUnflattenOverfullLeaf: a leaf over capacity is only legal when
+// marked unsplittable.
+func TestUnflattenOverfullLeaf(t *testing.T) {
+	s := newSchema(t)
+	w := s.Segments
+	entries := 5
+	node := FlatNode{
+		Symbols:   make([]uint8, w),
+		Bits:      make([]uint8, w),
+		Left:      -1,
+		Right:     -1,
+		Words:     make([]uint8, entries*w),
+		Positions: []int32{0, 1, 2, 3, 4},
+	}
+	for i := 0; i < w; i++ {
+		node.Bits[i] = 1
+	}
+	f := &Flat{RootSlots: []int32{0}, RootNodes: []int32{0}, Nodes: []FlatNode{node}}
+	if _, err := Unflatten(s, entries-1, f); err == nil {
+		t.Fatal("overfull splittable leaf accepted")
+	}
+	f.Nodes[0].Unsplittable = true
+	if _, err := Unflatten(s, entries-1, f); err != nil {
+		t.Fatalf("overfull unsplittable leaf rejected: %v", err)
+	}
+}

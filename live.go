@@ -23,6 +23,13 @@ type LiveOptions struct {
 	// Engine configures the persistent query pool answering the
 	// tree-search side of every query (same semantics as Index.NewEngine).
 	Engine EngineOptions
+	// SnapshotPath, when non-empty, makes the live index persist its
+	// immutable generation there (atomically) after every successful
+	// Flush, and best-effort on Close — so a restarted server can boot
+	// from the snapshot via LoadLive instead of rebuilding. Errors from
+	// the Close-time snapshot are discarded; call Flush or Save first
+	// when durability must be confirmed.
+	SnapshotPath string
 }
 
 func (o *LiveOptions) toLive(coreOpts core.Options) live.Options {
@@ -54,8 +61,9 @@ func (o *LiveOptions) toLive(coreOpts core.Options) live.Options {
 //
 // A LiveIndex is safe for concurrent use; Close it when done.
 type LiveIndex struct {
-	inner     *live.Index
-	normalize bool
+	inner        *live.Index
+	normalize    bool
+	snapshotPath string // from LiveOptions.SnapshotPath; "" disables
 }
 
 // NewLive creates an empty live index for series of the given length.
@@ -107,7 +115,7 @@ func newLive(seriesLen int, col *series.Collection, opts *Options, lopts *LiveOp
 	if err != nil {
 		return nil, err
 	}
-	return &LiveIndex{inner: inner, normalize: normalize}, nil
+	return &LiveIndex{inner: inner, normalize: normalize, snapshotPath: snapshotPath(lopts)}, nil
 }
 
 // prepareQuery applies normalization when the index was built with it.
@@ -178,7 +186,18 @@ func (ix *LiveIndex) SearchDTW(query []float32, window float64) (Match, error) {
 
 // Flush synchronously merges all buffered series into the immutable
 // generation; afterwards (absent concurrent appends) the delta is empty.
-func (ix *LiveIndex) Flush() error { return ix.inner.Flush() }
+// With LiveOptions.SnapshotPath set, the merged generation is then
+// persisted there; a snapshot write failure is returned (the in-memory
+// merge itself has already succeeded).
+func (ix *LiveIndex) Flush() error {
+	if err := ix.inner.Flush(); err != nil {
+		return err
+	}
+	if ix.snapshotPath != "" && ix.inner.Base() != nil {
+		return ix.saveBase(ix.snapshotPath)
+	}
+	return nil
+}
 
 // Series returns (a view of) the series at the given stable position.
 // Callers must not modify it.
@@ -193,8 +212,17 @@ func (ix *LiveIndex) Len() int { return ix.inner.Len() }
 func (ix *LiveIndex) SeriesLen() int { return ix.inner.SeriesLen() }
 
 // Close stops background rebuilds and the query pool. Appends and
-// queries after Close fail; Close is idempotent.
-func (ix *LiveIndex) Close() { ix.inner.Close() }
+// queries after Close fail; Close is idempotent. With
+// LiveOptions.SnapshotPath set, Close writes a best-effort snapshot of
+// the current generation (series still in the delta are not included —
+// call Flush first for a complete one; its error, unlike Close's
+// snapshot error, is reported).
+func (ix *LiveIndex) Close() {
+	ix.inner.Close()
+	if ix.snapshotPath != "" && ix.inner.Base() != nil {
+		_ = ix.saveBase(ix.snapshotPath) // best-effort by contract
+	}
+}
 
 // LiveStats describes a live index's current shape.
 type LiveStats struct {

@@ -1,0 +1,119 @@
+package messi
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/live"
+	"repro/internal/persist"
+)
+
+// This file is the public face of the snapshot subsystem
+// (internal/persist): saving a built index to a versioned, checksummed
+// binary file and loading it back in a fraction of the build time. A
+// loaded index answers every query identically to the freshly built one.
+//
+//	ix, _ := messi.BuildFlat(data, 256, nil)
+//	_ = ix.Save("index.snap")
+//	...
+//	ix2, _ := messi.Load("index.snap") // seconds, not an O(n) rebuild
+//
+// Snapshots record the index options that shape the structure (segments,
+// cardinality, leaf capacity) and the normalization flag; runtime tuning
+// (worker counts, queue counts) is not persisted and takes the usual
+// defaults on load.
+
+// ErrNoGeneration is returned when saving a LiveIndex that has no
+// immutable generation to snapshot (nothing was ever indexed).
+var ErrNoGeneration = errors.New("messi: live index has no generation to snapshot")
+
+// Save writes the index to path as a snapshot. The write is atomic: a
+// temporary file is written, synced, and renamed over path, so a crash
+// cannot leave a truncated snapshot under the target name.
+func (ix *Index) Save(path string) error {
+	return persist.WriteFile(path, ix.inner, ix.normalize)
+}
+
+// WriteSnapshot streams the index snapshot to w (the same bytes Save
+// writes to a file).
+func (ix *Index) WriteSnapshot(w io.Writer) error {
+	return persist.Write(w, ix.inner, ix.normalize)
+}
+
+// Load reads a snapshot written by Save (or messi-gen -snapshot) and
+// restores the index without re-running construction. Corrupt or
+// incompatible files fail with a descriptive error rather than a corrupt
+// index: the format is checksummed section by section.
+//
+// On unix hosts the snapshot file is memory-mapped and the loaded index
+// aliases the (copy-on-write, page-cache-backed) mapping for as long as
+// the process lives — the intended shape for a server that loads one
+// snapshot at boot. A process that loads snapshots repeatedly
+// accumulates one mapping per Load; use ReadSnapshot over an opened file
+// for a fully heap-allocated index instead.
+func Load(path string) (*Index, error) {
+	inner, normalize, err := persist.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner, normalize: normalize}, nil
+}
+
+// ReadSnapshot restores an index from a snapshot stream (the inverse of
+// WriteSnapshot).
+func ReadSnapshot(r io.Reader) (*Index, error) {
+	inner, normalize, err := persist.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner, normalize: normalize}, nil
+}
+
+// LoadLive boots a mutable live index from a snapshot: the snapshot
+// becomes the first immutable generation and appends accumulate on top,
+// exactly as if the original index had kept running. Structural options
+// are taken from the snapshot; opts supplies runtime tuning and lopts the
+// live-index behaviour (including SnapshotPath for automatic
+// re-snapshots on Flush and Close).
+func LoadLive(path string, opts *Options, lopts *LiveOptions) (*LiveIndex, error) {
+	base, normalize, err := persist.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	coreOpts, _, err := opts.toCore()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := live.NewFromIndex(base, lopts.toLive(coreOpts))
+	if err != nil {
+		return nil, err
+	}
+	return &LiveIndex{inner: inner, normalize: normalize, snapshotPath: snapshotPath(lopts)}, nil
+}
+
+// Save snapshots the live index to path: it first Flushes (merging all
+// buffered series into the immutable generation), then writes that
+// generation atomically. Concurrent appends arriving after the flush are
+// not part of the snapshot.
+func (ix *LiveIndex) Save(path string) error {
+	if err := ix.inner.Flush(); err != nil {
+		return err
+	}
+	return ix.saveBase(path)
+}
+
+// saveBase persists the current immutable generation as-is (no flush).
+func (ix *LiveIndex) saveBase(path string) error {
+	base := ix.inner.Base()
+	if base == nil {
+		return ErrNoGeneration
+	}
+	return persist.WriteFile(path, base, ix.normalize)
+}
+
+func snapshotPath(lopts *LiveOptions) string {
+	if lopts == nil {
+		return ""
+	}
+	return lopts.SnapshotPath
+}
