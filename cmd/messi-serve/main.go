@@ -26,6 +26,13 @@
 // crosses -rebuild-threshold. Without -live the index is immutable and
 // /v1/series is not registered.
 //
+// With -pprof the server additionally exposes net/http/pprof on a
+// separate listener (keep it on loopback: it is unauthenticated), so the
+// serving hot paths can be profiled in production:
+//
+//	messi-serve -data data.bin -pprof localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
 // With -snapshot the server boots from the named index snapshot when it
 // exists (falling back to building from -data when it does not), and the
 // same path is the default target of POST /v1/snapshot — so a serve →
@@ -44,7 +51,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -79,12 +88,22 @@ func run(args []string) error {
 		normalize = fs.Bool("normalize", false, "z-normalize data and queries")
 		liveMode  = fs.Bool("live", false, "serve a mutable live index accepting appends on POST /v1/series")
 		threshold = fs.Int("rebuild-threshold", 0, "live mode: delta series triggering a background rebuild (default 100000)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); keep it loopback-only, the listener is unauthenticated")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dataPath == "" && *snapPath == "" {
 		return errors.New("one of -data or -snapshot is required")
+	}
+	if *pprofAddr != "" {
+		// Profiling runs on its own listener so the debug surface never
+		// shares a port (or a handler namespace) with the query API.
+		_, stopPprof, err := startPprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer stopPprof()
 	}
 
 	opts := &messi.Options{LeafCapacity: *leafCap, Normalize: *normalize}
@@ -169,6 +188,33 @@ func run(args []string) error {
 	}
 	persistOnShutdown()
 	return <-errc
+}
+
+// startPprof serves the net/http/pprof handlers on their own listener —
+// production hot paths can be profiled (CPU, heap, mutex, goroutine)
+// without exposing the debug surface through the query API's port. It
+// returns the bound address and a shutdown func. Registration is
+// explicit on a private mux: the pprof package's import side effect
+// touches only http.DefaultServeMux, which this binary never serves.
+func startPprof(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("pprof server: %v", err)
+		}
+	}()
+	log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+	return ln.Addr().String(), func() { srv.Close() }, nil
 }
 
 // boot resolves what the server serves: the snapshot when one is

@@ -8,6 +8,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/isax"
 	"repro/internal/series"
@@ -83,7 +84,24 @@ type Index struct {
 	// skipped either way — and keeps the Fetch&Inc count proportional
 	// to the data).
 	activeRoots []int32
+
+	// tables pools per-query distance tables for query paths that carry
+	// no QueryState (per-query spawn mode, DTW searches); the engine's
+	// pooled states hold their own table. All tables in the pool belong
+	// to this index's schema.
+	tables sync.Pool
 }
+
+// getTable borrows a distance table sized for this index's schema.
+func (ix *Index) getTable() *isax.DistTable {
+	if t, ok := ix.tables.Get().(*isax.DistTable); ok {
+		return t
+	}
+	return ix.Schema.NewDistTable()
+}
+
+// putTable returns a borrowed table to the pool.
+func (ix *Index) putTable(t *isax.DistTable) { ix.tables.Put(t) }
 
 // Match is a query result: the position of a series in the collection and
 // its SQUARED distance to the query (Euclidean, or constrained DTW for the

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dtw"
+	"repro/internal/isax"
 	"repro/internal/paa"
 	"repro/internal/pqueue"
 	"repro/internal/stats"
@@ -21,8 +22,10 @@ import (
 // structure; we just have to build the envelope of the LB_Keogh method
 // around the query series, and then search the index using this envelope."
 // Concretely, node pruning uses MINDIST between the envelope's per-segment
-// bounds and the node summary; per-series filtering cascades that bound,
-// then LB_Keogh on the raw series, then the early-abandoning DTW itself.
+// bounds and the node summary — served from the same per-query distance
+// table as the Euclidean path, built from the envelope summary instead of
+// the PAA — and per-series filtering cascades that bound, then LB_Keogh on
+// the raw series, then the early-abandoning DTW itself.
 func (ix *Index) SearchDTW(query []float32, window int, opt SearchOptions) (Match, error) {
 	if err := ix.validateQuery(query); err != nil {
 		return Match{}, err
@@ -38,6 +41,7 @@ func (ix *Index) SearchDTW(query []float32, window int, opt SearchOptions) (Matc
 		tInit = time.Now()
 	}
 	env := ix.newDTWQuery(query, window)
+	defer ix.putTable(env.tab)
 	bsf := stats.NewBSF()
 	for _, s := range opt.Seeds {
 		bsf.Update(s.Dist, int64(s.Position))
@@ -66,29 +70,30 @@ func (ix *Index) SearchDTW(query []float32, window int, opt SearchOptions) (Matc
 }
 
 // dtwQuery bundles the per-query DTW state: the query, its LB_Keogh
-// envelope, and the envelope's per-segment summary used against iSAX
-// words/prefixes.
+// envelope, and the distance table built from the envelope's per-segment
+// summary (max of the upper envelope, min of the lower) used against iSAX
+// words and prefixes.
 type dtwQuery struct {
 	query  []float32
 	window int
 	upper  []float32 // pointwise envelope
 	lower  []float32
-	uMax   []float64 // per-segment max of upper (conservative PAA)
-	lMin   []float64 // per-segment min of lower
-	qword  []uint8   // query's own word, for the approximate descent
+	tab    *isax.DistTable // built from the envelope summary
+	qword  []uint8         // query's own word, for the approximate descent
 }
 
 func (ix *Index) newDTWQuery(query []float32, window int) *dtwQuery {
 	u, l := dtw.Envelope(query, window)
 	w := ix.Schema.Segments
 	qpaa := paa.Transform(query, w, nil)
+	tab := ix.getTable() // returned to the pool by SearchDTW
+	tab.BuildEnvelope(paa.SegmentMax(u, w, nil), paa.SegmentMin(l, w, nil))
 	return &dtwQuery{
 		query:  query,
 		window: window,
 		upper:  u,
 		lower:  l,
-		uMax:   paa.SegmentMax(u, w, nil),
-		lMin:   paa.SegmentMin(l, w, nil),
+		tab:    tab,
 		qword:  ix.Schema.WordFromPAA(qpaa, nil),
 	}
 }
@@ -108,10 +113,12 @@ func (ix *Index) dtwWorker(env *dtwQuery, bsf *stats.BSF, queues *pqueue.Set[*tr
 	barrier.Done()
 	barrier.Wait()
 
+	scratch := scratchPool.Get().(*leafScratch)
+	defer scratchPool.Put(scratch)
 	rnd := uint64(pid)*0x9E3779B97F4A7C15 + 0x9876543
 	q := pid % opt.Queues
 	for {
-		ix.processQueueDTW(queues.Queue(q), env, bsf, ctrs)
+		ix.processQueueDTW(queues.Queue(q), env, scratch, bsf, ctrs)
 		rnd = rnd*6364136223846793005 + 1442695040888963407
 		q = queues.NextUnfinished(int(rnd>>33) % opt.Queues)
 		if q < 0 {
@@ -124,7 +131,7 @@ func (ix *Index) traverseDTW(node *tree.Node, env *dtwQuery, bsf *stats.BSF,
 	queues *pqueue.Set[*tree.Node], cursor *int, ctrs *stats.Counters) {
 
 	ctrs.AddNodesVisited(1)
-	dist := ix.Schema.MinDistEnvelopePrefix(env.uMax, env.lMin, node.Symbols, node.Bits)
+	dist := env.tab.MinDistPrefix(node.Symbols, node.Bits)
 	ctrs.AddLowerBound(1)
 	if dist >= bsf.Load() {
 		return
@@ -142,7 +149,7 @@ func (ix *Index) traverseDTW(node *tree.Node, env *dtwQuery, bsf *stats.BSF,
 }
 
 func (ix *Index) processQueueDTW(q *pqueue.Queue[*tree.Node], env *dtwQuery,
-	bsf *stats.BSF, ctrs *stats.Counters) {
+	scratch *leafScratch, bsf *stats.BSF, ctrs *stats.Counters) {
 
 	for {
 		if q.Finished() {
@@ -158,35 +165,55 @@ func (ix *Index) processQueueDTW(q *pqueue.Queue[*tree.Node], env *dtwQuery,
 			q.MarkFinished()
 			return
 		}
-		ix.scanLeafDTW(item.Value, env, bsf, ctrs)
+		ix.scanLeafDTW(item.Value, env, scratch, bsf, ctrs)
 	}
 }
 
-// scanLeafDTW cascades three bounds per entry: envelope-vs-word MINDIST,
-// LB_Keogh on the raw candidate, then the early-abandoning DTW.
-func (ix *Index) scanLeafDTW(leaf *tree.Node, env *dtwQuery, bsf *stats.BSF, ctrs *stats.Counters) {
-	w := ix.Schema.Segments
+// scanLeafDTW cascades three bounds per entry — envelope-vs-word MINDIST,
+// LB_Keogh on the raw candidate, then the early-abandoning DTW — with the
+// MINDIST stage computed for the whole leaf at once by streaming the
+// segment-major symbol columns against the envelope distance table (same
+// kernel shape as the Euclidean scanLeaf). The pruning bound is cached
+// locally and refreshed per scanBlock and after improvements.
+func (ix *Index) scanLeafDTW(leaf *tree.Node, env *dtwQuery, scratch *leafScratch,
+	bsf *stats.BSF, ctrs *stats.Counters) {
+
 	n := leaf.LeafLen()
-	var lbCount, realCount int64
-	for i := 0; i < n; i++ {
-		lbCount++
-		lb := ix.Schema.MinDistEnvelopeWord(env.uMax, env.lMin, leaf.Word(i, w))
-		limit := bsf.Load()
-		if lb >= limit {
-			continue
+	if n == 0 {
+		return
+	}
+	lbs := scratch.accumulate(leaf, env.tab, ix.Schema.Segments)
+
+	scale := env.tab.Scale()
+	limit := bsf.Load()
+	lbCount := int64(n)
+	var realCount int64
+	for base := 0; base < n; base += scanBlock {
+		end := base + scanBlock
+		if end > n {
+			end = n
 		}
-		pos := leaf.Positions[i]
-		candidate := ix.Data.At(int(pos))
-		lbCount++
-		if dtw.LBKeogh(candidate, env.lower, env.upper, limit) >= limit {
-			continue
-		}
-		realCount++
-		d := dtw.Distance(env.query, candidate, env.window, limit)
-		if d < limit {
-			if bsf.Update(d, int64(pos)) {
-				ctrs.AddBSFUpdate()
+		for e := base; e < end; e++ {
+			if lbs[e]*scale >= limit {
+				continue
 			}
+			pos := leaf.Positions[e]
+			candidate := ix.Data.At(int(pos))
+			lbCount++
+			if dtw.LBKeogh(candidate, env.lower, env.upper, limit) >= limit {
+				continue
+			}
+			realCount++
+			d := dtw.Distance(env.query, candidate, env.window, limit)
+			if d < limit {
+				if bsf.Update(d, int64(pos)) {
+					ctrs.AddBSFUpdate()
+				}
+				limit = bsf.Load()
+			}
+		}
+		if end < n {
+			limit = bsf.Load()
 		}
 	}
 	ctrs.AddLowerBound(lbCount)
@@ -195,13 +222,14 @@ func (ix *Index) scanLeafDTW(leaf *tree.Node, env *dtwQuery, bsf *stats.BSF, ctr
 
 // approxSearchDTW seeds the DTW BSF from the leaf matching the query's own
 // word (warping alignment keeps the query's natural leaf a good candidate).
+// The bound is loaded once per candidate and refreshed after updates.
 func (ix *Index) approxSearchDTW(env *dtwQuery, bsf *stats.BSF, ctrs *stats.Counters) {
 	root := ix.Tree.Root(ix.Schema.RootIndex(env.qword))
 	if root == nil {
 		best := math.Inf(1)
 		for _, slot := range ix.activeRoots {
 			r := ix.Tree.Root(int(slot))
-			d := ix.Schema.MinDistEnvelopePrefix(env.uMax, env.lMin, r.Symbols, r.Bits)
+			d := env.tab.MinDistPrefix(r.Symbols, r.Bits)
 			ctrs.AddLowerBound(1)
 			if d < best {
 				best = d
@@ -213,14 +241,16 @@ func (ix *Index) approxSearchDTW(env *dtwQuery, bsf *stats.BSF, ctrs *stats.Coun
 		return
 	}
 	leaf := ix.Tree.DescendToLeaf(root, env.qword)
+	limit := bsf.Load()
 	for i := 0; i < leaf.LeafLen(); i++ {
 		pos := leaf.Positions[i]
-		d := dtw.Distance(env.query, ix.Data.At(int(pos)), env.window, bsf.Load())
+		d := dtw.Distance(env.query, ix.Data.At(int(pos)), env.window, limit)
 		ctrs.AddRealDist(1)
-		if d < bsf.Load() {
+		if d < limit {
 			if bsf.Update(d, int64(pos)) {
 				ctrs.AddBSFUpdate()
 			}
+			limit = bsf.Load()
 		}
 	}
 }

@@ -132,6 +132,7 @@ func (ix *Index) SearchKNN(query []float32, k int, opt SearchOptions) ([]Match, 
 		return nil, err
 	}
 	r.Run()
+	r.releaseTable()
 	return r.Matches(), nil
 }
 

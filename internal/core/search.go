@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/isax"
 	"repro/internal/paa"
 	"repro/internal/pqueue"
 	"repro/internal/stats"
@@ -61,13 +62,60 @@ type bound interface {
 	Update(dist float64, pos int64) bool
 }
 
+// scanBlock is the number of leaf candidates a worker processes between
+// refreshes of the shared pruning bound. Within a block the worker prunes
+// against a locally cached copy — a stale (larger) threshold only admits
+// extra candidates, never wrongly prunes — so the shared-atomic read
+// leaves the per-candidate loop.
+const scanBlock = 64
+
+// leafScratch is the per-worker scratch for segment-major leaf scans: the
+// whole leaf's lower-bound accumulators. Workers borrow one from
+// scratchPool for the duration of a drain phase.
+type leafScratch struct {
+	lb []float64
+}
+
+// bounds returns the accumulator slice sized for an n-entry leaf.
+func (s *leafScratch) bounds(n int) []float64 {
+	if cap(s.lb) < n {
+		s.lb = make([]float64, n)
+	}
+	return s.lb[:n]
+}
+
+// accumulate streams a leaf's symbol columns against the distance
+// table's rows, leaving each entry's unscaled lower-bound sum in the
+// scratch buffer — the one canonical column kernel shared by the
+// Euclidean and DTW leaf scans. The ascending-segment accumulation
+// order is what makes the result (after scaling) bitwise identical to
+// the scalar per-entry kernels; keep it if you touch this.
+func (s *leafScratch) accumulate(leaf *tree.Node, tab *isax.DistTable, w int) []float64 {
+	lbs := s.bounds(leaf.LeafLen())
+	row := tab.Row(0)
+	for e, sym := range leaf.Col(0) {
+		lbs[e] = row[sym]
+	}
+	for seg := 1; seg < w; seg++ {
+		row = tab.Row(seg)
+		for e, sym := range leaf.Col(seg) {
+			lbs[e] += row[sym]
+		}
+	}
+	return lbs
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(leafScratch) }}
+
 // QueryState holds the per-query scratch resources — PAA buffer, iSAX word
-// buffer, and the priority-queue set — that a long-lived query engine
-// reuses across queries instead of reallocating per search. A QueryState
-// may back at most one SearchRun at a time; the zero value is ready to use.
+// buffer, the per-query distance table, and the priority-queue set — that
+// a long-lived query engine reuses across queries instead of reallocating
+// per search. A QueryState may back at most one SearchRun at a time; the
+// zero value is ready to use.
 type QueryState struct {
 	paaBuf  []float64
 	wordBuf []uint8
+	table   *isax.DistTable
 	queues  pqueue.Set[*tree.Node]
 }
 
@@ -89,15 +137,16 @@ func NewQueryState() *QueryState { return &QueryState{} }
 // All phase methods are safe for concurrent use; pid distinguishes
 // workers for queue-cursor and randomization purposes.
 type SearchRun struct {
-	ix      *Index
-	query   []float32
-	qpaa    []float64
-	bnd     bound
-	bsf     *stats.BSF // set for 1-NN runs
-	top     *topK      // set for k-NN runs
-	queues  *pqueue.Set[*tree.Node]
-	rootCtr atomic.Int64
-	opt     SearchOptions
+	ix          *Index
+	query       []float32
+	table       *isax.DistTable // per-query MINDIST table, built once in init
+	pooledTable bool            // table borrowed from ix.tables (no QueryState)
+	bnd         bound
+	bsf         *stats.BSF // set for 1-NN runs
+	top         *topK      // set for k-NN runs
+	queues      *pqueue.Set[*tree.Node]
+	rootCtr     atomic.Int64
+	opt         SearchOptions
 }
 
 // NewSearchRun prepares an exact 1-NN query: it validates the query,
@@ -133,7 +182,8 @@ func (ix *Index) NewKNNRun(query []float32, k int, st *QueryState, opt SearchOpt
 }
 
 // init computes the query summaries (into st's buffers when available),
-// seeds the bound via the approximate search, and sizes the queue set.
+// builds the per-query distance table, seeds the bound via the
+// approximate search, and sizes the queue set.
 func (r *SearchRun) init(st *QueryState) {
 	bd := r.opt.Breakdown
 	var tInit time.Time
@@ -145,19 +195,27 @@ func (r *SearchRun) init(st *QueryState) {
 	if st != nil {
 		paaBuf, wordBuf = st.paaBuf, st.wordBuf
 	}
-	r.qpaa = paa.Transform(r.query, r.ix.Schema.Segments, paaBuf)
-	qword := r.ix.Schema.WordFromPAA(r.qpaa, wordBuf)
+	qpaa := paa.Transform(r.query, r.ix.Schema.Segments, paaBuf)
+	qword := r.ix.Schema.WordFromPAA(qpaa, wordBuf)
 	if st != nil {
-		st.paaBuf, st.wordBuf = r.qpaa, qword
+		st.paaBuf, st.wordBuf = qpaa, qword
+		// The table's geometry is schema-bound; a pooled state may have
+		// last served a different generation (engine Swap), so recheck.
+		if st.table == nil || st.table.Schema() != r.ix.Schema {
+			st.table = r.ix.Schema.NewDistTable()
+		}
+		r.table = st.table
 		st.queues.Resize(r.opt.Queues, 64)
 		r.queues = &st.queues
 	} else {
+		r.table, r.pooledTable = r.ix.getTable(), true
 		r.queues = pqueue.NewSet[*tree.Node](r.opt.Queues, 64)
 	}
+	r.table.BuildPAA(qpaa)
 	for _, s := range r.opt.Seeds {
 		r.bnd.Update(s.Dist, int64(s.Position))
 	}
-	r.ix.approxSearch(r.query, r.qpaa, qword, r.bnd, r.opt.Counters)
+	r.ix.approxSearch(r.query, qpaa, qword, r.table, r.bnd, r.opt.Counters)
 	if bd.Enabled() {
 		bd.Add(stats.PhaseInit, time.Since(tInit))
 	}
@@ -192,6 +250,16 @@ func (r *SearchRun) Best() Match {
 // only after all workers finished.
 func (r *SearchRun) Matches() []Match { return r.top.results() }
 
+// releaseTable returns a pool-borrowed table after the run completes.
+// Only the Index-owned entry points call it; externally created runs
+// (NewSearchRun with a nil state) simply let their table be collected.
+func (r *SearchRun) releaseTable() {
+	if r.pooledTable {
+		r.ix.putTable(r.table)
+		r.table, r.pooledTable = nil, false
+	}
+}
+
 // InsertPhase is the tree-traversal half of Algorithm 6: claim root
 // subtrees via Fetch&Inc and push non-prunable leaves into the queues.
 // Every participating worker must call it exactly once, and all calls
@@ -211,7 +279,7 @@ func (r *SearchRun) InsertPhase(pid int) {
 			break
 		}
 		root := r.ix.Tree.Root(int(r.ix.activeRoots[i]))
-		r.ix.traverse(root, r.qpaa, r.bnd, r.queues, &cursor, &insertTime, ctrs, bd)
+		r.traverse(root, &cursor, &insertTime, ctrs, bd)
 	}
 	if bd.Enabled() {
 		bd.Add(stats.PhaseTreePass, time.Since(tStart)-insertTime)
@@ -223,12 +291,14 @@ func (r *SearchRun) InsertPhase(pid int) {
 // drain queues until every queue is finished.
 func (r *SearchRun) DrainPhase(pid int) {
 	ctrs, bd := r.opt.Counters, r.opt.Breakdown
+	scratch := scratchPool.Get().(*leafScratch)
+	defer scratchPool.Put(scratch)
 
 	if r.opt.LocalQueues {
 		// Ablation mode: drain only this worker's private queue; no
 		// stealing. Workers whose queues drain early sit idle — the
 		// load imbalance the paper rejected this design for.
-		r.ix.processQueue(r.queues.Queue(pid%r.opt.Queues), r.query, r.qpaa, r.bnd, ctrs, bd)
+		r.processQueue(r.queues.Queue(pid%r.opt.Queues), scratch, ctrs, bd)
 		return
 	}
 
@@ -238,7 +308,7 @@ func (r *SearchRun) DrainPhase(pid int) {
 	rnd := uint64(pid)*0x9E3779B97F4A7C15 + 0x1234567
 	q := pid % r.opt.Queues
 	for {
-		r.ix.processQueue(r.queues.Queue(q), r.query, r.qpaa, r.bnd, ctrs, bd)
+		r.processQueue(r.queues.Queue(q), scratch, ctrs, bd)
 		rnd = rnd*6364136223846793005 + 1442695040888963407 // LCG step
 		q = r.queues.NextUnfinished(int(rnd>>33) % r.opt.Queues)
 		if q < 0 {
@@ -256,19 +326,20 @@ func (ix *Index) Search(query []float32, opt SearchOptions) (Match, error) {
 		return Match{}, err
 	}
 	r.Run()
+	r.releaseTable()
 	return r.Best(), nil
 }
 
 // traverse is Algorithm 7: prune subtrees whose lower bound exceeds the
-// BSF; push surviving leaves into the queues round-robin.
-func (ix *Index) traverse(node *tree.Node, qpaa []float64, bnd bound,
-	queues *pqueue.Set[*tree.Node], cursor *int, insertTime *time.Duration,
+// BSF; push surviving leaves into the queues round-robin. Node bounds are
+// one table lookup per segment against the run's distance table.
+func (r *SearchRun) traverse(node *tree.Node, cursor *int, insertTime *time.Duration,
 	ctrs *stats.Counters, bd *stats.Breakdown) {
 
 	ctrs.AddNodesVisited(1)
-	dist := ix.Schema.MinDistPAAPrefix(qpaa, node.Symbols, node.Bits)
+	dist := r.table.MinDistPrefix(node.Symbols, node.Bits)
 	ctrs.AddLowerBound(1)
-	if dist >= bnd.Load() {
+	if dist >= r.bnd.Load() {
 		return
 	}
 	if node.IsLeaf() {
@@ -277,23 +348,23 @@ func (ix *Index) traverse(node *tree.Node, qpaa []float64, bnd bound,
 		}
 		if bd.Enabled() {
 			t0 := time.Now()
-			queues.PushRoundRobin(cursor, dist, node)
+			r.queues.PushRoundRobin(cursor, dist, node)
 			*insertTime += time.Since(t0)
 		} else {
-			queues.PushRoundRobin(cursor, dist, node)
+			r.queues.PushRoundRobin(cursor, dist, node)
 		}
 		ctrs.AddLeavesInserted(1)
 		return
 	}
-	ix.traverse(node.Left, qpaa, bnd, queues, cursor, insertTime, ctrs, bd)
-	ix.traverse(node.Right, qpaa, bnd, queues, cursor, insertTime, ctrs, bd)
+	r.traverse(node.Left, cursor, insertTime, ctrs, bd)
+	r.traverse(node.Right, cursor, insertTime, ctrs, bd)
 }
 
 // processQueue is Algorithm 8: repeatedly DeleteMin; once the popped bound
 // is no better than the BSF (or the queue is empty), mark the queue
 // finished and return.
-func (ix *Index) processQueue(q *pqueue.Queue[*tree.Node], query []float32, qpaa []float64,
-	bnd bound, ctrs *stats.Counters, bd *stats.Breakdown) {
+func (r *SearchRun) processQueue(q *pqueue.Queue[*tree.Node], scratch *leafScratch,
+	ctrs *stats.Counters, bd *stats.Breakdown) {
 
 	for {
 		if q.Finished() {
@@ -311,7 +382,7 @@ func (ix *Index) processQueue(q *pqueue.Queue[*tree.Node], query []float32, qpaa
 			q.MarkFinished()
 			return
 		}
-		if item.Priority >= bnd.Load() {
+		if item.Priority >= r.bnd.Load() {
 			// Everything left in this min-queue is at least as far:
 			// abandon the whole queue (Algorithm 8 lines 8-10).
 			ctrs.AddLeavesPruned(1)
@@ -321,39 +392,58 @@ func (ix *Index) processQueue(q *pqueue.Queue[*tree.Node], query []float32, qpaa
 		if bd.Enabled() {
 			t0 = time.Now()
 		}
-		ix.scanLeaf(item.Value, query, qpaa, bnd, ctrs)
+		r.ix.scanLeaf(item.Value, r.query, r.table, scratch, r.bnd, ctrs)
 		if bd.Enabled() {
 			bd.Add(stats.PhaseDistCalc, time.Since(t0))
 		}
 	}
 }
 
-// scanLeaf is Algorithm 9 (CalculateRealDistance): per entry, a cheap
-// per-series lower bound first, then the early-abandoning real distance
-// only if the lower bound cannot prune.
-func (ix *Index) scanLeaf(leaf *tree.Node, query []float32, qpaa []float64,
-	bnd bound, ctrs *stats.Counters) {
+// scanLeaf is Algorithm 9 (CalculateRealDistance), restructured around
+// the segment-major leaf layout: first the whole leaf's lower bounds are
+// accumulated into the worker's scratch buffer by streaming each symbol
+// column against its distance-table row (w tight table-load-and-add
+// column loops — no per-entry word gather, no branches), then only the
+// surviving candidates get the early-abandoning real-distance kernel.
+// The pruning bound is cached locally and refreshed per scanBlock (and
+// after every improvement) instead of loading the shared atomic twice
+// per candidate.
+func (ix *Index) scanLeaf(leaf *tree.Node, query []float32, tab *isax.DistTable,
+	scratch *leafScratch, bnd bound, ctrs *stats.Counters) {
 
-	w := ix.Schema.Segments
 	n := leaf.LeafLen()
-	var lbCount, realCount int64
-	for i := 0; i < n; i++ {
-		lbCount++
-		lb := ix.Schema.MinDistPAAWord(qpaa, leaf.Word(i, w))
-		limit := bnd.Load()
-		if lb >= limit {
-			continue
+	if n == 0 {
+		return
+	}
+	lbs := scratch.accumulate(leaf, tab, ix.Schema.Segments)
+
+	scale := tab.Scale()
+	limit := bnd.Load()
+	var realCount int64
+	for base := 0; base < n; base += scanBlock {
+		end := base + scanBlock
+		if end > n {
+			end = n
 		}
-		pos := leaf.Positions[i]
-		d := vector.SquaredEuclideanEarlyAbandon(ix.Data.At(int(pos)), query, limit)
-		realCount++
-		if d < limit {
-			if bnd.Update(d, int64(pos)) {
-				ctrs.AddBSFUpdate()
+		for e := base; e < end; e++ {
+			if lbs[e]*scale >= limit {
+				continue
+			}
+			pos := leaf.Positions[e]
+			d := vector.SquaredEuclideanEarlyAbandon(ix.Data.At(int(pos)), query, limit)
+			realCount++
+			if d < limit {
+				if bnd.Update(d, int64(pos)) {
+					ctrs.AddBSFUpdate()
+				}
+				limit = bnd.Load()
 			}
 		}
+		if end < n {
+			limit = bnd.Load()
+		}
 	}
-	ctrs.AddLowerBound(lbCount)
+	ctrs.AddLowerBound(int64(n))
 	ctrs.AddRealDist(realCount)
 }
 
@@ -370,7 +460,9 @@ func (ix *Index) ApproxSearch(query []float32, opt SearchOptions) (Match, error)
 	qpaa := paa.Transform(query, ix.Schema.Segments, nil)
 	qword := ix.Schema.WordFromPAA(qpaa, nil)
 	bsf := stats.NewBSF()
-	ix.approxSearch(query, qpaa, qword, bsf, opt.Counters)
+	// No distance table here: the approximate search only needs one in
+	// the rare empty-subtree fallback, and its point is to be cheap.
+	ix.approxSearch(query, qpaa, qword, nil, bsf, opt.Counters)
 	d, pos := bsf.Best()
 	if pos < 0 {
 		return ix.Search(query, opt)
@@ -379,9 +471,12 @@ func (ix *Index) ApproxSearch(query []float32, opt SearchOptions) (Match, error)
 }
 
 // approxSearch seeds the BSF (Figure 4(a)): descend to the leaf matching
-// the query's iSAX word and take the best real distance inside it.
+// the query's iSAX word and take the best real distance inside it. The
+// bound is loaded once per candidate and refreshed only after an update.
+// tab may be nil (the scalar kernel serves the rare empty-subtree
+// fallback); exact runs pass their already-built table.
 func (ix *Index) approxSearch(query []float32, qpaa []float64, qword []uint8,
-	bnd bound, ctrs *stats.Counters) {
+	tab *isax.DistTable, bnd bound, ctrs *stats.Counters) {
 
 	root := ix.Tree.Root(ix.Schema.RootIndex(qword))
 	if root == nil {
@@ -390,7 +485,12 @@ func (ix *Index) approxSearch(query []float32, qpaa []float64, qword []uint8,
 		best := math.Inf(1)
 		for _, slot := range ix.activeRoots {
 			r := ix.Tree.Root(int(slot))
-			d := ix.Schema.MinDistPAAPrefix(qpaa, r.Symbols, r.Bits)
+			var d float64
+			if tab != nil {
+				d = tab.MinDistPrefix(r.Symbols, r.Bits)
+			} else {
+				d = ix.Schema.MinDistPAAPrefix(qpaa, r.Symbols, r.Bits)
+			}
 			ctrs.AddLowerBound(1)
 			if d < best {
 				best = d
@@ -402,14 +502,16 @@ func (ix *Index) approxSearch(query []float32, qpaa []float64, qword []uint8,
 		return // empty tree; validateQuery prevents this for public entry points
 	}
 	leaf := ix.Tree.DescendToLeaf(root, qword)
+	limit := bnd.Load()
 	for i := 0; i < leaf.LeafLen(); i++ {
 		pos := leaf.Positions[i]
-		d := vector.SquaredEuclideanEarlyAbandon(ix.Data.At(int(pos)), query, bnd.Load())
+		d := vector.SquaredEuclideanEarlyAbandon(ix.Data.At(int(pos)), query, limit)
 		ctrs.AddRealDist(1)
-		if d < bnd.Load() {
+		if d < limit {
 			if bnd.Update(d, int64(pos)) {
 				ctrs.AddBSFUpdate()
 			}
+			limit = bnd.Load()
 		}
 	}
 }

@@ -5,6 +5,56 @@ import (
 	"testing"
 )
 
+// FuzzDistTableEquivalence checks that the per-query distance table
+// returns exactly the scalar kernels' values — full-precision words
+// against MinDistPAAWordNaive (and MinDistPAAWord), and random
+// variable-cardinality prefixes against MinDistPAAPrefix — across
+// arbitrary PAA vectors, words, cardinalities, and prefix bit budgets.
+func FuzzDistTableEquivalence(f *testing.F) {
+	f.Add(float64(0), float64(0), uint8(0), uint8(255), uint8(8), uint8(3))
+	f.Add(float64(3.7), float64(-2.2), uint8(17), uint8(200), uint8(5), uint8(0))
+	f.Add(float64(-0.4), float64(9.9), uint8(128), uint8(1), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, a, b float64, symA, symB, cardBits, prefixBits uint8) {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			t.Skip()
+		}
+		cb := int(cardBits)%MaxCardBits + 1 // [1, MaxCardBits]
+		s, err := NewSchema(32, 16, cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := uint8(s.Cardinality() - 1)
+		paa := make([]float64, 16)
+		word := make([]uint8, 16)
+		symbols := make([]uint8, 16)
+		bits := make([]uint8, 16)
+		for i := range paa {
+			if i%2 == 0 {
+				paa[i], word[i] = a, symA&mask
+			} else {
+				paa[i], word[i] = b, symB&mask
+			}
+			// Derive a prefix bit budget per segment from the fuzzed
+			// byte, cycling so different segments get different widths.
+			bits[i] = (prefixBits + uint8(i)) % uint8(cb+1)
+			if bits[i] > 0 {
+				symbols[i] = word[i] >> (uint8(cb) - bits[i])
+			}
+		}
+		tab := s.NewDistTable()
+		tab.BuildPAA(paa)
+		if got, want := tab.MinDistWord(word), s.MinDistPAAWordNaive(paa, word); got != want {
+			t.Fatalf("table %v != naive %v (cardBits %d)", got, want, cb)
+		}
+		if got, want := tab.MinDistWord(word), s.MinDistPAAWord(paa, word); got != want {
+			t.Fatalf("table %v != scalar %v (cardBits %d)", got, want, cb)
+		}
+		if got, want := tab.MinDistPrefix(symbols, bits), s.MinDistPAAPrefix(paa, symbols, bits); got != want {
+			t.Fatalf("prefix table %v != scalar %v (cardBits %d, bits %v)", got, want, cb, bits)
+		}
+	})
+}
+
 // FuzzSymbolRegionConsistency checks that quantization and region bounds
 // stay consistent for arbitrary float inputs (including extremes).
 func FuzzSymbolRegionConsistency(f *testing.F) {

@@ -548,15 +548,18 @@ func (ix *Index) forEachDeltaChunk(v *view, fn func(col *series.Collection, star
 }
 
 // deltaBest folds a per-chunk 1-NN scan over the delta, returning zero
-// or one seed match with a global position.
-func (ix *Index) deltaBest(v *view, scanChunk func(col *series.Collection) (core.Match, error)) ([]core.Match, error) {
+// or one seed match with a global position. Each chunk scan is seeded
+// with the best distance found so far, so later chunks reuse the earlier
+// chunks' pruning work — the same bound-threading the tree search gets
+// from SearchOptions.Seeds.
+func (ix *Index) deltaBest(v *view, scanChunk func(col *series.Collection, bound float64) (core.Match, error)) ([]core.Match, error) {
 	best := core.Match{Position: -1, Dist: math.Inf(1)}
 	err := ix.forEachDeltaChunk(v, func(col *series.Collection, start int) error {
-		m, err := scanChunk(col)
+		m, err := scanChunk(col, best.Dist)
 		if err != nil {
 			return err
 		}
-		if m.Dist < best.Dist {
+		if m.Position >= 0 && m.Dist < best.Dist {
 			best = core.Match{Position: start + m.Position, Dist: m.Dist}
 		}
 		return nil
@@ -569,8 +572,8 @@ func (ix *Index) deltaBest(v *view, scanChunk func(col *series.Collection) (core
 
 // delta1NN brute-force scans the delta for the query's nearest neighbor.
 func (ix *Index) delta1NN(v *view, query []float32) ([]core.Match, error) {
-	return ix.deltaBest(v, func(col *series.Collection) (core.Match, error) {
-		return scan.Search1NN(col, query, ix.opts.ScanWorkers, nil)
+	return ix.deltaBest(v, func(col *series.Collection, bound float64) (core.Match, error) {
+		return scan.Search1NNBounded(col, query, ix.opts.ScanWorkers, bound, nil)
 	})
 }
 
@@ -605,7 +608,7 @@ func (ix *Index) deltaKNN(v *view, query []float32, k int) ([]core.Match, error)
 
 // deltaDTW brute-force scans the delta under constrained DTW.
 func (ix *Index) deltaDTW(v *view, query []float32, window int) ([]core.Match, error) {
-	return ix.deltaBest(v, func(col *series.Collection) (core.Match, error) {
-		return scan.SearchDTW(col, query, window, ix.opts.ScanWorkers, nil)
+	return ix.deltaBest(v, func(col *series.Collection, bound float64) (core.Match, error) {
+		return scan.SearchDTWBounded(col, query, window, ix.opts.ScanWorkers, bound, nil)
 	})
 }

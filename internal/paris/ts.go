@@ -72,6 +72,7 @@ func (ix *Index) SearchTS(query []float32, opt SearchOptions) (core.Match, error
 func (ix *Index) tsWorker(q *pqueue.Queue[*tree.Node], active *atomic.Int64,
 	query []float32, qpaa []float64, bsf *stats.BSF, k Kernel, ctrs *stats.Counters) {
 
+	wordBuf := make([]uint8, ix.Schema.Segments) // per-worker word gather scratch
 	for {
 		item, ok := q.PopMin()
 		if !ok {
@@ -88,13 +89,13 @@ func (ix *Index) tsWorker(q *pqueue.Queue[*tree.Node], active *atomic.Int64,
 			}
 		}
 		active.Add(1)
-		ix.tsProcess(item, q, query, qpaa, bsf, k, ctrs)
+		ix.tsProcess(item, q, query, qpaa, wordBuf, bsf, k, ctrs)
 		active.Add(-1)
 	}
 }
 
 func (ix *Index) tsProcess(item pqueue.Item[*tree.Node], q *pqueue.Queue[*tree.Node],
-	query []float32, qpaa []float64, bsf *stats.BSF, k Kernel, ctrs *stats.Counters) {
+	query []float32, qpaa []float64, wordBuf []uint8, bsf *stats.BSF, k Kernel, ctrs *stats.Counters) {
 
 	node := item.Value
 	if item.Priority >= bsf.Load() {
@@ -115,12 +116,15 @@ func (ix *Index) tsProcess(item pqueue.Item[*tree.Node], q *pqueue.Queue[*tree.N
 		}
 		return
 	}
-	// Leaf: per-series lower bound, then real distance.
+	// Leaf: per-series lower bound, then real distance. The leaf stores
+	// words segment-major; ParIS-TS keeps its historical per-entry scalar
+	// kernel (that gap is what the ablation measures), so it gathers each
+	// word into the worker's scratch buffer.
 	w := ix.Schema.Segments
 	var lbCount, realCount int64
 	for i := 0; i < node.LeafLen(); i++ {
 		lbCount++
-		lb := ix.Schema.MinDistPAAWord(qpaa, node.Word(i, w))
+		lb := ix.Schema.MinDistPAAWord(qpaa, node.Word(i, w, wordBuf))
 		limit := bsf.Load()
 		if lb >= limit {
 			continue

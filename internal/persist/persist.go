@@ -40,6 +40,12 @@
 // Unknown flag bits are rejected the same way, so a file written by a
 // newer minor revision with extra semantics cannot be silently
 // misinterpreted.
+//
+// Version 2 changed the leaf word layout inside the tree section from
+// entry-major (one w-byte word per entry) to segment-major (w contiguous
+// symbol columns per leaf) — the layout the query kernels scan, so a
+// mapped load aliases leaf payloads with no conversion. Version 1 files
+// remain readable: the decoder transposes their leaf words on load.
 package persist
 
 import (
@@ -65,8 +71,12 @@ import (
 // dataset file magic "MESSIDS1").
 const Magic = "MESSIIX1"
 
-// Version is the current snapshot format version.
-const Version = 1
+// Version is the current snapshot format version (what Write produces).
+const Version = 2
+
+// versionV1 is the legacy format with entry-major leaf words; still
+// accepted by readers, transposed to the segment-major layout on load.
+const versionV1 = 1
 
 // HeaderSize is the fixed header length; the series block starts here.
 const HeaderSize = 64
@@ -168,8 +178,8 @@ func ParseHeader(b []byte) (Header, error) {
 		return h, fmt.Errorf("%w: %q", ErrBadMagic, b[0:8])
 	}
 	h.Version = binary.LittleEndian.Uint32(b[8:12])
-	if h.Version != Version {
-		return h, fmt.Errorf("%w: file version %d, this reader understands %d", ErrVersion, h.Version, Version)
+	if h.Version != Version && h.Version != versionV1 {
+		return h, fmt.Errorf("%w: file version %d, this reader understands %d and %d", ErrVersion, h.Version, versionV1, Version)
 	}
 	if got, want := crc32.Checksum(b[0:60], castagnoli), binary.LittleEndian.Uint32(b[60:64]); got != want {
 		return h, fmt.Errorf("%w: header CRC %08x, stored %08x", ErrChecksum, got, want)
@@ -403,6 +413,10 @@ func readUint32(r io.Reader, section string) (uint32, error) {
 //	  w×uint8 symbols, w×uint8 bits
 //	  internal: uint8 split segment, uint32 left, uint32 right
 //	  leaf:     uint32 entry count, count×w word bytes, count×uint32 positions
+//
+// The count×w leaf word bytes are segment-major in version 2 (w columns
+// of count symbols each, the in-memory scan layout) and entry-major in
+// version 1 (count words of w symbols each, transposed on load).
 const (
 	treeFlagLeaf         = 1 << 0
 	treeFlagUnsplittable = 1 << 1
@@ -539,6 +553,17 @@ func decodeTree(payload []byte, h Header) (*tree.Flat, error) {
 			words, err := take(int(count)*w, "leaf words")
 			if err != nil {
 				return nil, err
+			}
+			if h.Version == versionV1 && count > 0 {
+				// Legacy entry-major words: transpose to the
+				// segment-major scan layout (the one copy a v1 load pays).
+				conv := make([]uint8, len(words))
+				for e := 0; e < int(count); e++ {
+					for s := 0; s < w; s++ {
+						conv[s*int(count)+e] = words[e*w+s]
+					}
+				}
+				words = conv
 			}
 			n.Words = words
 			posBytes, err := take(int(count)*4, "leaf positions")

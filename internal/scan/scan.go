@@ -41,6 +41,16 @@ func validate(data *series.Collection, query []float32) error {
 // static partitions with thread-local best-so-far values and merge once at
 // the end.
 func Search1NN(data *series.Collection, query []float32, workers int, ctrs *stats.Counters) (core.Match, error) {
+	return Search1NNBounded(data, query, workers, math.Inf(1), ctrs)
+}
+
+// Search1NNBounded is Search1NN with an externally known squared-distance
+// pruning bound: every worker's early-abandon threshold starts at bound
+// instead of +Inf, so a caller scanning several chunks (a live index's
+// delta blocks) carries its running best into each scan — the same
+// bound-seeding the tree search applies via SearchOptions.Seeds. When no
+// candidate beats the bound the result has Position -1 and Dist == bound.
+func Search1NNBounded(data *series.Collection, query []float32, workers int, bound float64, ctrs *stats.Counters) (core.Match, error) {
 	if err := validate(data, query); err != nil {
 		return core.Match{}, err
 	}
@@ -59,7 +69,7 @@ func Search1NN(data *series.Collection, query []float32, workers int, ctrs *stat
 			defer wg.Done()
 			lo := w * n / workers
 			hi := (w + 1) * n / workers
-			best := core.Match{Position: -1, Dist: math.Inf(1)}
+			best := core.Match{Position: -1, Dist: bound}
 			var count int64
 			for i := lo; i < hi; i++ {
 				d := vector.SquaredEuclideanEarlyAbandon(data.At(i), query, best.Dist)
@@ -165,11 +175,16 @@ func SearchKNN(data *series.Collection, query []float32, k, workers int, ctrs *s
 			hi := (w + 1) * n / workers
 			h := &kheap{k: k}
 			var count int64
+			// The k-th-best limit only moves on offer: cache it locally
+			// and refresh after insertions instead of recomputing the
+			// heap root twice per candidate.
+			lim := h.limit()
 			for i := lo; i < hi; i++ {
-				d := vector.SquaredEuclideanEarlyAbandon(data.At(i), query, h.limit())
+				d := vector.SquaredEuclideanEarlyAbandon(data.At(i), query, lim)
 				count++
-				if d < h.limit() {
+				if d < lim {
 					h.offer(core.Match{Position: i, Dist: d})
+					lim = h.limit()
 				}
 			}
 			ctrs.AddRealDist(count)
@@ -198,6 +213,13 @@ func SearchKNN(data *series.Collection, query []float32, k, workers int, ctrs *s
 // LB_Keogh cascade (envelope lower bound, then full early-abandoning cDTW)
 // against its thread-local best.
 func SearchDTW(data *series.Collection, query []float32, window, workers int, ctrs *stats.Counters) (core.Match, error) {
+	return SearchDTWBounded(data, query, window, workers, math.Inf(1), ctrs)
+}
+
+// SearchDTWBounded is SearchDTW with an externally known squared-distance
+// pruning bound (see Search1NNBounded): the LB_Keogh cascade and the DTW
+// early abandon start from bound instead of +Inf.
+func SearchDTWBounded(data *series.Collection, query []float32, window, workers int, bound float64, ctrs *stats.Counters) (core.Match, error) {
 	if err := validate(data, query); err != nil {
 		return core.Match{}, err
 	}
@@ -220,7 +242,7 @@ func SearchDTW(data *series.Collection, query []float32, window, workers int, ct
 			defer wg.Done()
 			lo := w * n / workers
 			hi := (w + 1) * n / workers
-			best := core.Match{Position: -1, Dist: math.Inf(1)}
+			best := core.Match{Position: -1, Dist: bound}
 			var lbCount, realCount int64
 			for i := lo; i < hi; i++ {
 				candidate := data.At(i)

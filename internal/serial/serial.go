@@ -92,13 +92,14 @@ func (ix *Index) Search(query []float32, ctrs *stats.Counters) (core.Match, erro
 	w := ix.Schema.Segments
 	qpaa := paa.Transform(query, w, nil)
 	qword := ix.Schema.WordFromPAA(qpaa, nil)
+	wordBuf := make([]uint8, w) // per-query word gather scratch
 
 	best := core.Match{Position: -1, Dist: math.Inf(1)}
 
 	// Seed from the query's own subtree when present.
 	if root := ix.Tree.Root(ix.Schema.RootIndex(qword)); root != nil {
 		leaf := ix.Tree.DescendToLeaf(root, qword)
-		ix.scanLeaf(leaf, query, qpaa, &best, ctrs)
+		ix.scanLeaf(leaf, query, qpaa, wordBuf, &best, ctrs)
 	}
 
 	q := pqueue.New[*tree.Node](256)
@@ -120,7 +121,7 @@ func (ix *Index) Search(query []float32, ctrs *stats.Counters) (core.Match, erro
 		}
 		node := item.Value
 		if node.IsLeaf() {
-			ix.scanLeaf(node, query, qpaa, &best, ctrs)
+			ix.scanLeaf(node, query, qpaa, wordBuf, &best, ctrs)
 			continue
 		}
 		for _, child := range []*tree.Node{node.Left, node.Right} {
@@ -135,12 +136,12 @@ func (ix *Index) Search(query []float32, ctrs *stats.Counters) (core.Match, erro
 	return best, nil
 }
 
-func (ix *Index) scanLeaf(leaf *tree.Node, query []float32, qpaa []float64, best *core.Match, ctrs *stats.Counters) {
+func (ix *Index) scanLeaf(leaf *tree.Node, query []float32, qpaa []float64, wordBuf []uint8, best *core.Match, ctrs *stats.Counters) {
 	w := ix.Schema.Segments
 	var lbCount, realCount int64
 	for i := 0; i < leaf.LeafLen(); i++ {
 		lbCount++
-		if ix.Schema.MinDistPAAWord(qpaa, leaf.Word(i, w)) >= best.Dist {
+		if ix.Schema.MinDistPAAWord(qpaa, leaf.Word(i, w, wordBuf)) >= best.Dist {
 			continue
 		}
 		pos := leaf.Positions[i]

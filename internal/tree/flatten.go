@@ -26,27 +26,37 @@ type FlatNode struct {
 	SplitSegment uint8   // internal nodes only
 	Left, Right  int32   // -1 for leaves
 	Unsplittable bool
-	Words        []uint8 // leaf entries: flat words, stride = segments
-	Positions    []int32 // leaf entries: series positions
+	// Words holds leaf entries segment-major and packed: segments
+	// contiguous columns of exactly len(Positions) bytes each — the same
+	// layout Node uses at query time (with stride == entry count), so
+	// loading a snapshot aliases leaf payloads without conversion.
+	Words     []uint8
+	Positions []int32 // leaf entries: series positions
 }
 
 // IsLeaf reports whether the flat node is a leaf.
 func (n *FlatNode) IsLeaf() bool { return n.Left < 0 }
 
 // Flatten converts the tree into its Flat form. The result shares leaf
-// entry storage with the tree.
+// entry storage with the tree where possible (positions always; words
+// whenever a leaf's columns are already packed, i.e. stride == count).
 func (t *Tree) Flatten() *Flat {
+	w := t.Schema.Segments
 	f := &Flat{}
 	var walk func(n *Node) int32
 	walk = func(n *Node) int32 {
 		idx := int32(len(f.Nodes))
+		var words []uint8
+		if n.IsLeaf() {
+			words = n.PackedWords(w)
+		}
 		f.Nodes = append(f.Nodes, FlatNode{
 			Symbols:      n.Symbols,
 			Bits:         n.Bits,
 			Left:         -1,
 			Right:        -1,
 			Unsplittable: n.unsplittable,
-			Words:        n.Words,
+			Words:        words,
 			Positions:    n.Positions,
 		})
 		if !n.IsLeaf() {
@@ -122,6 +132,7 @@ func Unflatten(schema *isax.Schema, leafCapacity int, f *Flat) (*Tree, error) {
 				return nil, 0, fmt.Errorf("tree: flat leaf %d holds %d entries over capacity %d without being unsplittable", idx, len(fn.Positions), leafCapacity)
 			}
 			node.Words = fn.Words
+			node.Stride = len(fn.Positions) // packed columns, see FlatNode.Words
 			node.Positions = fn.Positions
 			node.Size = len(fn.Positions)
 			return node, node.Size, nil

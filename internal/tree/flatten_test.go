@@ -47,7 +47,7 @@ func TestFlattenRoundTrip(t *testing.T) {
 	w := tr.Schema.Segments
 	tr.ForEachLeaf(func(n *Node) {
 		for i := 0; i < n.LeafLen(); i++ {
-			word := n.Word(i, w)
+			word := n.Word(i, w, nil)
 			slot := tr.Schema.RootIndex(word)
 			leaf := back.DescendToLeaf(back.Root(slot), word)
 			found := false

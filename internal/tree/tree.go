@@ -23,6 +23,14 @@ import (
 // Node is a tree node. Exactly one of the following holds:
 //   - leaf: Left == Right == nil; Words/Positions hold the entries;
 //   - internal: Left and Right are non-nil and the entry storage is empty.
+//
+// Leaf words are stored segment-major (structure-of-arrays): Words holds
+// one column per segment, each Stride bytes long, so column seg occupies
+// Words[seg*Stride : seg*Stride+LeafLen()]. Query-time leaf scans stream
+// whole columns against per-query distance-table rows in tight,
+// compiler-vectorizable loops instead of gathering one w-byte word per
+// entry — the cache-conscious summary layout of the paper's SIMD kernels
+// (and of the journal version's in-memory follow-up).
 type Node struct {
 	Symbols []uint8 // per-segment symbol at this node's cardinality
 	Bits    []uint8 // per-segment cardinality bits (0 < bits <= CardBits)
@@ -30,7 +38,8 @@ type Node struct {
 	SplitSegment int // segment refined to create the children (internal only)
 	Left, Right  *Node
 
-	Words     []uint8 // leaf entries: flat words, stride = schema.Segments
+	Words     []uint8 // leaf entries: segment-major columns, see type comment
+	Stride    int     // allocated column length (≥ LeafLen; 0 for empty leaves)
 	Positions []int32 // leaf entries: series positions
 	Size      int     // series under this node (leaf: len(Positions))
 
@@ -43,8 +52,69 @@ func (n *Node) IsLeaf() bool { return n.Left == nil }
 // LeafLen reports the number of entries stored in a leaf.
 func (n *Node) LeafLen() int { return len(n.Positions) }
 
-// Word returns leaf entry i's full-precision word (a view).
-func (n *Node) Word(i, w int) []uint8 { return n.Words[i*w : (i+1)*w] }
+// Col returns segment seg's symbol column (one byte per leaf entry, a
+// view). The hot-path operand of segment-major leaf scans.
+func (n *Node) Col(seg int) []uint8 {
+	return n.Words[seg*n.Stride : seg*n.Stride+len(n.Positions)]
+}
+
+// Word gathers leaf entry i's full-precision word into dst (allocated
+// when too small) and returns it. Words live segment-major, so this is a
+// strided gather — fine for spot lookups and invariant checks; hot loops
+// stream columns via Col instead.
+func (n *Node) Word(i, w int, dst []uint8) []uint8 {
+	if cap(dst) < w {
+		dst = make([]uint8, w)
+	}
+	dst = dst[:w]
+	for s := 0; s < w; s++ {
+		dst[s] = n.Words[s*n.Stride+i]
+	}
+	return dst
+}
+
+// PackedWords returns the leaf's words as w contiguous columns of exactly
+// LeafLen bytes each (stride == entry count) — the serialization form.
+// It shares storage when the node is already packed, copying otherwise.
+func (n *Node) PackedWords(w int) []uint8 {
+	count := len(n.Positions)
+	if n.Stride == count {
+		return n.Words[:w*count]
+	}
+	out := make([]uint8, w*count)
+	for s := 0; s < w; s++ {
+		copy(out[s*count:], n.Words[s*n.Stride:s*n.Stride+count])
+	}
+	return out
+}
+
+// appendEntry adds one <word, position> pair to a leaf's columns,
+// growing the column stride when full.
+func (n *Node) appendEntry(word []uint8, pos int32, w int) {
+	count := len(n.Positions)
+	if count == n.Stride {
+		n.grow(w)
+	}
+	for s := 0; s < w; s++ {
+		n.Words[s*n.Stride+count] = word[s]
+	}
+	n.Positions = append(n.Positions, pos)
+}
+
+// grow reallocates the leaf's columns at double the stride (min 16) and
+// recopies the occupied prefixes.
+func (n *Node) grow(w int) {
+	stride := n.Stride * 2
+	if stride < 16 {
+		stride = 16
+	}
+	words := make([]uint8, w*stride)
+	count := len(n.Positions)
+	for s := 0; s < w; s++ {
+		copy(words[s*stride:], n.Words[s*n.Stride:s*n.Stride+count])
+	}
+	n.Words, n.Stride = words, stride
+}
 
 // Tree is an iSAX index tree over a fixed schema.
 type Tree struct {
@@ -107,8 +177,7 @@ func (t *Tree) Insert(root *Node, word []uint8, pos int32) {
 			continue
 		}
 		if len(n.Positions) < t.LeafCapacity || n.unsplittable {
-			n.Words = append(n.Words, word[:w]...)
-			n.Positions = append(n.Positions, pos)
+			n.appendEntry(word, pos, w)
 			return
 		}
 		// Full leaf: split it, then continue the descent into the
@@ -118,8 +187,7 @@ func (t *Tree) Insert(root *Node, word []uint8, pos int32) {
 		if n.unsplittable {
 			// Split was impossible; store here after all.
 			n.Size++
-			n.Words = append(n.Words, word[:w]...)
-			n.Positions = append(n.Positions, pos)
+			n.appendEntry(word, pos, w)
 			return
 		}
 		n.Size++
@@ -156,8 +224,8 @@ func (t *Tree) split(n *Node) {
 		}
 		shift := cardBits - (n.Bits[seg] + 1)
 		ones := 0
-		for i := 0; i < count; i++ {
-			ones += int((n.Words[i*w+seg] >> shift) & 1)
+		for _, sym := range n.Col(seg) {
+			ones += int((sym >> shift) & 1)
 		}
 		imbalance := count - 2*ones
 		if imbalance < 0 {
@@ -176,31 +244,55 @@ func (t *Tree) split(n *Node) {
 	seg := bestSeg
 	childBits := n.Bits[seg] + 1
 	shift := cardBits - childBits
-	makeChild := func(bit uint8) *Node {
+	splitCol := n.Col(seg)
+	ones := 0
+	for _, sym := range splitCol {
+		ones += int((sym >> shift) & 1)
+	}
+	makeChild := func(bit uint8, size int) *Node {
 		c := &Node{
-			Symbols: make([]uint8, w),
-			Bits:    make([]uint8, w),
+			Symbols:   make([]uint8, w),
+			Bits:      make([]uint8, w),
+			Positions: make([]int32, 0, size),
+			Size:      size,
 		}
 		copy(c.Symbols, n.Symbols)
 		copy(c.Bits, n.Bits)
 		c.Bits[seg] = childBits
 		c.Symbols[seg] = n.Symbols[seg]<<1 | bit
+		if size > 0 {
+			c.Words = make([]uint8, w*size)
+			c.Stride = size
+		}
 		return c
 	}
-	left, right := makeChild(0), makeChild(1)
-	for i := 0; i < count; i++ {
-		word := n.Words[i*w : (i+1)*w]
-		c := left
-		if (word[seg]>>shift)&1 == 1 {
-			c = right
+	left, right := makeChild(0, count-ones), makeChild(1, ones)
+	// Redistribute column by column: the split column routes each entry,
+	// so every destination column is filled with one sequential pass over
+	// the matching source column.
+	for s := 0; s < w; s++ {
+		src := n.Col(s)
+		li, ri := 0, 0
+		for i, sym := range src {
+			if (splitCol[i]>>shift)&1 == 1 {
+				right.Words[s*right.Stride+ri] = sym
+				ri++
+			} else {
+				left.Words[s*left.Stride+li] = sym
+				li++
+			}
 		}
-		c.Words = append(c.Words, word...)
-		c.Positions = append(c.Positions, n.Positions[i])
-		c.Size++
+	}
+	for i, pos := range n.Positions {
+		if (splitCol[i]>>shift)&1 == 1 {
+			right.Positions = append(right.Positions, pos)
+		} else {
+			left.Positions = append(left.Positions, pos)
+		}
 	}
 	n.SplitSegment = seg
 	n.Left, n.Right = left, right
-	n.Words, n.Positions = nil, nil
+	n.Words, n.Positions, n.Stride = nil, nil, 0
 }
 
 // DescendToLeaf follows a word's bits from a root child down to the leaf
@@ -291,14 +383,15 @@ func (t *Tree) CheckInvariants() error {
 			if n.Right != nil {
 				return 0, fmt.Errorf("tree: half-internal node under root %d", rootSlot)
 			}
-			if len(n.Positions)*w != len(n.Words) {
+			if len(n.Words) != w*n.Stride || len(n.Positions) > n.Stride {
 				return 0, fmt.Errorf("tree: leaf storage mismatch under root %d", rootSlot)
 			}
 			if len(n.Positions) > t.LeafCapacity && !n.unsplittable {
 				return 0, fmt.Errorf("tree: splittable leaf holds %d > capacity %d", len(n.Positions), t.LeafCapacity)
 			}
+			wordBuf := make([]uint8, w)
 			for i := 0; i < n.LeafLen(); i++ {
-				if !t.Schema.MatchesPrefix(n.Word(i, w), n.Symbols, n.Bits) {
+				if !t.Schema.MatchesPrefix(n.Word(i, w, wordBuf), n.Symbols, n.Bits) {
 					return 0, fmt.Errorf("tree: leaf entry %d (pos %d) does not match node prefix under root %d",
 						i, n.Positions[i], rootSlot)
 				}

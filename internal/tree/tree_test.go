@@ -401,7 +401,7 @@ func TestNodeBoundNeverExceedsEntryBound(t *testing.T) {
 			nodeBound := s.MinDistPAAPrefix(qpaa, n.Symbols, n.Bits)
 			if n.IsLeaf() {
 				for i := 0; i < n.LeafLen(); i++ {
-					if s.MinDistPAAWord(qpaa, n.Word(i, s.Segments)) < nodeBound-1e-9 {
+					if s.MinDistPAAWord(qpaa, n.Word(i, s.Segments, nil)) < nodeBound-1e-9 {
 						return false
 					}
 				}
@@ -414,5 +414,59 @@ func TestNodeBoundNeverExceedsEntryBound(t *testing.T) {
 				t.Fatal("node bound exceeded an entry bound (pruning unsound)")
 			}
 		}
+	}
+}
+
+// TestSegmentMajorLeafLayout pins the SoA leaf storage: after random
+// inserts (exercising appends, grows, and splits), every leaf's columns,
+// gathered words, and packed form agree with one another, and inserted
+// entries are recoverable from the columns.
+func TestSegmentMajorLeafLayout(t *testing.T) {
+	s := newSchema(t)
+	tr, err := New(s, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.Segments
+	rng := rand.New(rand.NewSource(99))
+	inserted := make(map[int32][]uint8)
+	for i := 0; i < 3000; i++ {
+		word := wordFromRandomSeries(rng, s)
+		tr.Insert(tr.EnsureRoot(s.RootIndex(word)), word, int32(i))
+		inserted[int32(i)] = word
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	tr.ForEachLeaf(func(n *Node) {
+		count := n.LeafLen()
+		if count > n.Stride {
+			t.Fatalf("leaf count %d exceeds stride %d", count, n.Stride)
+		}
+		packed := n.PackedWords(w)
+		if len(packed) != w*count {
+			t.Fatalf("PackedWords length %d, want %d", len(packed), w*count)
+		}
+		wordBuf := make([]uint8, w)
+		for i := 0; i < count; i++ {
+			word := n.Word(i, w, wordBuf)
+			want := inserted[n.Positions[i]]
+			for seg := 0; seg < w; seg++ {
+				if col := n.Col(seg); col[i] != word[seg] {
+					t.Fatalf("Col(%d)[%d] = %d, Word gather = %d", seg, i, col[i], word[seg])
+				}
+				if packed[seg*count+i] != word[seg] {
+					t.Fatalf("packed[%d,%d] = %d, Word gather = %d", seg, i, packed[seg*count+i], word[seg])
+				}
+				if word[seg] != want[seg] {
+					t.Fatalf("position %d segment %d stored %d, inserted %d", n.Positions[i], seg, word[seg], want[seg])
+				}
+			}
+			seen++
+		}
+	})
+	if seen != len(inserted) {
+		t.Fatalf("leaves hold %d entries, inserted %d", seen, len(inserted))
 	}
 }
