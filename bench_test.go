@@ -24,6 +24,7 @@ import (
 	"repro/internal/scan"
 	"repro/internal/serial"
 	"repro/internal/series"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -707,4 +708,44 @@ func BenchmarkIntroClaims(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkShardedBuild — the sharded-build claim: S independent trees of
+// n/S series, constructed concurrently with the index workers divided
+// among them, finish faster than one tree of n series (shallower splits,
+// smaller per-tree working sets, and no cross-shard synchronization).
+// shards=1 is the single-tree baseline the CI gate tracks.
+func BenchmarkShardedBuild(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	for _, S := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", S), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := shard.Build(data, S, messiOpts()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedQuery — exact 1-NN latency of the fan-out (shared BSF
+// across shards) versus the single tree.
+func BenchmarkShardedQuery(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	queries := benchQueriesFor(b, dataset.RandomWalk)
+	for _, S := range []int{1, 2, 4, 8} {
+		x, err := shard.Build(data, S, messiOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards=%d", S), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := queries.At(i % queries.Count())
+				if _, err := x.Search(q, core.SearchOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

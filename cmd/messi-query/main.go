@@ -38,7 +38,7 @@ func run(args []string, stdout io.Writer) error {
 		dataPath  = fs.String("data", "", "dataset file to index (required)")
 		queryPath = fs.String("queries", "", "query file (required)")
 		k         = fs.Int("k", 1, "neighbors per query")
-		dtwWin    = fs.Float64("dtw", -1, "DTW warping window fraction (e.g. 0.1); <0 = Euclidean")
+		dtwWin    = fs.Float64("dtw", -1, "DTW warping window fraction in [0,1] (e.g. 0.1); <0 = Euclidean")
 		leafCap   = fs.Int("leaf", 0, "leaf capacity (default 2000)")
 		workers   = fs.Int("workers", 0, "search workers (default 48)")
 		queues    = fs.Int("queues", 0, "priority queues (default 24)")

@@ -16,6 +16,7 @@
 //	GET  /healthz         → 200 "ok" once serving
 //	GET  /v1/stats        → index shape, generation and delta occupancy
 //	POST /v1/query        → {"query":[...], "k":5}         → {"matches":[{"position":..,"distance":..}]}
+//	POST /v1/dtw          → {"query":[...], "window":0.1}  → {"matches":[{"position":..,"distance":..}]}
 //	POST /v1/query/batch  → {"queries":[[...],[...], ...]} → {"results":[[...],[...]]}
 //	POST /v1/series       → {"series":[[...], ...]}        → {"first_position":..,"count":..} (live mode only)
 //	POST /v1/snapshot     → {"path":"..."} (optional)      → {"path":..,"series":..,"bytes":..}
@@ -25,6 +26,11 @@
 // merges them into the next index generation once the delta buffer
 // crosses -rebuild-threshold. Without -live the index is immutable and
 // /v1/series is not registered.
+//
+// With -shards the index is partitioned across S independent shards built
+// concurrently and queried by a fan-out with a shared pruning bound;
+// /v1/stats then reports a per_shard breakdown. Answers are identical to
+// an unsharded index.
 //
 // With -pprof the server additionally exposes net/http/pprof on a
 // separate listener (keep it on loopback: it is unauthenticated), so the
@@ -87,6 +93,7 @@ func run(args []string) error {
 		admit     = fs.Int("admit", 0, "max concurrently executing queries (default pool/per-query)")
 		normalize = fs.Bool("normalize", false, "z-normalize data and queries")
 		liveMode  = fs.Bool("live", false, "serve a mutable live index accepting appends on POST /v1/series")
+		shards    = fs.Int("shards", 0, "partition the index across this many shards (default 1)")
 		threshold = fs.Int("rebuild-threshold", 0, "live mode: delta series triggering a background rebuild (default 100000)")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); keep it loopback-only, the listener is unauthenticated")
 	)
@@ -106,7 +113,7 @@ func run(args []string) error {
 		defer stopPprof()
 	}
 
-	opts := &messi.Options{LeafCapacity: *leafCap, Normalize: *normalize}
+	opts := &messi.Options{LeafCapacity: *leafCap, Normalize: *normalize, Shards: *shards}
 	engOpts := messi.EngineOptions{
 		PoolWorkers:   *pool,
 		QueryWorkers:  *perQuery,
@@ -128,6 +135,7 @@ func run(args []string) error {
 			return err
 		}
 		defer lix.Close()
+		warnShardMismatch(*shards, lix.Stats().Shards)
 		log.Printf("%s: %d series × %d points (rebuild threshold %d)",
 			source, lix.Len(), lix.SeriesLen(), *threshold)
 		handler = newHandler(&liveBackend{lix: lix}, *snapPath)
@@ -145,6 +153,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		warnShardMismatch(*shards, ix.Shards())
 		log.Printf("%s: %d series × %d points", source, ix.Len(), ix.SeriesLen())
 
 		eng := ix.NewEngine(&engOpts)
@@ -188,6 +197,16 @@ func run(args []string) error {
 	}
 	persistOnShutdown()
 	return <-errc
+}
+
+// warnShardMismatch logs when the -shards flag disagrees with the served
+// index's actual shard count — booting from an existing snapshot keeps
+// the snapshot's own partition (a snapshot cannot be re-sharded on load),
+// so the flag is silently superseded and the operator should know.
+func warnShardMismatch(requested, actual int) {
+	if requested > 0 && requested != actual {
+		log.Printf("warning: -shards %d ignored: the loaded snapshot is partitioned into %d shard(s); re-shard by rebuilding from -data", requested, actual)
+	}
 }
 
 // startPprof serves the net/http/pprof handlers on their own listener —
@@ -279,6 +298,11 @@ type queryResponse struct {
 	Matches []jsonMatch `json:"matches"`
 }
 
+type dtwRequest struct {
+	Query  []float32 `json:"query"`
+	Window float64   `json:"window"`
+}
+
 type batchRequest struct {
 	Queries [][]float32 `json:"queries"`
 }
@@ -307,18 +331,45 @@ type snapshotResponse struct {
 }
 
 type statsResponse struct {
-	Series        int   `json:"series"`
-	SeriesLen     int   `json:"series_len"`
-	RootChildren  int   `json:"root_children"`
-	InternalNodes int   `json:"internal_nodes"`
-	Leaves        int   `json:"leaves"`
-	MaxDepth      int   `json:"max_depth"`
-	MaxLeafFill   int   `json:"max_leaf_fill"`
-	Live          bool  `json:"live"`
-	Generation    int64 `json:"generation,omitempty"`
-	BaseSeries    int   `json:"base_series,omitempty"`
-	DeltaSeries   int   `json:"delta_series,omitempty"`
-	Rebuilding    bool  `json:"rebuilding,omitempty"`
+	Series        int          `json:"series"`
+	SeriesLen     int          `json:"series_len"`
+	RootChildren  int          `json:"root_children"`
+	InternalNodes int          `json:"internal_nodes"`
+	Leaves        int          `json:"leaves"`
+	MaxDepth      int          `json:"max_depth"`
+	MaxLeafFill   int          `json:"max_leaf_fill"`
+	Shards        int          `json:"shards,omitempty"`    // >1 when sharded
+	PerShard      []shardStats `json:"per_shard,omitempty"` // one entry per shard when sharded
+	Live          bool         `json:"live"`
+	Generation    int64        `json:"generation,omitempty"`
+	BaseSeries    int          `json:"base_series,omitempty"`
+	DeltaSeries   int          `json:"delta_series,omitempty"`
+	Rebuilding    bool         `json:"rebuilding,omitempty"`
+}
+
+// shardStats is one shard's slice of the stats (tree counts are per
+// shard; the top-level fields aggregate them).
+type shardStats struct {
+	Shard       int `json:"shard"`
+	Series      int `json:"series"`
+	Leaves      int `json:"leaves"`
+	MaxDepth    int `json:"max_depth"`
+	MaxLeafFill int `json:"max_leaf_fill"`
+}
+
+// toShardStats converts the library's per-shard stats to the wire form.
+func toShardStats(per []messi.Stats) []shardStats {
+	out := make([]shardStats, len(per))
+	for i, st := range per {
+		out[i] = shardStats{
+			Shard:       i,
+			Series:      st.Series,
+			Leaves:      st.Leaves,
+			MaxDepth:    st.MaxDepth,
+			MaxLeafFill: st.MaxLeafFill,
+		}
+	}
+	return out
 }
 
 // backend abstracts the two serving modes: a static index behind the
@@ -326,6 +377,7 @@ type statsResponse struct {
 type backend interface {
 	query(q []float32) (messi.Match, error)
 	queryKNN(q []float32, k int) ([]messi.Match, error)
+	queryDTW(q []float32, window float64) (messi.Match, error)
 	queryBatch(qs [][]float32) ([]messi.Match, error)
 	stats() statsResponse
 	// snapshot persists the served index to path (atomically) and
@@ -348,6 +400,9 @@ func (b *engineBackend) query(q []float32) (messi.Match, error) { return b.eng.Q
 func (b *engineBackend) queryKNN(q []float32, k int) ([]messi.Match, error) {
 	return b.eng.QueryKNN(q, k)
 }
+func (b *engineBackend) queryDTW(q []float32, window float64) (messi.Match, error) {
+	return b.eng.QueryDTW(q, window)
+}
 func (b *engineBackend) queryBatch(qs [][]float32) ([]messi.Match, error) {
 	return b.eng.QueryBatch(qs)
 }
@@ -361,7 +416,7 @@ func (b *engineBackend) snapshot(path string) (int, error) {
 func (b *engineBackend) stats() statsResponse {
 	ix := b.eng.Index()
 	st := ix.Stats()
-	return statsResponse{
+	resp := statsResponse{
 		Series:        st.Series,
 		SeriesLen:     ix.SeriesLen(),
 		RootChildren:  st.RootChildren,
@@ -370,6 +425,11 @@ func (b *engineBackend) stats() statsResponse {
 		MaxDepth:      st.MaxDepth,
 		MaxLeafFill:   st.MaxLeafFill,
 	}
+	if ix.Shards() > 1 {
+		resp.Shards = ix.Shards()
+		resp.PerShard = toShardStats(ix.ShardStats())
+	}
+	return resp
 }
 
 // liveBackend serves a messi.LiveIndex (streaming ingestion mode).
@@ -380,6 +440,9 @@ type liveBackend struct {
 func (b *liveBackend) query(q []float32) (messi.Match, error) { return b.lix.Search(q) }
 func (b *liveBackend) queryKNN(q []float32, k int) ([]messi.Match, error) {
 	return b.lix.SearchKNN(q, k)
+}
+func (b *liveBackend) queryDTW(q []float32, window float64) (messi.Match, error) {
+	return b.lix.SearchDTW(q, window)
 }
 func (b *liveBackend) queryBatch(qs [][]float32) ([]messi.Match, error) {
 	// A fixed submitter fleet claiming queries via Fetch&Inc, mirroring
@@ -425,7 +488,7 @@ func (b *liveBackend) snapshot(path string) (int, error) {
 }
 func (b *liveBackend) stats() statsResponse {
 	st := b.lix.Stats()
-	return statsResponse{
+	resp := statsResponse{
 		Series:        st.Series,
 		SeriesLen:     b.lix.SeriesLen(),
 		RootChildren:  st.Index.RootChildren,
@@ -439,6 +502,11 @@ func (b *liveBackend) stats() statsResponse {
 		DeltaSeries:   st.DeltaSeries,
 		Rebuilding:    st.Rebuilding,
 	}
+	if st.Shards > 1 {
+		resp.Shards = st.Shards
+		resp.PerShard = toShardStats(st.PerShard)
+	}
+	return resp
 }
 
 // newHandler builds the HTTP API around a serving backend. The append
@@ -477,6 +545,24 @@ func newHandler(b backend, defaultSnapshotPath string) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, queryResponse{Matches: toJSONMatches(matches)})
+	})
+	mux.HandleFunc("POST /v1/dtw", func(w http.ResponseWriter, r *http.Request) {
+		var req dtwRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		// The library validates too; rejecting here keeps the error a
+		// clean 400 with a message naming the parameter.
+		if req.Window < 0 || req.Window > 1 || req.Window != req.Window {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("window must be a fraction in [0,1], got %v", req.Window))
+			return
+		}
+		m, err := b.queryDTW(req.Query, req.Window)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, queryResponse{Matches: toJSONMatches([]messi.Match{m})})
 	})
 	mux.HandleFunc("POST /v1/query/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req batchRequest
@@ -520,11 +606,7 @@ func newHandler(b backend, defaultSnapshotPath string) http.Handler {
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		var size int64
-		if fi, err := os.Stat(path); err == nil {
-			size = fi.Size()
-		}
-		writeJSON(w, http.StatusOK, snapshotResponse{Path: path, Series: series, Bytes: size})
+		writeJSON(w, http.StatusOK, snapshotResponse{Path: path, Series: series, Bytes: snapshotSize(path)})
 	})
 	if app, ok := b.(appender); ok {
 		mux.HandleFunc("POST /v1/series", func(w http.ResponseWriter, r *http.Request) {
@@ -545,6 +627,30 @@ func newHandler(b backend, defaultSnapshotPath string) http.Handler {
 		})
 	}
 	return mux
+}
+
+// snapshotSize reports the on-disk size of a snapshot: the file's size,
+// or for a sharded snapshot directory the sum of the files inside it
+// (a bare directory Stat would report the inode size, ~4 KiB).
+func snapshotSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	if !fi.IsDir() {
+		return fi.Size()
+	}
+	var total int64
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil && !e.IsDir() {
+			total += info.Size()
+		}
+	}
+	return total
 }
 
 func toJSONMatches(ms []messi.Match) []jsonMatch {

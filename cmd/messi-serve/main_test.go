@@ -495,3 +495,145 @@ func TestPprofListener(t *testing.T) {
 		t.Fatalf("pprof index does not list profiles: %.200s", body)
 	}
 }
+
+// TestDTWEndpoint: the served DTW answer equals the library answer, on
+// both the static and the live backend.
+func TestDTWEndpoint(t *testing.T) {
+	h, ix := newTestHandler(t)
+	q := make([]float32, 64)
+	copy(q, ix.Series(55))
+	want, err := ix.SearchDTW(q, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := postJSON(t, h, "/v1/dtw", dtwRequest{Query: q, Window: 0.1})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("dtw: status %d, body %s", rr.Code, rr.Body)
+	}
+	resp := decode[queryResponse](t, rr)
+	if len(resp.Matches) != 1 || resp.Matches[0].Position != want.Position || resp.Matches[0].Distance != want.Distance {
+		t.Fatalf("served %+v, library %+v", resp.Matches, want)
+	}
+
+	lh, lix := newLiveTestHandler(t)
+	lq := make([]float32, 64)
+	ls, err := lix.Series(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(lq, ls)
+	lwant, err := lix.SearchDTW(lq, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr = postJSON(t, lh, "/v1/dtw", dtwRequest{Query: lq, Window: 0.1})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("live dtw: status %d, body %s", rr.Code, rr.Body)
+	}
+	lresp := decode[queryResponse](t, rr)
+	if len(lresp.Matches) != 1 || lresp.Matches[0].Position != lwant.Position {
+		t.Fatalf("live served %+v, library %+v", lresp.Matches, lwant)
+	}
+}
+
+// TestDTWEndpointBadRequests: out-of-range windows and wrong-length
+// queries are 400s (client errors), never 500s.
+func TestDTWEndpointBadRequests(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		mk   func(t *testing.T) http.Handler
+	}{
+		{"static", func(t *testing.T) http.Handler { h, _ := newTestHandler(t); return h }},
+		{"live", func(t *testing.T) http.Handler { h, _ := newLiveTestHandler(t); return h }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			h := mode.mk(t)
+			good := make([]float32, 64)
+			for _, window := range []float64{-0.5, 1.5, 100} {
+				rr := postJSON(t, h, "/v1/dtw", map[string]any{"query": good, "window": window})
+				if rr.Code != http.StatusBadRequest {
+					t.Errorf("window %v: status %d, want 400 (body %s)", window, rr.Code, rr.Body)
+				}
+			}
+			rr := postJSON(t, h, "/v1/dtw", dtwRequest{Query: make([]float32, 5), Window: 0.1})
+			if rr.Code != http.StatusBadRequest {
+				t.Errorf("wrong-length query: status %d, want 400 (body %s)", rr.Code, rr.Body)
+			}
+		})
+	}
+}
+
+// TestShardedServe: a sharded backend answers identically to an unsharded
+// one and /v1/stats exposes the per-shard breakdown.
+func TestShardedServe(t *testing.T) {
+	data := messi.RandomWalk(1200, 64, 14)
+	plain, err := messi.BuildFlat(data, 64, &messi.Options{LeafCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := messi.BuildFlat(data, 64, &messi.Options{LeafCapacity: 64, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sharded.NewEngine(&messi.EngineOptions{PoolWorkers: 4})
+	t.Cleanup(eng.Close)
+	h := newHandler(&engineBackend{eng: eng}, "")
+
+	q := make([]float32, 64)
+	copy(q, plain.Series(321))
+	want, err := plain.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := postJSON(t, h, "/v1/query", queryRequest{Query: q})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("sharded query: status %d, body %s", rr.Code, rr.Body)
+	}
+	resp := decode[queryResponse](t, rr)
+	if len(resp.Matches) != 1 || resp.Matches[0].Position != want.Position || resp.Matches[0].Distance != want.Distance {
+		t.Fatalf("sharded served %+v, unsharded library %+v", resp.Matches, want)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	srr := httptest.NewRecorder()
+	h.ServeHTTP(srr, req)
+	st := decode[statsResponse](t, srr)
+	if st.Shards != 4 || len(st.PerShard) != 4 {
+		t.Fatalf("sharded stats %+v", st)
+	}
+	sum := 0
+	for i, ps := range st.PerShard {
+		if ps.Shard != i || ps.Series == 0 || ps.Leaves == 0 {
+			t.Fatalf("per-shard entry %d: %+v", i, ps)
+		}
+		sum += ps.Series
+	}
+	if sum != 1200 || st.Series != 1200 {
+		t.Fatalf("per-shard series sum %d, aggregate %d, want 1200", sum, st.Series)
+	}
+}
+
+// TestSnapshotSizeForDirectory: the snapshot endpoint's bytes field sums
+// a sharded snapshot directory's files instead of reporting the
+// directory inode size.
+func TestSnapshotSizeForDirectory(t *testing.T) {
+	data := messi.RandomWalk(800, 64, 15)
+	ix, err := messi.BuildFlat(data, 64, &messi.Options{LeafCapacity: 64, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := ix.NewEngine(&messi.EngineOptions{PoolWorkers: 4})
+	t.Cleanup(eng.Close)
+	h := newHandler(&engineBackend{eng: eng}, "")
+	dir := filepath.Join(t.TempDir(), "sized.snapdir")
+	rr := postJSON(t, h, "/v1/snapshot", snapshotRequest{Path: dir})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("snapshot: status %d, body %s", rr.Code, rr.Body)
+	}
+	sr := decode[snapshotResponse](t, rr)
+	// 800 series × 64 points × 4 bytes alone is ~200 KiB; a directory
+	// inode stat would report ~4 KiB.
+	if sr.Bytes < 100_000 {
+		t.Fatalf("snapshot bytes %d implausibly small for the sharded directory", sr.Bytes)
+	}
+}

@@ -3,6 +3,7 @@ package messi
 import (
 	"math"
 
+	"repro/internal/dtw"
 	"repro/internal/engine"
 )
 
@@ -50,7 +51,7 @@ func (ix *Index) NewEngine(opts *EngineOptions) *Engine {
 			MaxConcurrent: opts.MaxConcurrent,
 		}
 	}
-	return &Engine{ix: ix, inner: engine.New(ix.inner, eo)}
+	return &Engine{ix: ix, inner: engine.NewSharded(ix.inner, eo)}
 }
 
 // Query answers an exact 1-NN query under Euclidean distance on the
@@ -75,6 +76,23 @@ func (e *Engine) QueryKNN(query []float32, k int) ([]Match, error) {
 		out[i] = Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}
 	}
 	return out, nil
+}
+
+// QueryDTW answers an exact 1-NN query under constrained DTW with a
+// Sakoe-Chiba warping window given as a fraction of the series length in
+// [0,1]. DTW spawns its own per-query workers, but the call still passes
+// through the engine's admission gate, so concurrent DTW traffic is
+// bounded like every other query.
+func (e *Engine) QueryDTW(query []float32, window float64) (Match, error) {
+	if err := checkWindowFraction(window); err != nil {
+		return Match{}, err
+	}
+	r := dtw.WindowSize(e.ix.SeriesLen(), window)
+	m, err := e.inner.SearchDTW(e.ix.prepareQuery(query), r, nil)
+	if err != nil {
+		return Match{}, err
+	}
+	return Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}, nil
 }
 
 // QueryBatch answers many independent 1-NN queries concurrently through

@@ -42,11 +42,18 @@ func (ix *Index) SearchDTW(query []float32, window int, opt SearchOptions) (Matc
 	}
 	env := ix.newDTWQuery(query, window)
 	defer ix.putTable(env.tab)
-	bsf := stats.NewBSF()
+	bsf := opt.Shared
+	if bsf == nil {
+		bsf = stats.NewBSF()
+	}
+	// Seeds are already global; candidates found in this index are mapped
+	// into the global space on every bound update (see
+	// SearchOptions.GlobalPos).
 	for _, s := range opt.Seeds {
 		bsf.Update(s.Dist, int64(s.Position))
 	}
-	ix.approxSearchDTW(env, bsf, opt.Counters)
+	bnd := workerBound(bsf, opt.GlobalPos)
+	ix.approxSearchDTW(env, bnd, opt.Counters)
 	if bd.Enabled() {
 		bd.Add(stats.PhaseInit, time.Since(tInit))
 	}
@@ -60,7 +67,7 @@ func (ix *Index) SearchDTW(query []float32, window int, opt SearchOptions) (Matc
 		wg.Add(1)
 		go func(pid int) {
 			defer wg.Done()
-			ix.dtwWorker(env, bsf, queues, &rootCtr, &barrier, pid, opt)
+			ix.dtwWorker(env, bnd, queues, &rootCtr, &barrier, pid, opt)
 		}(pid)
 	}
 	wg.Wait()
@@ -98,7 +105,7 @@ func (ix *Index) newDTWQuery(query []float32, window int) *dtwQuery {
 	}
 }
 
-func (ix *Index) dtwWorker(env *dtwQuery, bsf *stats.BSF, queues *pqueue.Set[*tree.Node],
+func (ix *Index) dtwWorker(env *dtwQuery, bsf bound, queues *pqueue.Set[*tree.Node],
 	rootCtr *atomic.Int64, barrier *sync.WaitGroup, pid int, opt SearchOptions) {
 
 	ctrs := opt.Counters
@@ -127,7 +134,7 @@ func (ix *Index) dtwWorker(env *dtwQuery, bsf *stats.BSF, queues *pqueue.Set[*tr
 	}
 }
 
-func (ix *Index) traverseDTW(node *tree.Node, env *dtwQuery, bsf *stats.BSF,
+func (ix *Index) traverseDTW(node *tree.Node, env *dtwQuery, bsf bound,
 	queues *pqueue.Set[*tree.Node], cursor *int, ctrs *stats.Counters) {
 
 	ctrs.AddNodesVisited(1)
@@ -149,7 +156,7 @@ func (ix *Index) traverseDTW(node *tree.Node, env *dtwQuery, bsf *stats.BSF,
 }
 
 func (ix *Index) processQueueDTW(q *pqueue.Queue[*tree.Node], env *dtwQuery,
-	scratch *leafScratch, bsf *stats.BSF, ctrs *stats.Counters) {
+	scratch *leafScratch, bsf bound, ctrs *stats.Counters) {
 
 	for {
 		if q.Finished() {
@@ -176,7 +183,7 @@ func (ix *Index) processQueueDTW(q *pqueue.Queue[*tree.Node], env *dtwQuery,
 // kernel shape as the Euclidean scanLeaf). The pruning bound is cached
 // locally and refreshed per scanBlock and after improvements.
 func (ix *Index) scanLeafDTW(leaf *tree.Node, env *dtwQuery, scratch *leafScratch,
-	bsf *stats.BSF, ctrs *stats.Counters) {
+	bsf bound, ctrs *stats.Counters) {
 
 	n := leaf.LeafLen()
 	if n == 0 {
@@ -223,7 +230,7 @@ func (ix *Index) scanLeafDTW(leaf *tree.Node, env *dtwQuery, scratch *leafScratc
 // approxSearchDTW seeds the DTW BSF from the leaf matching the query's own
 // word (warping alignment keeps the query's natural leaf a good candidate).
 // The bound is loaded once per candidate and refreshed after updates.
-func (ix *Index) approxSearchDTW(env *dtwQuery, bsf *stats.BSF, ctrs *stats.Counters) {
+func (ix *Index) approxSearchDTW(env *dtwQuery, bsf bound, ctrs *stats.Counters) {
 	root := ix.Tree.Root(ix.Schema.RootIndex(env.qword))
 	if root == nil {
 		best := math.Inf(1)

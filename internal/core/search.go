@@ -31,8 +31,27 @@ type SearchOptions struct {
 	// pruning bound before the search starts. They tighten pruning and
 	// take part in the answer: a seed whose distance remains best is
 	// returned as-is, so its Position may lie outside this index's
-	// collection.
+	// collection. With GlobalPos set, seed positions are taken as already
+	// global and are not remapped.
 	Seeds []Match
+
+	// GlobalPos maps this index's local series positions into the
+	// caller's global position space (a sharded collection, where this
+	// index holds only every S-th series). When set, the pruning bound —
+	// the 1-NN BSF or the k-NN top-k — carries global positions: every
+	// candidate found in this index is mapped on update, and Best/Matches
+	// report global positions. Nil means the identity (an unsharded
+	// index).
+	GlobalPos func(int64) int64
+
+	// Shared, when non-nil, replaces the run's private 1-NN best-so-far
+	// with a caller-owned bound threaded through several concurrent runs —
+	// the sharded fan-out, where a tight bound found in one shard prunes
+	// the searches of all the others. The shared BSF holds global
+	// positions (see GlobalPos); after every sibling run finishes, the
+	// fused answer is the shared bound's Best. Ignored by k-NN runs,
+	// which merge per-shard top-k sets instead.
+	Shared *stats.BSF
 
 	// Counters, when non-nil, accumulates operation counts (Figure 17).
 	Counters *stats.Counters
@@ -60,6 +79,28 @@ func (o SearchOptions) withDefaults(ixOpts Options) SearchOptions {
 type bound interface {
 	Load() float64
 	Update(dist float64, pos int64) bool
+}
+
+// mappedBound wraps a bound whose positions live in a global space (a
+// sharded collection's), translating this index's local positions on every
+// update. Loads pass through untouched — the pruning threshold is the same
+// number in every space.
+type mappedBound struct {
+	inner    bound
+	toGlobal func(int64) int64
+}
+
+func (m mappedBound) Load() float64 { return m.inner.Load() }
+func (m mappedBound) Update(dist float64, pos int64) bool {
+	return m.inner.Update(dist, m.toGlobal(pos))
+}
+
+// workerBound wraps b with the run's position mapping when one is set.
+func workerBound(b bound, toGlobal func(int64) int64) bound {
+	if toGlobal == nil {
+		return b
+	}
+	return mappedBound{inner: b, toGlobal: toGlobal}
 }
 
 // scanBlock is the number of leaf candidates a worker processes between
@@ -158,8 +199,11 @@ func (ix *Index) NewSearchRun(query []float32, st *QueryState, opt SearchOptions
 	if err := ix.validateQuery(query); err != nil {
 		return nil, err
 	}
-	bsf := stats.NewBSF()
-	r := &SearchRun{ix: ix, query: query, bnd: bsf, bsf: bsf, opt: opt.withDefaults(ix.Opts)}
+	bsf := opt.Shared
+	if bsf == nil {
+		bsf = stats.NewBSF()
+	}
+	r := &SearchRun{ix: ix, query: query, bnd: workerBound(bsf, opt.GlobalPos), bsf: bsf, opt: opt.withDefaults(ix.Opts)}
 	r.init(st)
 	return r, nil
 }
@@ -176,9 +220,19 @@ func (ix *Index) NewKNNRun(query []float32, k int, st *QueryState, opt SearchOpt
 		k = ix.Data.Count() + len(opt.Seeds)
 	}
 	best := newTopK(k)
-	r := &SearchRun{ix: ix, query: query, bnd: best, top: best, opt: opt.withDefaults(ix.Opts)}
+	r := &SearchRun{ix: ix, query: query, bnd: workerBound(best, opt.GlobalPos), top: best, opt: opt.withDefaults(ix.Opts)}
 	r.init(st)
 	return r, nil
+}
+
+// globalBnd returns the bound in its global-position space (the BSF or
+// top-k set itself, before local-position mapping) — the right target for
+// seeds, whose positions are already global.
+func (r *SearchRun) globalBnd() bound {
+	if r.bsf != nil {
+		return r.bsf
+	}
+	return r.top
 }
 
 // init computes the query summaries (into st's buffers when available),
@@ -200,8 +254,9 @@ func (r *SearchRun) init(st *QueryState) {
 	if st != nil {
 		st.paaBuf, st.wordBuf = qpaa, qword
 		// The table's geometry is schema-bound; a pooled state may have
-		// last served a different generation (engine Swap), so recheck.
-		if st.table == nil || st.table.Schema() != r.ix.Schema {
+		// last served a different generation (engine Swap) or a sibling
+		// shard, so recheck — same geometry means the buffer is reusable.
+		if st.table == nil || !st.table.Schema().SameGeometry(r.ix.Schema) {
 			st.table = r.ix.Schema.NewDistTable()
 		}
 		r.table = st.table
@@ -213,7 +268,7 @@ func (r *SearchRun) init(st *QueryState) {
 	}
 	r.table.BuildPAA(qpaa)
 	for _, s := range r.opt.Seeds {
-		r.bnd.Update(s.Dist, int64(s.Position))
+		r.globalBnd().Update(s.Dist, int64(s.Position))
 	}
 	r.ix.approxSearch(r.query, qpaa, qword, r.table, r.bnd, r.opt.Counters)
 	if bd.Enabled() {
@@ -462,7 +517,7 @@ func (ix *Index) ApproxSearch(query []float32, opt SearchOptions) (Match, error)
 	bsf := stats.NewBSF()
 	// No distance table here: the approximate search only needs one in
 	// the rare empty-subtree fallback, and its point is to be cheap.
-	ix.approxSearch(query, qpaa, qword, nil, bsf, opt.Counters)
+	ix.approxSearch(query, qpaa, qword, nil, workerBound(bsf, opt.GlobalPos), opt.Counters)
 	d, pos := bsf.Best()
 	if pos < 0 {
 		return ix.Search(query, opt)

@@ -29,6 +29,8 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/stats"
 )
 
 // ErrClosed is returned by queries submitted after Close.
@@ -88,13 +90,16 @@ func (o Options) withDefaults(ixOpts core.Options) Options {
 type task func(pid int)
 
 // Engine is a persistent query engine over a swappable index: the current
-// index generation is held behind an atomic pointer, and Swap atomically
-// replaces it (RCU-style — queries already executing finish against the
-// generation they loaded at admission; new queries see the new one). It
-// is safe for concurrent use by multiple goroutines. Close it when done
-// to release the pool.
+// index generation — a shard group of one or more core indexes — is held
+// behind an atomic pointer, and Swap atomically replaces it (RCU-style —
+// queries already executing finish against the generation they loaded at
+// admission; new queries see the new one). Sharded generations are
+// answered by fanning per-shard work units onto the same pool, threading
+// one shared best-so-far through every shard's search. It is safe for
+// concurrent use by multiple goroutines. Close it when done to release
+// the pool.
 type Engine struct {
-	ix     atomic.Pointer[core.Index]
+	sx     atomic.Pointer[shard.Index]
 	opts   Options
 	tasks  chan task
 	admit  chan struct{}
@@ -105,13 +110,19 @@ type Engine struct {
 	closed bool
 }
 
-// New starts an engine over the given index. ix may be nil — queries fail
-// with ErrNoIndex until a generation is installed via Swap — which lets a
-// live index start empty and stream data in.
+// New starts an engine over the given (unsharded) index. ix may be nil —
+// queries fail with ErrNoIndex until a generation is installed via Swap —
+// which lets a live index start empty and stream data in.
 func New(ix *core.Index, opts Options) *Engine {
+	return NewSharded(shard.Wrap(ix), opts)
+}
+
+// NewSharded starts an engine over a sharded index group. sx may be nil
+// (see New).
+func NewSharded(sx *shard.Index, opts Options) *Engine {
 	var ixOpts core.Options
-	if ix != nil {
-		ixOpts = ix.Opts
+	if sx != nil {
+		ixOpts = sx.Opts()
 	}
 	opts = opts.withDefaults(ixOpts)
 	e := &Engine{
@@ -119,7 +130,7 @@ func New(ix *core.Index, opts Options) *Engine {
 		tasks: make(chan task, 4*opts.PoolWorkers),
 		admit: make(chan struct{}, opts.MaxConcurrent),
 	}
-	e.ix.Store(ix)
+	e.sx.Store(sx)
 	e.states.New = func() any { return core.NewQueryState() }
 	e.wg.Add(opts.PoolWorkers)
 	for pid := 0; pid < opts.PoolWorkers; pid++ {
@@ -136,16 +147,36 @@ func New(ix *core.Index, opts Options) *Engine {
 // Options returns the engine's effective (defaulted) options.
 func (e *Engine) Options() Options { return e.opts }
 
-// Index returns the current index generation (nil if none installed).
-func (e *Engine) Index() *core.Index { return e.ix.Load() }
+// Index returns the current generation's single core index — nil when no
+// generation is installed or when the generation is sharded (use Shards).
+func (e *Engine) Index() *core.Index {
+	sx := e.sx.Load()
+	if sx == nil {
+		return nil
+	}
+	return sx.Single()
+}
 
-// Swap atomically installs a new index generation and returns the
-// previous one. In-flight queries keep running against the generation
-// they loaded; queries admitted after Swap see the new one. The old
-// generation may be released once its queries drain (Go's GC handles
-// this — callers need no quiescence protocol).
+// Shards returns the current sharded generation (nil if none installed).
+func (e *Engine) Shards() *shard.Index { return e.sx.Load() }
+
+// Swap atomically installs a new (unsharded) index generation, returning
+// the previous generation's single index (nil when it was sharded). In-
+// flight queries keep running against the generation they loaded; queries
+// admitted after Swap see the new one. The old generation may be released
+// once its queries drain (Go's GC handles this — callers need no
+// quiescence protocol).
 func (e *Engine) Swap(ix *core.Index) *core.Index {
-	return e.ix.Swap(ix)
+	prev := e.sx.Swap(shard.Wrap(ix))
+	if prev == nil {
+		return nil
+	}
+	return prev.Single()
+}
+
+// SwapSharded is Swap for sharded generations.
+func (e *Engine) SwapSharded(sx *shard.Index) *shard.Index {
+	return e.sx.Swap(sx)
 }
 
 // searchOpt builds the per-query options handed to core.
@@ -171,20 +202,105 @@ func (e *Engine) SearchSeeded(query []float32, seeds []core.Match) (core.Match, 
 	e.admit <- struct{}{}
 	defer func() { <-e.admit }()
 
-	ix := e.ix.Load()
-	if ix == nil {
+	sx := e.sx.Load()
+	if sx == nil {
 		return core.Match{}, ErrNoIndex
 	}
-	st := e.states.Get().(*core.QueryState)
-	run, err := ix.NewSearchRun(query, st, e.searchOpt(seeds))
-	if err != nil {
+	if single := sx.Single(); single != nil {
+		st := e.states.Get().(*core.QueryState)
+		run, err := single.NewSearchRun(query, st, e.searchOpt(seeds))
+		if err != nil {
+			e.states.Put(st)
+			return core.Match{}, err
+		}
+		e.execute(run)
+		m := run.Best()
 		e.states.Put(st)
+		return m, nil
+	}
+
+	// Sharded generation: one run per non-empty shard, all threading one
+	// shared best-so-far, dispatched as per-shard work units on the pool.
+	shared := stats.NewBSF()
+	for _, s := range seeds {
+		shared.Update(s.Dist, int64(s.Position))
+	}
+	runs, sts, err := e.shardRuns(sx, func(sh *core.Index, s int, st *core.QueryState) (*core.SearchRun, error) {
+		opt := e.searchOpt(nil)
+		opt.Shared = shared
+		opt.GlobalPos = sx.GlobalPosFunc(s)
+		return sh.NewSearchRun(query, st, opt)
+	})
+	if err != nil {
 		return core.Match{}, err
 	}
-	e.execute(run)
-	m := run.Best()
-	e.states.Put(st)
-	return m, nil
+	e.executeAll(runs)
+	e.putStates(sts)
+	d, pos := shared.Best()
+	return core.Match{Position: int(pos), Dist: d}, nil
+}
+
+// shardRuns prepares one run per non-empty shard, borrowing a QueryState
+// for each. Preparation — the query's PAA/table build plus the
+// bound-seeding approximate search — is fanned out over the pool too, so
+// a query's setup latency does not grow linearly with S; approximate
+// answers landing in the shared bound concurrently tighten each other
+// exactly as the drain phases do. On any preparation error every
+// borrowed state is returned and the first error wins.
+func (e *Engine) shardRuns(sx *shard.Index,
+	mk func(sh *core.Index, s int, st *core.QueryState) (*core.SearchRun, error)) ([]*core.SearchRun, []*core.QueryState, error) {
+
+	S := sx.NumShards()
+	runs := make([]*core.SearchRun, S)
+	sts := make([]*core.QueryState, S)
+	errs := make([]error, S)
+	var wg sync.WaitGroup
+	for s := 0; s < S; s++ {
+		sh := sx.Shard(s)
+		if sh == nil {
+			continue
+		}
+		st := e.states.Get().(*core.QueryState)
+		sts[s] = st
+		wg.Add(1)
+		e.tasks <- func(pid int) {
+			defer wg.Done()
+			runs[s], errs[s] = mk(sh, s, st)
+		}
+	}
+	wg.Wait()
+
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	outRuns := runs[:0]
+	outSts := sts[:0]
+	for s := 0; s < S; s++ {
+		if firstErr != nil {
+			if sts[s] != nil {
+				e.states.Put(sts[s])
+			}
+			continue
+		}
+		if runs[s] != nil {
+			outRuns = append(outRuns, runs[s])
+			outSts = append(outSts, sts[s])
+		}
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return outRuns, outSts, nil
+}
+
+func (e *Engine) putStates(sts []*core.QueryState) {
+	for _, st := range sts {
+		e.states.Put(st)
+	}
 }
 
 // SearchKNN answers an exact k-NN query on the shared pool, returning up
@@ -204,20 +320,68 @@ func (e *Engine) SearchKNNSeeded(query []float32, k int, seeds []core.Match) ([]
 	e.admit <- struct{}{}
 	defer func() { <-e.admit }()
 
-	ix := e.ix.Load()
-	if ix == nil {
+	sx := e.sx.Load()
+	if sx == nil {
 		return nil, ErrNoIndex
 	}
-	st := e.states.Get().(*core.QueryState)
-	run, err := ix.NewKNNRun(query, k, st, e.searchOpt(seeds))
-	if err != nil {
+	if single := sx.Single(); single != nil {
+		st := e.states.Get().(*core.QueryState)
+		run, err := single.NewKNNRun(query, k, st, e.searchOpt(seeds))
+		if err != nil {
+			e.states.Put(st)
+			return nil, err
+		}
+		e.execute(run)
+		ms := run.Matches()
 		e.states.Put(st)
+		return ms, nil
+	}
+
+	// Sharded generation: every shard computes its own top-k (each seeded
+	// with the caller's global-position seeds) and the per-shard sets are
+	// merged through a priority queue.
+	runs, sts, err := e.shardRuns(sx, func(sh *core.Index, s int, st *core.QueryState) (*core.SearchRun, error) {
+		opt := e.searchOpt(seeds)
+		opt.GlobalPos = sx.GlobalPosFunc(s)
+		return sh.NewKNNRun(query, k, st, opt)
+	})
+	if err != nil {
 		return nil, err
 	}
-	e.execute(run)
-	ms := run.Matches()
-	e.states.Put(st)
-	return ms, nil
+	e.executeAll(runs)
+	lists := make([][]core.Match, len(runs))
+	for i, run := range runs {
+		lists[i] = run.Matches()
+	}
+	e.putStates(sts)
+	return shard.MergeKNN(lists, k), nil
+}
+
+// SearchDTW answers an exact 1-NN query under constrained DTW with a
+// Sakoe-Chiba band of the given radius (points), fanning out across
+// shards when the generation is sharded. The DTW search runs the paper's
+// per-query spawn mode — its own worker goroutines, not pool units — but
+// it still passes through the engine's admission gate, so a burst of DTW
+// traffic is capped at MaxConcurrent in-flight queries like every other
+// query path instead of spawning unbounded worker fleets.
+func (e *Engine) SearchDTW(query []float32, window int, seeds []core.Match) (core.Match, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return core.Match{}, ErrClosed
+	}
+	e.admit <- struct{}{}
+	defer func() { <-e.admit }()
+
+	sx := e.sx.Load()
+	if sx == nil {
+		return core.Match{}, ErrNoIndex
+	}
+	return sx.SearchDTW(query, window, core.SearchOptions{
+		Workers: e.opts.QueryWorkers,
+		Queues:  e.opts.Queues,
+		Seeds:   seeds,
+	})
 }
 
 // SearchBatch answers many independent 1-NN queries, running up to
@@ -264,6 +428,33 @@ func (e *Engine) SearchBatch(queries [][]float32) ([]core.Match, error) {
 func (e *Engine) execute(run *core.SearchRun) {
 	e.dispatch(run.InsertPhase)
 	e.dispatch(run.DrainPhase)
+}
+
+// executeAll runs several sibling runs (one per shard) through the pool:
+// every run's insert units are dispatched together and awaited before any
+// drain unit starts — a single all-inserted barrier across the whole
+// fan-out, so a shard finishing its tree pass early keeps its bound
+// improvements visible to the shards still traversing.
+func (e *Engine) executeAll(runs []*core.SearchRun) {
+	e.dispatchAll(runs, (*core.SearchRun).InsertPhase)
+	e.dispatchAll(runs, (*core.SearchRun).DrainPhase)
+}
+
+// dispatchAll enqueues QueryWorkers units of phase for every run and
+// waits for all of them.
+func (e *Engine) dispatchAll(runs []*core.SearchRun, phase func(*core.SearchRun, int)) {
+	var wg sync.WaitGroup
+	wg.Add(len(runs) * e.opts.QueryWorkers)
+	for _, run := range runs {
+		run := run
+		for i := 0; i < e.opts.QueryWorkers; i++ {
+			e.tasks <- func(pid int) {
+				defer wg.Done()
+				phase(run, pid)
+			}
+		}
+	}
+	wg.Wait()
 }
 
 // dispatch enqueues QueryWorkers calls of phase and waits for all of them

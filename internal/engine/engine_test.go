@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/series"
+	"repro/internal/shard"
 )
 
 const (
@@ -217,4 +218,100 @@ func TestOptionDefaults(t *testing.T) {
 	if o2.Queues != 3 {
 		t.Errorf("Queues = %d, want 3", o2.Queues)
 	}
+}
+
+// TestShardedEngineMatchesSingle: a sharded generation answered through
+// the pool must return exactly the single-index answers — the fan-out
+// (shared BSF, per-shard work units, pqueue k-NN merge) is invisible in
+// the results.
+func TestShardedEngineMatchesSingle(t *testing.T) {
+	ix, qs := testIndex(t)
+	sx, err := shard.Build(testData(t), 4, core.Options{LeafCapacity: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewSharded(sx, Options{PoolWorkers: 8, QueryWorkers: 2})
+	defer e.Close()
+	if e.Index() != nil {
+		t.Fatal("Index() non-nil for a sharded generation")
+	}
+	if e.Shards() != sx {
+		t.Fatal("Shards() does not return the installed generation")
+	}
+	for i := 0; i < qs.Count(); i++ {
+		q := qs.At(i)
+		want, err := ix.Search(q, core.SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("query %d: sharded engine %+v, core %+v", i, got, want)
+		}
+		wantK, err := ix.SearchKNN(q, 5, core.SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotK, err := e.SearchKNN(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotK) != len(wantK) {
+			t.Fatalf("query %d: sharded k-NN returned %d, want %d", i, len(gotK), len(wantK))
+		}
+		for j := range gotK {
+			if gotK[j] != wantK[j] {
+				t.Fatalf("query %d match %d: sharded %+v, core %+v", i, j, gotK[j], wantK[j])
+			}
+		}
+	}
+}
+
+// TestSwapShardedGenerations: an engine can move between unsharded and
+// sharded generations; in both directions queries see the new one.
+func TestSwapShardedGenerations(t *testing.T) {
+	ix, qs := testIndex(t)
+	sx, err := shard.Build(testData(t), 2, core.Options{LeafCapacity: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(ix, Options{PoolWorkers: 4})
+	defer e.Close()
+	if e.Index() != ix {
+		t.Fatal("initial single generation not visible")
+	}
+	if prev := e.SwapSharded(sx); prev == nil || prev.Single() != ix {
+		t.Fatalf("SwapSharded returned %v, want the wrapped single index", prev)
+	}
+	q := qs.At(0)
+	want, err := ix.Search(q, core.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("post-swap query answered %+v, want %+v", got, want)
+	}
+	if prev := e.Swap(ix); prev != nil {
+		t.Fatalf("Swap from a sharded generation returned single index %v, want nil", prev)
+	}
+	if e.Index() != ix {
+		t.Fatal("swap back to the single generation not visible")
+	}
+}
+
+// testData exposes the shared test collection for sharded builds.
+func testData(t *testing.T) *series.Collection {
+	t.Helper()
+	data, err := dataset.Generate(dataset.RandomWalk, testSeries, testLength, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
 }

@@ -45,6 +45,17 @@ type Schema struct {
 	regionUpper []float64 // per full-precision symbol: upper region bound
 }
 
+// SameGeometry reports whether two schemas quantize identically — same
+// series length, segments and cardinality, hence identical breakpoint and
+// region tables. Shards of one collection hold distinct Schema instances
+// with the same geometry; per-query distance tables built against one are
+// shaped and valued exactly for the other, so pooled tables may be reused
+// across them.
+func (s *Schema) SameGeometry(o *Schema) bool {
+	return s == o || (o != nil && s.SeriesLen == o.SeriesLen &&
+		s.Segments == o.Segments && s.CardBits == o.CardBits)
+}
+
 // NewSchema validates the parameters and precomputes the quantization
 // tables. SeriesLen must be a positive multiple of Segments.
 func NewSchema(seriesLen, segments, cardBits int) (*Schema, error) {

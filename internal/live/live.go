@@ -37,6 +37,7 @@ import (
 	"repro/internal/isax"
 	"repro/internal/scan"
 	"repro/internal/series"
+	"repro/internal/shard"
 	"repro/internal/tree"
 )
 
@@ -72,6 +73,12 @@ type Options struct {
 	// BlockSeries is the delta storage block granularity. Default
 	// delta.DefaultBlockSeries.
 	BlockSeries int
+	// Shards is the number of independent index shards per generation
+	// (default 1). Appends route round-robin — global position p lives in
+	// shard p%S — so a generational rebuild reconstructs S trees of
+	// O(n/S) series concurrently instead of one O(n) tree, and queries
+	// fan out across the shards with a shared pruning bound.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +87,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ScanWorkers <= 0 {
 		o.ScanWorkers = DefaultScanWorkers
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
 	}
 	return o
 }
@@ -91,7 +101,7 @@ func (o Options) withDefaults() Options {
 // [0, baseLen), [baseLen, baseLen+frozen.Len()), and
 // [activeStart, activeStart+active.Len()).
 type view struct {
-	base    *core.Index     // nil before the first generation exists
+	base    *shard.Index    // nil before the first generation exists
 	baseLen int             // series in base (0 when base == nil)
 	frozen  *delta.Snapshot // nil unless a rebuild is pending/in flight
 	active  *delta.Buffer
@@ -137,9 +147,9 @@ func New(seriesLen int, initial *series.Collection, opts Options) (*Index, error
 	if err != nil {
 		return nil, err
 	}
-	var base *core.Index
+	var base *shard.Index
 	if initial != nil && initial.Count() > 0 {
-		if base, err = core.Build(initial, ix.opts.Core); err != nil {
+		if base, err = shard.Build(initial, ix.opts.Shards, ix.opts.Core); err != nil {
 			return nil, err
 		}
 	}
@@ -151,15 +161,19 @@ func New(seriesLen int, initial *series.Collection, opts Options) (*Index, error
 // entirely: base becomes generation 1 and future rebuilds merge appends
 // into it. Structural options (segments, cardinality, leaf capacity) are
 // taken from base so later generations keep its shape; runtime options
-// (workers, queues, thresholds) come from opts.
-func NewFromIndex(base *core.Index, opts Options) (*Index, error) {
-	if base == nil || base.Data.Count() == 0 {
+// (workers, queues, thresholds) come from opts. A sharded base fixes the
+// live index's shard count: positions are routed by the base's
+// round-robin partition, so opts.Shards is overridden.
+func NewFromIndex(base *shard.Index, opts Options) (*Index, error) {
+	if base == nil || base.Len() == 0 {
 		return nil, fmt.Errorf("live: cannot boot from an empty index")
 	}
-	opts.Core.Segments = base.Opts.Segments
-	opts.Core.CardBits = base.Opts.CardBits
-	opts.Core.LeafCapacity = base.Opts.LeafCapacity
-	ix, err := prepare(base.Data.Length, opts)
+	baseOpts := base.Opts()
+	opts.Core.Segments = baseOpts.Segments
+	opts.Core.CardBits = baseOpts.CardBits
+	opts.Core.LeafCapacity = baseOpts.LeafCapacity
+	opts.Shards = base.NumShards()
+	ix, err := prepare(base.SeriesLen(), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -179,11 +193,14 @@ func prepare(seriesLen int, opts Options) (*Index, error) {
 	if opts.Engine.Queues <= 0 {
 		opts.Engine.Queues = opts.Core.QueueCount
 	}
-	// Validate the schema once up front so generation rebuilds cannot fail
-	// on configuration (a bad length/segments combination surfaces here,
-	// not in a background goroutine).
+	// Validate the schema and shard count once up front so generation
+	// rebuilds cannot fail on configuration (a bad length/segments
+	// combination surfaces here, not in a background goroutine).
 	if _, err := isax.NewSchema(seriesLen, opts.Core.Segments, opts.Core.CardBits); err != nil {
 		return nil, err
+	}
+	if opts.Shards > shard.MaxShards {
+		return nil, fmt.Errorf("live: shard count %d out of range [1,%d]", opts.Shards, shard.MaxShards)
 	}
 	ix := &Index{opts: opts, seriesLen: seriesLen}
 	ix.cond = sync.NewCond(&ix.mu)
@@ -192,10 +209,10 @@ func prepare(seriesLen int, opts Options) (*Index, error) {
 
 // start publishes the initial view around base (which may be nil) and
 // spins up the query engine.
-func (ix *Index) start(base *core.Index) *Index {
+func (ix *Index) start(base *shard.Index) *Index {
 	baseLen := 0
 	if base != nil {
-		baseLen = base.Data.Count()
+		baseLen = base.Len()
 		ix.gen.Store(1)
 	}
 	ix.view.Store(&view{
@@ -203,7 +220,7 @@ func (ix *Index) start(base *core.Index) *Index {
 		baseLen: baseLen,
 		active:  delta.New(ix.seriesLen, ix.opts.BlockSeries),
 	})
-	ix.eng = engine.New(base, ix.opts.Engine)
+	ix.eng = engine.NewSharded(base, ix.opts.Engine)
 	return ix
 }
 
@@ -223,10 +240,14 @@ func (ix *Index) Generation() int64 { return ix.gen.Load() }
 // generation (for callers that want direct, delta-blind tree queries).
 func (ix *Index) Engine() *engine.Engine { return ix.eng }
 
-// Base returns the current immutable generation (nil before the first
-// rebuild of an initially-empty index). After a Flush with no concurrent
-// appends it covers every series — the state a snapshot should capture.
-func (ix *Index) Base() *core.Index { return ix.view.Load().base }
+// Base returns the current immutable generation — a shard group of one
+// or more indexes — nil before the first rebuild of an initially-empty
+// index. After a Flush with no concurrent appends it covers every series
+// — the state a snapshot should capture.
+func (ix *Index) Base() *shard.Index { return ix.view.Load().base }
+
+// Shards reports the configured shard count per generation.
+func (ix *Index) Shards() int { return ix.opts.Shards }
 
 // Append adds one series (copied) and returns its stable position. The
 // series is searchable as soon as Append returns.
@@ -310,20 +331,12 @@ func (ix *Index) startRebuildLocked() {
 // rebuild merges the view's generation and frozen delta into a new
 // immutable generation and swaps it in. It runs in its own goroutine;
 // queries and appends proceed concurrently against the frozen view.
+// With S shards the merge is per shard — each shard's O(n/S) slice plus
+// its round-robin share of the frozen delta — and the S builds run
+// concurrently.
 func (ix *Index) rebuild(v *view) {
 	total := v.baseLen + v.frozen.Len()
-	flat := make([]float32, total*ix.seriesLen)
-	if v.base != nil {
-		copy(flat, v.base.Data.Data)
-	}
-	err := v.frozen.CopyInto(flat[v.baseLen*ix.seriesLen:])
-	var newIx *core.Index
-	if err == nil {
-		var col *series.Collection
-		if col, err = series.NewCollection(flat, ix.seriesLen); err == nil {
-			newIx, err = core.Build(col, ix.opts.Core)
-		}
-	}
+	newIx, err := ix.mergeGeneration(v, total)
 
 	ix.mu.Lock()
 	if err != nil {
@@ -338,7 +351,7 @@ func (ix *Index) rebuild(v *view) {
 		// the bounds dedupe by position — but the reverse order would open
 		// a window where a query sees a frozen-free view while the engine
 		// still serves the old generation, losing the merged series.
-		ix.eng.Swap(newIx)
+		ix.eng.SwapSharded(newIx)
 		ix.view.Store(&view{base: newIx, baseLen: total, active: cur.active})
 		ix.gen.Add(1)
 		ix.rebuildErr = nil
@@ -348,6 +361,34 @@ func (ix *Index) rebuild(v *view) {
 	// Appends during the rebuild may already have crossed the threshold.
 	ix.maybeRebuildLocked()
 	ix.mu.Unlock()
+}
+
+// mergeGeneration builds the next generation: every shard's new slice is
+// its current data followed by its round-robin share of the frozen delta
+// (global position p routes to shard p%S, so locals stay ascending), and
+// the per-shard builds run concurrently with the construction workers
+// divided among them.
+func (ix *Index) mergeGeneration(v *view, total int) (*shard.Index, error) {
+	S := ix.opts.Shards
+	L := ix.seriesLen
+
+	flats := shard.AllocSlices(total, S, L)
+	fill := make([]int, S)
+	for s := 0; s < S; s++ {
+		if v.base == nil {
+			break
+		}
+		if old := v.base.Shard(s); old != nil {
+			copy(flats[s], old.Data.Data)
+			fill[s] = len(old.Data.Data)
+		}
+	}
+	for j := 0; j < v.frozen.Len(); j++ {
+		s := (v.baseLen + j) % S
+		copy(flats[s][fill[s]:fill[s]+L], v.frozen.At(j))
+		fill[s] += L
+	}
+	return shard.BuildFlats(flats, total, L, ix.opts.Core)
 }
 
 // Flush synchronously merges all buffered series into the immutable
@@ -395,12 +436,14 @@ func (ix *Index) Close() {
 
 // Stats describes the live index's current shape.
 type Stats struct {
-	Series      int        // total searchable series (base + delta)
-	BaseSeries  int        // series in the current immutable generation
-	DeltaSeries int        // series in the delta (frozen + active)
-	Generation  int64      // immutable generations built so far
-	Rebuilding  bool       // a background rebuild is in flight
-	Tree        tree.Stats // current generation's tree shape (zero when none)
+	Series      int          // total searchable series (base + delta)
+	BaseSeries  int          // series in the current immutable generation
+	DeltaSeries int          // series in the delta (frozen + active)
+	Generation  int64        // immutable generations built so far
+	Rebuilding  bool         // a background rebuild is in flight
+	Shards      int          // index shards per generation (1 = unsharded)
+	Tree        tree.Stats   // current generation's tree shape, aggregated over shards
+	PerShard    []tree.Stats // per-shard tree shapes (nil when unsharded)
 }
 
 // Stats returns a point-in-time snapshot of the index shape.
@@ -414,10 +457,14 @@ func (ix *Index) Stats() Stats {
 		DeltaSeries: v.frozenLen() + v.active.Len(),
 		Generation:  ix.gen.Load(),
 		Rebuilding:  rebuilding,
+		Shards:      ix.opts.Shards,
 	}
 	st.Series = st.BaseSeries + st.DeltaSeries
 	if v.base != nil {
 		st.Tree = v.base.Stats()
+		if ix.opts.Shards > 1 {
+			st.PerShard = v.base.ShardStats()
+		}
 	}
 	return st
 }
@@ -430,7 +477,7 @@ func (ix *Index) Series(pos int) ([]float32, error) {
 	case pos < 0:
 		return nil, fmt.Errorf("live: negative position %d", pos)
 	case pos < v.baseLen:
-		return v.base.Data.At(pos), nil
+		return v.base.At(pos), nil
 	case pos < v.activeStart():
 		return v.frozen.At(pos - v.baseLen), nil
 	default:
@@ -512,7 +559,11 @@ func (ix *Index) SearchDTW(query []float32, window int) (core.Match, error) {
 		}
 		return seeds[0], nil
 	}
-	return v.base.SearchDTW(query, window, core.SearchOptions{Seeds: seeds})
+	// Through the engine for its admission gate (DTW spawns per-query
+	// workers; unbounded concurrent spawns would starve the pool). The
+	// engine generation may be one rebuild ahead of v — safe, the frozen
+	// series exist in both at the same positions.
+	return ix.eng.SearchDTW(query, window, seeds)
 }
 
 // forEachDeltaChunk runs fn over every contiguous chunk of the view's

@@ -419,3 +419,108 @@ func TestKNNSpansBaseAndDelta(t *testing.T) {
 		seen[m.Position] = true
 	}
 }
+
+// TestShardedLifecycle: a sharded live index (S=4) answers identically to
+// a fresh unsharded build at every stage, keeps positions stable across
+// the per-shard generational rebuilds, and reports per-shard stats.
+func TestShardedLifecycle(t *testing.T) {
+	const length = 64
+	all := walk(600, length, 3)
+	queries := walk(10, length, 303)
+	window := dtw.WindowSize(length, 0.1)
+
+	opts := smallOpts(1_000_000)
+	opts.Shards = 4
+	ix, err := New(length, collection(t, all[:200]), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if ix.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", ix.Shards())
+	}
+
+	check := func(t *testing.T, rows [][]float32) {
+		t.Helper()
+		oracle := freshIndex(t, rows)
+		for qi, q := range queries {
+			got, err := ix.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.Search(q, core.SearchOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("query %d: sharded live %+v, fresh %+v", qi, got, want)
+			}
+			gotK, err := ix.SearchKNN(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantK, err := oracle.SearchKNN(q, 5, core.SearchOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gotK) != len(wantK) {
+				t.Fatalf("query %d: k-NN %d matches, fresh %d", qi, len(gotK), len(wantK))
+			}
+			for i := range gotK {
+				if gotK[i] != wantK[i] {
+					t.Fatalf("query %d rank %d: sharded live %+v, fresh %+v", qi, i, gotK[i], wantK[i])
+				}
+			}
+			gotD, err := ix.SearchDTW(q, window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantD, err := oracle.SearchDTW(q, window, core.SearchOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotD != wantD {
+				t.Fatalf("query %d: sharded live DTW %+v, fresh %+v", qi, gotD, wantD)
+			}
+		}
+	}
+
+	t.Run("base-only", func(t *testing.T) { check(t, all[:200]) })
+
+	if _, err := ix.AppendBatch(all[200:]); err != nil {
+		t.Fatal(err)
+	}
+	t.Run("base-plus-delta", func(t *testing.T) { check(t, all) })
+
+	if err := ix.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.DeltaSeries != 0 || st.BaseSeries != len(all) || st.Shards != 4 {
+		t.Fatalf("after flush: %+v", st)
+	}
+	if len(st.PerShard) != 4 {
+		t.Fatalf("per-shard stats: %d entries, want 4", len(st.PerShard))
+	}
+	perShardTotal := 0
+	for _, ps := range st.PerShard {
+		perShardTotal += ps.Series
+	}
+	if perShardTotal != len(all) || st.Tree.Series != len(all) {
+		t.Fatalf("per-shard series sum %d, aggregate %d, want %d", perShardTotal, st.Tree.Series, len(all))
+	}
+	t.Run("post-flush", func(t *testing.T) { check(t, all) })
+
+	// Positions remain append-order across the sharded rebuild.
+	for _, p := range []int{0, 199, 200, 399, 599} {
+		got, err := ix.Series(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != all[p][i] {
+				t.Fatalf("position %d changed across sharded rebuild (point %d)", p, i)
+			}
+		}
+	}
+}

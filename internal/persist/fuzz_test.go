@@ -84,3 +84,41 @@ func FuzzRead(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseManifest drives arbitrary bytes through the shard-manifest
+// decoder: it must never panic, and every rejection must carry one of the
+// package's typed sentinel errors.
+func FuzzParseManifest(f *testing.F) {
+	valid, err := EncodeManifest(Manifest{
+		Version:     ManifestVersion,
+		Shards:      4,
+		SeriesLen:   32,
+		SeriesCount: 100,
+		Files:       []string{"shard-0000.snap", "shard-0001.snap", "shard-0002.snap", "shard-0003.snap"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(ManifestMagic))
+	f.Add(bytes.Repeat([]byte{0}, 16))
+	corrupted := bytes.Clone(valid)
+	corrupted[len(corrupted)/2] ^= 0xff
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := ParseManifest(b)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) &&
+				!errors.Is(err, ErrVersion) && !errors.Is(err, ErrChecksum) &&
+				!errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped manifest error: %v", err)
+			}
+			return
+		}
+		// An accepted manifest must re-validate and re-encode cleanly.
+		if _, err := EncodeManifest(m); err != nil {
+			t.Fatalf("accepted manifest fails to re-encode: %v", err)
+		}
+	})
+}

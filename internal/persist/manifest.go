@@ -1,0 +1,390 @@
+package persist
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// This file defines the multi-shard snapshot layout: a DIRECTORY (not a
+// new snapshot format version) holding one ordinary single-index snapshot
+// file per shard plus a checksummed manifest naming them:
+//
+//	<dir>/MANIFEST                   magic + length-prefixed JSON + CRC-32C
+//	<dir>/shard-0000-<token>.snap    ordinary snapshot (format v2) of shard 0
+//	<dir>/shard-0001-<token>.snap    ...
+//
+// The token is fresh per save, so re-saving over an existing snapshot
+// directory never overwrites the files the current manifest names: a
+// crash mid-save leaves the old manifest pointing at intact old files
+// (strays from the aborted save are swept by the next successful one).
+// Only after the new manifest is atomically renamed into place do the
+// previous save's shard files become garbage and get removed.
+//
+// Each shard file is self-describing and individually checksummed, so the
+// manifest only records the partition: the shard count, the collection
+// shape, and the per-shard file names (empty for shards whose round-robin
+// slice is empty). Shards are written and loaded in parallel; cross-shard
+// consistency (round-robin counts, matching schema and normalize flags) is
+// validated on load.
+
+// ManifestMagic identifies a shard-manifest file (distinct from both the
+// snapshot magic "MESSIIX1" and the dataset magic "MESSIDS1").
+const ManifestMagic = "MESSIMF1"
+
+// ManifestName is the manifest's file name inside a sharded snapshot
+// directory.
+const ManifestName = "MANIFEST"
+
+// ManifestVersion is the current manifest payload version.
+const ManifestVersion = 1
+
+// manifestHeaderSize is the fixed prefix: 8 magic bytes plus the uint32
+// payload length.
+const manifestHeaderSize = 12
+
+// maxManifestPayload bounds the JSON payload a manifest header may claim.
+const maxManifestPayload = 1 << 20
+
+// Manifest describes a sharded snapshot directory.
+type Manifest struct {
+	Version     int      `json:"version"`
+	Shards      int      `json:"shards"`
+	SeriesLen   int      `json:"series_len"`
+	SeriesCount int      `json:"series_count"`
+	Files       []string `json:"files"`
+}
+
+// EncodeManifest renders the manifest into its on-disk form: magic,
+// little-endian payload length, JSON payload, CRC-32C of the payload.
+func EncodeManifest(m Manifest) ([]byte, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("persist: encode manifest: %w", err)
+	}
+	out := make([]byte, 0, manifestHeaderSize+len(payload)+4)
+	out = append(out, ManifestMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	return out, nil
+}
+
+// ParseManifest decodes and validates a manifest file image. Like
+// ParseHeader it returns a typed error (ErrTruncated, ErrBadMagic,
+// ErrVersion, ErrChecksum, ErrCorrupt) for the first problem found and
+// never panics on arbitrary input.
+func ParseManifest(b []byte) (Manifest, error) {
+	var m Manifest
+	if len(b) < manifestHeaderSize {
+		return m, fmt.Errorf("%w: manifest is %d bytes, want at least %d", ErrTruncated, len(b), manifestHeaderSize)
+	}
+	if string(b[:8]) != ManifestMagic {
+		return m, fmt.Errorf("%w: %q", ErrBadMagic, b[:8])
+	}
+	n := binary.LittleEndian.Uint32(b[8:12])
+	if n > maxManifestPayload {
+		return m, fmt.Errorf("%w: manifest claims a %d-byte payload", ErrCorrupt, n)
+	}
+	if len(b) < manifestHeaderSize+int(n)+4 {
+		return m, fmt.Errorf("%w: manifest ends inside its payload", ErrTruncated)
+	}
+	payload := b[manifestHeaderSize : manifestHeaderSize+int(n)]
+	stored := binary.LittleEndian.Uint32(b[manifestHeaderSize+int(n):])
+	if got := crc32.Checksum(payload, castagnoli); got != stored {
+		return m, fmt.Errorf("%w: manifest CRC %08x, stored %08x", ErrChecksum, got, stored)
+	}
+	if rest := len(b) - (manifestHeaderSize + int(n) + 4); rest != 0 {
+		return m, fmt.Errorf("%w: %d trailing bytes after the manifest checksum", ErrCorrupt, rest)
+	}
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return m, fmt.Errorf("%w: manifest payload: %v", ErrCorrupt, err)
+	}
+	if m.Version != ManifestVersion {
+		return m, fmt.Errorf("%w: manifest version %d, this reader understands %d", ErrVersion, m.Version, ManifestVersion)
+	}
+	if err := m.validate(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// validate checks the manifest's internal consistency and that every file
+// name is a plain name inside the snapshot directory (a manifest must not
+// be able to point the loader at arbitrary paths).
+func (m Manifest) validate() error {
+	if m.Shards < 1 || m.Shards > shard.MaxShards {
+		return fmt.Errorf("%w: manifest declares %d shards", ErrCorrupt, m.Shards)
+	}
+	if len(m.Files) != m.Shards {
+		return fmt.Errorf("%w: manifest lists %d files for %d shards", ErrCorrupt, len(m.Files), m.Shards)
+	}
+	if m.SeriesLen < 1 || m.SeriesLen > maxSeriesLen {
+		return fmt.Errorf("%w: manifest declares series length %d", ErrCorrupt, m.SeriesLen)
+	}
+	if m.SeriesCount < 1 || uint64(m.SeriesCount)*uint64(m.SeriesLen) > maxPoints {
+		return fmt.Errorf("%w: manifest declares %d series × %d points", ErrCorrupt, m.SeriesCount, m.SeriesLen)
+	}
+	seen := make(map[string]struct{}, len(m.Files))
+	for s, name := range m.Files {
+		if name == "" {
+			continue // empty round-robin slice
+		}
+		if name != filepath.Base(name) || name == "." || name == ".." || strings.ContainsAny(name, "/\\") {
+			return fmt.Errorf("%w: manifest shard %d file name %q escapes the snapshot directory", ErrCorrupt, s, name)
+		}
+		if name == ManifestName {
+			return fmt.Errorf("%w: manifest shard %d uses the reserved file name %q", ErrCorrupt, s, name)
+		}
+		if _, dup := seen[name]; dup {
+			return fmt.Errorf("%w: manifest names %q for two shards", ErrCorrupt, name)
+		}
+		seen[name] = struct{}{}
+	}
+	return nil
+}
+
+// shardFileName is the per-shard snapshot file name: the shard number
+// plus a per-save token (see the package comment on crash safety).
+func shardFileName(s int, token string) string {
+	return fmt.Sprintf("shard-%04d-%s.snap", s, token)
+}
+
+// saveToken returns a fresh random token distinguishing one save's shard
+// files from every earlier save into the same directory.
+func saveToken() (string, error) {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("persist: save token: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// dirSaves serializes WriteShardedDir calls per target directory (keyed
+// by cleaned path): without it, two in-process saves — a Flush
+// auto-snapshot racing a POST /v1/snapshot — could sweep each other's
+// in-flight shard files and leave a manifest naming deleted files.
+// Concurrent saves into one directory from SEPARATE processes remain the
+// caller's responsibility, as with any shared file target.
+var dirSaves sync.Map // map[string]*sync.Mutex
+
+// WriteShardedDir persists a sharded index as a snapshot directory: one
+// snapshot file per non-empty shard (written concurrently, each atomically
+// via WriteFile, under fresh per-save names) plus the checksummed
+// manifest, written last. Because shard files are never overwritten in
+// place, re-saving over an existing snapshot directory is crash-safe: a
+// crash before the manifest rename leaves the previous manifest naming
+// its intact files; the moment the rename lands, the new snapshot is
+// complete and the superseded shard files are swept (best-effort).
+// In-process saves to the same directory are serialized.
+func WriteShardedDir(dir string, x *shard.Index, normalize bool) error {
+	if x == nil || x.Len() == 0 {
+		return fmt.Errorf("persist: cannot snapshot an empty sharded index")
+	}
+	muAny, _ := dirSaves.LoadOrStore(filepath.Clean(dir), &sync.Mutex{})
+	mu := muAny.(*sync.Mutex)
+	mu.Lock()
+	defer mu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	token, err := saveToken()
+	if err != nil {
+		return err
+	}
+	S := x.NumShards()
+	m := Manifest{
+		Version:     ManifestVersion,
+		Shards:      S,
+		SeriesLen:   x.SeriesLen(),
+		SeriesCount: x.Len(),
+		Files:       make([]string, S),
+	}
+	errs := make([]error, S)
+	var wg sync.WaitGroup
+	for s := 0; s < S; s++ {
+		sh := x.Shard(s)
+		if sh == nil {
+			continue
+		}
+		m.Files[s] = shardFileName(s, token)
+		wg.Add(1)
+		go func(s int, sh *core.Index) {
+			defer wg.Done()
+			errs[s] = WriteFile(filepath.Join(dir, shardFileName(s, token)), sh, normalize)
+		}(s, sh)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return fmt.Errorf("persist: shard %d: %w", s, err)
+		}
+	}
+
+	enc, err := EncodeManifest(m)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ManifestName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(enc); err == nil {
+		err = tmp.Sync()
+	}
+	if err == nil {
+		err = tmp.Chmod(0o644)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(name, filepath.Join(dir, ManifestName))
+	}
+	if err != nil {
+		os.Remove(name)
+		return fmt.Errorf("persist: write manifest: %w", err)
+	}
+	sweepStaleShards(dir, m.Files)
+	return nil
+}
+
+// sweepStaleShards removes shard snapshot files not named by the
+// just-written manifest — earlier saves' files and strays from aborted
+// saves — plus manifest temp files a crash may have orphaned.
+// Best-effort: a leftover file costs disk space, never correctness, so
+// errors are ignored.
+func sweepStaleShards(dir string, live []string) {
+	keep := make(map[string]struct{}, len(live))
+	for _, name := range live {
+		if name != "" {
+			keep[name] = struct{}{}
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		stale := strings.HasPrefix(name, ManifestName+".tmp") // orphaned temp manifest
+		if strings.HasPrefix(name, "shard-") && strings.HasSuffix(name, ".snap") {
+			_, ok := keep[name]
+			stale = !ok
+		}
+		if stale {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// ReadShardedDir loads a snapshot directory written by WriteShardedDir:
+// the manifest is parsed and validated, the shard files are loaded in
+// parallel (each through the ordinary snapshot reader, mmap fast path
+// included), and the shards are reassembled with full cross-shard
+// validation. The returned bool is the shards' common normalize flag.
+//
+// A writer in ANOTHER process may replace the snapshot between our
+// manifest read and the shard-file opens (its post-save sweep unlinks the
+// superseded files — unlike a single-file snapshot, where the rename
+// leaves the old inode openable). A vanished shard file therefore means
+// "the manifest we read was superseded": re-read the manifest and retry
+// rather than failing a snapshot that was valid when observed.
+func ReadShardedDir(dir string) (*shard.Index, bool, error) {
+	const retries = 3
+	var err error
+	for attempt := 0; attempt <= retries; attempt++ {
+		var x *shard.Index
+		var normalize bool
+		x, normalize, err = readShardedDirOnce(dir)
+		if err == nil || !errors.Is(err, fs.ErrNotExist) || attempt == retries {
+			return x, normalize, err
+		}
+	}
+	return nil, false, err
+}
+
+func readShardedDirOnce(dir string) (*shard.Index, bool, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, false, fmt.Errorf("persist: %w", err)
+	}
+	m, err := ParseManifest(raw)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w (manifest in %s)", err, dir)
+	}
+
+	cores := make([]*core.Index, m.Shards)
+	norms := make([]bool, m.Shards)
+	errs := make([]error, m.Shards)
+	var wg sync.WaitGroup
+	for s, name := range m.Files {
+		if name == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, name string) {
+			defer wg.Done()
+			cores[s], norms[s], errs[s] = ReadFile(filepath.Join(dir, name))
+		}(s, name)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, false, fmt.Errorf("persist: shard %d: %w", s, err)
+		}
+	}
+
+	x, err := shard.FromCores(cores)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if x.Len() != m.SeriesCount || x.SeriesLen() != m.SeriesLen {
+		return nil, false, fmt.Errorf("%w: manifest declares %d series × %d points, shards hold %d × %d",
+			ErrCorrupt, m.SeriesCount, m.SeriesLen, x.Len(), x.SeriesLen())
+	}
+	normalize := false
+	for s, c := range cores {
+		if c == nil {
+			continue
+		}
+		normalize = norms[s]
+		break
+	}
+	for s, c := range cores {
+		if c != nil && norms[s] != normalize {
+			return nil, false, fmt.Errorf("%w: shard %d normalize flag differs from its siblings", ErrCorrupt, s)
+		}
+	}
+	return x, normalize, nil
+}
+
+// IsShardedDir reports whether path looks like a sharded snapshot
+// directory (a directory containing a manifest file).
+func IsShardedDir(path string) bool {
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(path, ManifestName))
+	return err == nil
+}

@@ -1,0 +1,255 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/shard"
+)
+
+func buildSharded(t *testing.T, n, shards int) *shard.Index {
+	t.Helper()
+	col, err := dataset.Generate(dataset.RandomWalk, n, 32, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := shard.Build(col, shards, core.Options{LeafCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// TestShardedRoundTrip: snapshot → manifest → load reproduces the sharded
+// index bitwise — every query answers identically.
+func TestShardedRoundTrip(t *testing.T) {
+	x := buildSharded(t, 500, 4)
+	dir := filepath.Join(t.TempDir(), "sharded.snapdir")
+	if err := WriteShardedDir(dir, x, true); err != nil {
+		t.Fatal(err)
+	}
+	if !IsShardedDir(dir) {
+		t.Fatal("written directory not recognized as a sharded snapshot")
+	}
+	loaded, normalize, err := ReadShardedDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !normalize {
+		t.Fatal("normalize flag lost in round trip")
+	}
+	if loaded.NumShards() != 4 || loaded.Len() != x.Len() || loaded.SeriesLen() != x.SeriesLen() {
+		t.Fatalf("loaded shape %d shards %d×%d, want 4 shards %d×%d",
+			loaded.NumShards(), loaded.Len(), loaded.SeriesLen(), x.Len(), x.SeriesLen())
+	}
+	for qi := 0; qi < 20; qi++ {
+		q := x.At(qi * 17)
+		want, err := x.Search(q, core.SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Search(q, core.SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("query %d: loaded answered %+v, original %+v", qi, got, want)
+		}
+	}
+}
+
+// TestShardedDirWithEmptyShards: count < shards leaves empty file entries
+// that round-trip cleanly.
+func TestShardedDirWithEmptyShards(t *testing.T) {
+	x := buildSharded(t, 3, 8)
+	dir := filepath.Join(t.TempDir(), "tiny.snapdir")
+	if err := WriteShardedDir(dir, x, false); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := ReadShardedDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 3 || loaded.NumShards() != 8 {
+		t.Fatalf("loaded %d series across %d shards", loaded.Len(), loaded.NumShards())
+	}
+}
+
+// TestManifestCorruption: every corruption is caught with a typed error.
+func TestManifestCorruption(t *testing.T) {
+	x := buildSharded(t, 200, 2)
+	dir := filepath.Join(t.TempDir(), "corrupt.snapdir")
+	if err := WriteShardedDir(dir, x, false); err != nil {
+		t.Fatal(err)
+	}
+	mpath := filepath.Join(dir, ManifestName)
+	good, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(t *testing.T, mutate func([]byte) []byte, want error) {
+		t.Helper()
+		if err := os.WriteFile(mpath, mutate(append([]byte(nil), good...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		defer os.WriteFile(mpath, good, 0o644)
+		_, _, err := ReadShardedDir(dir)
+		if !errors.Is(err, want) {
+			t.Fatalf("corrupted manifest: got %v, want %v", err, want)
+		}
+	}
+
+	corrupt(t, func(b []byte) []byte { b[0] ^= 0xff; return b }, ErrBadMagic)
+	corrupt(t, func(b []byte) []byte { return b[:10] }, ErrTruncated)
+	corrupt(t, func(b []byte) []byte { b[20] ^= 0xff; return b }, ErrChecksum)
+	corrupt(t, func(b []byte) []byte { return append(b, 0) }, ErrCorrupt)
+
+	// A shard file mutilated underneath an intact manifest.
+	m, err := ParseManifest(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spath := filepath.Join(dir, m.Files[1])
+	sgood, err := os.ReadFile(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), sgood...)
+	bad[HeaderSize+8] ^= 0xff
+	if err := os.WriteFile(spath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadShardedDir(dir); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted shard file: got %v, want %v", err, ErrChecksum)
+	}
+}
+
+// TestManifestEscapingNames: a manifest naming files outside its own
+// directory — or aliasing one file into two shards, or the reserved
+// manifest name — is rejected before any file is opened.
+func TestManifestEscapingNames(t *testing.T) {
+	for _, name := range []string{"../evil.snap", "/etc/passwd", "a/b.snap", "..", ManifestName} {
+		m := Manifest{Version: ManifestVersion, Shards: 1, SeriesLen: 32, SeriesCount: 10, Files: []string{name}}
+		if _, err := EncodeManifest(m); err == nil {
+			t.Errorf("manifest with file name %q encoded without error", name)
+		}
+	}
+	dup := Manifest{Version: ManifestVersion, Shards: 2, SeriesLen: 32, SeriesCount: 2,
+		Files: []string{"a.snap", "a.snap"}}
+	if _, err := EncodeManifest(dup); err == nil {
+		t.Error("manifest aliasing one file into two shards encoded without error")
+	}
+}
+
+// TestShardedResave: saving again over an existing snapshot directory
+// never touches the files the current manifest names (per-save tokens),
+// stays loadable, and sweeps the superseded files afterwards.
+func TestShardedResave(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "resave.snapdir")
+	first := buildSharded(t, 100, 2)
+	if err := WriteShardedDir(dir, first, false); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := ParseManifest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second := buildSharded(t, 300, 2)
+	if err := WriteShardedDir(dir, second, false); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := ReadShardedDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 300 {
+		t.Fatalf("re-saved directory loads %d series, want 300", loaded.Len())
+	}
+	// New file names differ from the old ones, and the old ones are gone.
+	raw, err = os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ParseManifest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range m1.Files {
+		if m1.Files[s] == m2.Files[s] {
+			t.Fatalf("re-save reused shard file name %q", m1.Files[s])
+		}
+		if _, err := os.Stat(filepath.Join(dir, m1.Files[s])); !os.IsNotExist(err) {
+			t.Errorf("superseded shard file %q not swept (err %v)", m1.Files[s], err)
+		}
+	}
+}
+
+// TestParseManifestRejects covers decoder validation beyond the checksum.
+func TestParseManifestRejects(t *testing.T) {
+	encode := func(payload []byte) []byte {
+		out := append([]byte(ManifestMagic), 0, 0, 0, 0)
+		binary.LittleEndian.PutUint32(out[8:12], uint32(len(payload)))
+		out = append(out, payload...)
+		return binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	}
+	cases := []struct {
+		name    string
+		payload string
+		want    error
+	}{
+		{"not JSON", `{nope`, ErrCorrupt},
+		{"wrong version", `{"version":9,"shards":1,"series_len":32,"series_count":1,"files":[""]}`, ErrVersion},
+		{"zero shards", `{"version":1,"shards":0,"series_len":32,"series_count":1,"files":[]}`, ErrCorrupt},
+		{"file count mismatch", `{"version":1,"shards":2,"series_len":32,"series_count":1,"files":["a"]}`, ErrCorrupt},
+		{"absurd count", `{"version":1,"shards":1,"series_len":32,"series_count":99999999999,"files":["a"]}`, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		if _, err := ParseManifest(encode([]byte(tc.payload))); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestConcurrentShardedSaves: racing saves into one directory are
+// serialized — the directory always ends up loadable, with the manifest
+// naming files that exist.
+func TestConcurrentShardedSaves(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "race.snapdir")
+	a := buildSharded(t, 100, 2)
+	b := buildSharded(t, 300, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		x := a
+		if i%2 == 1 {
+			x = b
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := WriteShardedDir(dir, x, false); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	loaded, _, err := ReadShardedDir(dir)
+	if err != nil {
+		t.Fatalf("directory unloadable after racing saves: %v", err)
+	}
+	if n := loaded.Len(); n != 100 && n != 300 {
+		t.Fatalf("loaded %d series, want one save's 100 or 300", n)
+	}
+}

@@ -1,0 +1,484 @@
+// Package shard partitions a series collection across S independent MESSI
+// indexes (ParIS+-style: one index structure per slice of the data) and
+// answers queries by fanning out across the shards.
+//
+// Series are routed round-robin: global position p lives in shard p%S at
+// local position p/S, so the local↔global mapping is pure arithmetic and
+// stays stable as the collection grows — a live index appending series
+// keeps the same routing forever, and a generational rebuild touches each
+// shard's O(n/S) slice instead of one O(n) tree.
+//
+// Exact fan-out queries thread one shared atomic best-so-far through every
+// shard's search (core.SearchOptions.Shared/GlobalPos): a tight bound found
+// in shard 0 immediately prunes the tree traversals and leaf scans of
+// shards 1..S-1, so the fan-out does the same total pruning work as one big
+// tree. k-NN answers are merged from the per-shard top-k sets through a
+// priority queue. Answers are identical to a single index built over the
+// whole collection.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pqueue"
+	"repro/internal/series"
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+// MaxShards bounds the shard count: beyond a few hundred independent
+// trees, per-shard overheads (root fanout allocations, fan-out goroutines)
+// dominate any locality win.
+const MaxShards = 256
+
+// Index is a sharded MESSI index: S independent core indexes over a
+// round-robin partition of one logical collection. It is immutable after
+// Build and safe for concurrent queries.
+type Index struct {
+	shards []*core.Index // shards[s] may be nil when count <= s (fewer series than shards)
+	count  int           // total series across all shards
+	length int           // points per series
+	opts   core.Options  // effective caller options (per-shard IndexWorkers are divided)
+}
+
+// SliceLen returns how many of n round-robin-partitioned series land in
+// shard s: the size of {p < n : p%S == s}.
+func SliceLen(n, s, S int) int {
+	if n <= s {
+		return 0
+	}
+	return (n - s + S - 1) / S
+}
+
+// globalPos maps shard s's local position to the collection-global one.
+func globalPos(s, S int) func(int64) int64 {
+	s64, stride := int64(s), int64(S)
+	return func(local int64) int64 { return local*stride + s64 }
+}
+
+// Build partitions the collection into S shards and builds them
+// concurrently, each with the paper's two-phase parallel pipeline. S == 1
+// retains the collection without copying (like core.Build); S > 1 copies
+// each series into its shard's contiguous storage. Construction workers
+// are divided across shards so total build parallelism matches the
+// unsharded build.
+func Build(data *series.Collection, shards int, opts core.Options) (*Index, error) {
+	if data == nil || data.Count() == 0 {
+		return nil, fmt.Errorf("shard: cannot build an index over an empty collection")
+	}
+	if shards < 1 || shards > MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d out of range [1,%d]", shards, MaxShards)
+	}
+	opts = core.FillDefaults(opts)
+	if shards == 1 {
+		ix, err := core.Build(data, opts)
+		if err != nil {
+			return nil, err
+		}
+		return Wrap(ix), nil
+	}
+
+	n, length := data.Count(), data.Length
+	flats := AllocSlices(n, shards, length)
+	fill := make([]int, shards)
+	for p := 0; p < n; p++ {
+		s := p % shards
+		copy(flats[s][fill[s]:fill[s]+length], data.At(p))
+		fill[s] += length
+	}
+	return BuildFlats(flats, n, length, opts)
+}
+
+// AllocSlices allocates per-shard flat storage for n round-robin-
+// partitioned series of the given length (nil entries for empty slices) —
+// the buffers callers fill before BuildFlats.
+func AllocSlices(n, shards, length int) [][]float32 {
+	flats := make([][]float32, shards)
+	for s := range flats {
+		if c := SliceLen(n, s, shards); c > 0 {
+			flats[s] = make([]float32, c*length)
+		}
+	}
+	return flats
+}
+
+// BuildFlats builds an Index from already-partitioned per-shard flat
+// storage (flats[s] holds shard s's round-robin slice contiguously; nil
+// where that slice is empty — the shape AllocSlices produces). The shards
+// are built concurrently, each with the construction workers divided by
+// the shard count; flats is retained by the index without copying. This
+// is the one shared scaffolding under both the static Build and the live
+// index's per-shard generational rebuild.
+func BuildFlats(flats [][]float32, count, length int, opts core.Options) (*Index, error) {
+	shards := len(flats)
+	if shards < 1 || shards > MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d out of range [1,%d]", shards, MaxShards)
+	}
+	opts = core.FillDefaults(opts)
+	perShard := opts
+	perShard.IndexWorkers = (opts.IndexWorkers + shards - 1) / shards
+
+	x := &Index{shards: make([]*core.Index, shards), count: count, length: length, opts: opts}
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		if flats[s] == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			col, err := series.NewCollection(flats[s], length)
+			if err == nil {
+				x.shards[s], err = core.Build(col, perShard)
+			}
+			errs[s] = err
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: building shard %d: %w", s, err)
+		}
+	}
+	if got := x.recount(); got != count {
+		return nil, fmt.Errorf("shard: flats hold %d series, caller declared %d", got, count)
+	}
+	return x, nil
+}
+
+// recount sums the shard collections' sizes.
+func (x *Index) recount() int {
+	total := 0
+	for _, sh := range x.shards {
+		if sh != nil {
+			total += sh.Data.Count()
+		}
+	}
+	return total
+}
+
+// Wrap presents an already-built single index as a 1-shard Index (no
+// copying; the fan-out machinery short-circuits to direct calls).
+// Wrapping nil returns nil.
+func Wrap(ix *core.Index) *Index {
+	if ix == nil {
+		return nil
+	}
+	return &Index{
+		shards: []*core.Index{ix},
+		count:  ix.Data.Count(),
+		length: ix.Data.Length,
+		opts:   ix.Opts,
+	}
+}
+
+// FromCores assembles an Index from per-shard core indexes (a parallel
+// snapshot load). cores[s] must hold exactly the round-robin slice of
+// shard s — nil entries are allowed only where that slice is empty — and
+// every shard must agree on series length and structural options.
+func FromCores(cores []*core.Index) (*Index, error) {
+	S := len(cores)
+	if S < 1 || S > MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d out of range [1,%d]", S, MaxShards)
+	}
+	if S == 1 {
+		if cores[0] == nil {
+			return nil, fmt.Errorf("shard: single shard is nil")
+		}
+		return Wrap(cores[0]), nil
+	}
+	count := 0
+	length := -1
+	var opts core.Options
+	for s, c := range cores {
+		if c == nil {
+			continue
+		}
+		if length == -1 {
+			length = c.Data.Length
+			opts = c.Opts
+		}
+		if c.Data.Length != length {
+			return nil, fmt.Errorf("shard: shard %d has series length %d, shard 0 has %d", s, c.Data.Length, length)
+		}
+		if c.Opts.Segments != opts.Segments || c.Opts.CardBits != opts.CardBits || c.Opts.LeafCapacity != opts.LeafCapacity {
+			return nil, fmt.Errorf("shard: shard %d was built with different structural options", s)
+		}
+		count += c.Data.Count()
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("shard: all %d shards are empty", S)
+	}
+	for s, c := range cores {
+		want := SliceLen(count, s, S)
+		got := 0
+		if c != nil {
+			got = c.Data.Count()
+		}
+		if got != want {
+			return nil, fmt.Errorf("shard: shard %d holds %d series, round-robin partition of %d over %d shards requires %d",
+				s, got, count, S, want)
+		}
+	}
+	return &Index{shards: cores, count: count, length: length, opts: opts}, nil
+}
+
+// NumShards reports the shard count S.
+func (x *Index) NumShards() int { return len(x.shards) }
+
+// Shard returns shard s's core index (nil when that slice is empty).
+func (x *Index) Shard(s int) *core.Index { return x.shards[s] }
+
+// Single returns the underlying core index when S == 1, nil otherwise —
+// the fast path for layers that special-case the unsharded shape.
+func (x *Index) Single() *core.Index {
+	if len(x.shards) == 1 {
+		return x.shards[0]
+	}
+	return nil
+}
+
+// Len reports the total number of indexed series.
+func (x *Index) Len() int { return x.count }
+
+// SeriesLen reports the length (points) of each indexed series.
+func (x *Index) SeriesLen() int { return x.length }
+
+// Opts returns the effective (defaulted) construction options.
+func (x *Index) Opts() core.Options { return x.opts }
+
+// GlobalPosFunc returns shard s's local→global position mapping, for
+// callers (the query engine) building per-shard runs themselves. For a
+// single shard it returns nil (the identity), keeping that path free of
+// mapping overhead.
+func (x *Index) GlobalPosFunc(s int) func(int64) int64 {
+	if len(x.shards) == 1 {
+		return nil
+	}
+	return globalPos(s, len(x.shards))
+}
+
+// At returns (a view of) the series at the given global position.
+func (x *Index) At(pos int) []float32 {
+	S := len(x.shards)
+	return x.shards[pos%S].Data.At(pos / S)
+}
+
+// Stats aggregates tree shape statistics across the shards: counts sum,
+// depths and fills take the max.
+func (x *Index) Stats() tree.Stats {
+	var agg tree.Stats
+	for _, sh := range x.shards {
+		if sh == nil {
+			continue
+		}
+		st := sh.Stats()
+		agg.Series += st.Series
+		agg.RootChildren += st.RootChildren
+		agg.InternalNodes += st.InternalNodes
+		agg.Leaves += st.Leaves
+		if st.MaxDepth > agg.MaxDepth {
+			agg.MaxDepth = st.MaxDepth
+		}
+		if st.MaxLeafFill > agg.MaxLeafFill {
+			agg.MaxLeafFill = st.MaxLeafFill
+		}
+	}
+	return agg
+}
+
+// ShardStats returns each shard's own tree statistics (zero value for
+// empty shards).
+func (x *Index) ShardStats() []tree.Stats {
+	out := make([]tree.Stats, len(x.shards))
+	for s, sh := range x.shards {
+		if sh != nil {
+			out[s] = sh.Stats()
+		}
+	}
+	return out
+}
+
+// fanOpt derives shard s's search options from the caller's: the shared
+// bound and position mapping are installed, seeds are stripped (the
+// caller applies them to the shared bound once), and the worker budget is
+// divided across shards so the fan-out spawns the same total parallelism
+// as one unsharded search.
+func (x *Index) fanOpt(opt core.SearchOptions, s int, shared *stats.BSF) core.SearchOptions {
+	S := len(x.shards)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = x.opts.SearchWorkers
+	}
+	opt.Workers = (workers + S - 1) / S
+	opt.Shared = shared
+	opt.GlobalPos = globalPos(s, S)
+	opt.Seeds = nil
+	return opt
+}
+
+// forEachShard runs fn concurrently over every non-empty shard and
+// returns the first error.
+func (x *Index) forEachShard(fn func(s int, sh *core.Index) error) error {
+	errs := make([]error, len(x.shards))
+	var wg sync.WaitGroup
+	for s, sh := range x.shards {
+		if sh == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, sh *core.Index) {
+			defer wg.Done()
+			errs[s] = fn(s, sh)
+		}(s, sh)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard: shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Search answers an exact 1-NN query by fanning out across the shards
+// with one shared best-so-far. Answers are identical to a single index
+// over the whole collection; positions are global.
+func (x *Index) Search(query []float32, opt core.SearchOptions) (core.Match, error) {
+	if single := x.Single(); single != nil {
+		return single.Search(query, opt)
+	}
+	shared := stats.NewBSF()
+	for _, s := range opt.Seeds {
+		shared.Update(s.Dist, int64(s.Position))
+	}
+	err := x.forEachShard(func(s int, sh *core.Index) error {
+		_, err := sh.Search(query, x.fanOpt(opt, s, shared))
+		return err
+	})
+	if err != nil {
+		return core.Match{}, err
+	}
+	d, pos := shared.Best()
+	return core.Match{Position: int(pos), Dist: d}, nil
+}
+
+// ApproxSearch fans the approximate search out across the shards and
+// returns the best of the per-shard approximate answers. Like the
+// unsharded version, its distance is an upper bound on the exact one.
+func (x *Index) ApproxSearch(query []float32, opt core.SearchOptions) (core.Match, error) {
+	if single := x.Single(); single != nil {
+		return single.ApproxSearch(query, opt)
+	}
+	best := make([]core.Match, len(x.shards))
+	err := x.forEachShard(func(s int, sh *core.Index) error {
+		o := opt
+		o.GlobalPos = globalPos(s, len(x.shards))
+		m, err := sh.ApproxSearch(query, o)
+		best[s] = m
+		return err
+	})
+	if err != nil {
+		return core.Match{}, err
+	}
+	out := core.Match{Position: -1}
+	for s, sh := range x.shards {
+		if sh == nil {
+			continue
+		}
+		if out.Position < 0 || best[s].Dist < out.Dist {
+			out = best[s]
+		}
+	}
+	return out, nil
+}
+
+// SearchKNN answers an exact k-NN query: every shard computes its own
+// top-k concurrently (each seeded with the caller's seeds, so delta
+// matches prune everywhere) and the per-shard sets are merged through a
+// priority queue. The result is at most k matches in ascending distance
+// order, ties broken by (global) position — the same contract as the
+// unsharded search.
+func (x *Index) SearchKNN(query []float32, k int, opt core.SearchOptions) ([]core.Match, error) {
+	if single := x.Single(); single != nil {
+		return single.SearchKNN(query, k, opt)
+	}
+	S := len(x.shards)
+	perShard := make([][]core.Match, S)
+	err := x.forEachShard(func(s int, sh *core.Index) error {
+		o := x.fanOpt(opt, s, nil)
+		o.Seeds = opt.Seeds // global positions participate in every shard's set
+		ms, err := sh.SearchKNN(query, k, o)
+		perShard[s] = ms
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return MergeKNN(perShard, k), nil
+}
+
+// MergeKNN merges per-shard k-NN result lists into the global top k
+// through a priority queue, deduplicating by position (seeds handed to
+// every shard appear in several lists). Matches are returned in ascending
+// distance order, ties broken by position.
+func MergeKNN(lists [][]core.Match, k int) []core.Match {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	q := pqueue.New[core.Match](total)
+	for _, l := range lists {
+		for _, m := range l {
+			q.Push(m.Dist, m)
+		}
+	}
+	out := make([]core.Match, 0, k)
+	seen := make(map[int]struct{}, k)
+	for len(out) < k {
+		item, ok := q.PopMin()
+		if !ok {
+			break
+		}
+		if _, dup := seen[item.Value.Position]; dup {
+			continue
+		}
+		seen[item.Value.Position] = struct{}{}
+		out = append(out, item.Value)
+	}
+	// The queue orders by distance only; pin the tie order to the
+	// unsharded contract (ascending position within equal distances).
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Position < out[j].Position
+	})
+	return out
+}
+
+// SearchDTW answers an exact 1-NN query under constrained DTW with a
+// Sakoe-Chiba band of the given radius (points), fanning out across the
+// shards with one shared best-so-far.
+func (x *Index) SearchDTW(query []float32, window int, opt core.SearchOptions) (core.Match, error) {
+	if single := x.Single(); single != nil {
+		return single.SearchDTW(query, window, opt)
+	}
+	shared := stats.NewBSF()
+	for _, s := range opt.Seeds {
+		shared.Update(s.Dist, int64(s.Position))
+	}
+	err := x.forEachShard(func(s int, sh *core.Index) error {
+		_, err := sh.SearchDTW(query, window, x.fanOpt(opt, s, shared))
+		return err
+	})
+	if err != nil {
+		return core.Match{}, err
+	}
+	d, pos := shared.Best()
+	return core.Match{Position: int(pos), Dist: d}, nil
+}

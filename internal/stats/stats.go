@@ -105,47 +105,71 @@ func (s *Snapshot) Add(o Snapshot) {
 
 // BSF is the shared best-so-far distance cell (squared distance plus the
 // position of the series achieving it). The paper protects the BSF with a
-// lock; we use a CAS-min on the bit pattern — non-negative IEEE-754 floats
-// order identically to their bit patterns, so a numeric min is a bitwise
-// min. Readers are a single atomic load, which matters because every node
-// and every series comparison reads the BSF.
+// lock; we keep the hot pruning path a single atomic load — every node
+// and every series comparison reads it — by caching the distance bits in
+// their own cell (non-negative IEEE-754 floats order identically to their
+// bit patterns, so a numeric min is a bitwise min), while the (dist, pos)
+// PAIR is published together through a pointer CAS. Two racing
+// improvements can therefore never leave one update's distance paired
+// with the other's position — which matters once a BSF fuses the answer
+// of several shards' worker fleets, not just one run's.
 type BSF struct {
-	bits atomic.Uint64 // float64 bits of the squared distance
-	pos  atomic.Int64  // position of the best series, -1 when unset
+	bits atomic.Uint64          // monotone min cache of best.dist, for Load
+	best atomic.Pointer[bsfRec] // consistent (dist, pos), source of truth
+}
+
+// bsfRec is one immutable published improvement.
+type bsfRec struct {
+	dist float64
+	pos  int64
 }
 
 // NewBSF returns a BSF initialized to +Inf / position -1.
 func NewBSF() *BSF {
 	b := &BSF{}
 	b.bits.Store(math.Float64bits(math.Inf(1)))
-	b.pos.Store(-1)
+	b.best.Store(&bsfRec{dist: math.Inf(1), pos: -1})
 	return b
 }
 
-// Load returns the current squared best-so-far distance.
+// Load returns the current squared best-so-far pruning threshold. It may
+// momentarily lag an in-flight Update (a stale, larger threshold only
+// admits extra candidates, never wrongly prunes); once updates quiesce it
+// equals Best's distance exactly.
 func (b *BSF) Load() float64 {
 	return math.Float64frombits(b.bits.Load())
 }
 
-// Best returns the current squared distance and the position achieving it.
-// The pair is not read atomically together; after all workers finish (the
-// only time callers read Best) it is exact.
+// Best returns the current squared distance and the position achieving
+// it. The pair is read atomically together.
 func (b *BSF) Best() (dist float64, pos int64) {
-	return math.Float64frombits(b.bits.Load()), b.pos.Load()
+	r := b.best.Load()
+	return r.dist, r.pos
 }
 
 // Update lowers the BSF to dist (with the achieving position) if dist is
 // an improvement. It reports whether the value was updated. dist must be
 // non-negative (squared distances always are).
 func (b *BSF) Update(dist float64, pos int64) bool {
+	var rec *bsfRec
+	for {
+		cur := b.best.Load()
+		if dist >= cur.dist {
+			return false
+		}
+		if rec == nil {
+			rec = &bsfRec{dist: dist, pos: pos}
+		}
+		if b.best.CompareAndSwap(cur, rec) {
+			break
+		}
+	}
+	// Lower the pruning cache monotonically; a concurrent better update
+	// may already have driven it below dist, in which case leave it.
 	newBits := math.Float64bits(dist)
 	for {
 		cur := b.bits.Load()
-		if newBits >= cur {
-			return false
-		}
-		if b.bits.CompareAndSwap(cur, newBits) {
-			b.pos.Store(pos)
+		if newBits >= cur || b.bits.CompareAndSwap(cur, newBits) {
 			return true
 		}
 	}

@@ -32,8 +32,8 @@ type LiveOptions struct {
 	SnapshotPath string
 }
 
-func (o *LiveOptions) toLive(coreOpts core.Options) live.Options {
-	lo := live.Options{Core: coreOpts}
+func (o *LiveOptions) toLive(coreOpts core.Options, shards int) live.Options {
+	lo := live.Options{Core: coreOpts, Shards: shards}
 	if o != nil {
 		lo.RebuildThreshold = o.RebuildThreshold
 		lo.ScanWorkers = o.ScanWorkers
@@ -111,7 +111,7 @@ func newLive(seriesLen int, col *series.Collection, opts *Options, lopts *LiveOp
 	if normalize && col != nil {
 		col.ZNormalizeAll()
 	}
-	inner, err := live.New(seriesLen, col, lopts.toLive(coreOpts))
+	inner, err := live.New(seriesLen, col, lopts.toLive(coreOpts, opts.shards()))
 	if err != nil {
 		return nil, err
 	}
@@ -174,8 +174,12 @@ func (ix *LiveIndex) SearchKNN(query []float32, k int) ([]Match, error) {
 
 // SearchDTW answers an exact 1-NN query under constrained DTW with a
 // Sakoe-Chiba warping window given as a fraction of the series length
-// (0.1 = the 10% window the paper uses).
+// (0.1 = the 10% window the paper uses). Fractions outside [0,1] are an
+// error, not a silent clamp.
 func (ix *LiveIndex) SearchDTW(query []float32, window float64) (Match, error) {
+	if err := checkWindowFraction(window); err != nil {
+		return Match{}, err
+	}
 	r := dtw.WindowSize(ix.inner.SeriesLen(), window)
 	m, err := ix.inner.SearchDTW(ix.prepareQuery(query), r)
 	if err != nil {
@@ -226,23 +230,33 @@ func (ix *LiveIndex) Close() {
 
 // LiveStats describes a live index's current shape.
 type LiveStats struct {
-	Series      int   // total searchable series (base + delta)
-	BaseSeries  int   // series in the current immutable generation
-	DeltaSeries int   // series buffered in the delta
-	Generation  int64 // immutable generations built so far
-	Rebuilding  bool  // a background rebuild is in flight
-	Index       Stats // current generation's tree shape (zero until one exists)
+	Series      int     // total searchable series (base + delta)
+	BaseSeries  int     // series in the current immutable generation
+	DeltaSeries int     // series buffered in the delta
+	Generation  int64   // immutable generations built so far
+	Rebuilding  bool    // a background rebuild is in flight
+	Shards      int     // index shards per generation (1 = unsharded)
+	Index       Stats   // current generation's tree shape, aggregated over shards
+	PerShard    []Stats // per-shard tree shapes (nil when unsharded)
 }
 
 // Stats returns a point-in-time snapshot of the index shape.
 func (ix *LiveIndex) Stats() LiveStats {
 	s := ix.inner.Stats()
-	return LiveStats{
+	out := LiveStats{
 		Series:      s.Series,
 		BaseSeries:  s.BaseSeries,
 		DeltaSeries: s.DeltaSeries,
 		Generation:  s.Generation,
 		Rebuilding:  s.Rebuilding,
+		Shards:      s.Shards,
 		Index:       Stats(s.Tree),
 	}
+	if len(s.PerShard) > 0 {
+		out.PerShard = make([]Stats, len(s.PerShard))
+		for i, st := range s.PerShard {
+			out.PerShard[i] = Stats(st)
+		}
+	}
+	return out
 }

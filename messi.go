@@ -32,6 +32,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dtw"
 	"repro/internal/series"
+	"repro/internal/shard"
 	"repro/internal/tree"
 )
 
@@ -67,6 +68,21 @@ type Options struct {
 	// Normalize, when true, z-normalizes every series in place during
 	// Build and z-normalizes (a copy of) every query.
 	Normalize bool
+	// Shards partitions the collection across this many independent index
+	// shards, built concurrently and queried by a fan-out that threads one
+	// shared pruning bound — answers are identical to an unsharded index.
+	// Series route round-robin (global position p lives in shard p%S).
+	// 0 or 1 builds a single tree. With Shards > 1 even BuildFlat copies
+	// each series into its shard's storage. Default 1.
+	Shards int
+}
+
+// shards returns the effective shard count.
+func (o *Options) shards() int {
+	if o == nil || o.Shards <= 0 {
+		return 1
+	}
+	return o.Shards
 }
 
 func (o *Options) toCore() (core.Options, bool, error) {
@@ -102,9 +118,10 @@ type Match struct {
 	Distance float64
 }
 
-// Index is an immutable MESSI index over a series collection.
+// Index is an immutable MESSI index over a series collection — a group
+// of one or more shards (Options.Shards), queried identically either way.
 type Index struct {
-	inner     *core.Index
+	inner     *shard.Index
 	normalize bool
 }
 
@@ -147,7 +164,7 @@ func buildCollection(col *series.Collection, opts *Options) (*Index, error) {
 	if normalize {
 		col.ZNormalizeAll()
 	}
-	inner, err := core.Build(col, coreOpts)
+	inner, err := shard.Build(col, opts.shards(), coreOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -199,9 +216,13 @@ func (ix *Index) SearchKNN(query []float32, k int) ([]Match, error) {
 
 // SearchDTW answers an exact 1-NN query under constrained DTW with a
 // Sakoe-Chiba warping window given as a fraction of the series length
-// (0.1 = the 10% window the paper uses).
+// (0.1 = the 10% window the paper uses). Fractions outside [0,1] are an
+// error, not a silent clamp.
 func (ix *Index) SearchDTW(query []float32, window float64) (Match, error) {
-	r := dtw.WindowSize(ix.inner.Data.Length, window)
+	if err := checkWindowFraction(window); err != nil {
+		return Match{}, err
+	}
+	r := dtw.WindowSize(ix.inner.SeriesLen(), window)
 	m, err := ix.inner.SearchDTW(ix.prepareQuery(query), r, core.SearchOptions{})
 	if err != nil {
 		return Match{}, err
@@ -209,17 +230,31 @@ func (ix *Index) SearchDTW(query []float32, window float64) (Match, error) {
 	return Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}, nil
 }
 
+// checkWindowFraction validates a DTW warping-window fraction. The
+// underlying absolute band radius is clamped by dtw.WindowSize, which
+// silently accepted any fraction; the public API rejects out-of-range
+// fractions instead, since they are always caller bugs.
+func checkWindowFraction(window float64) error {
+	if math.IsNaN(window) || window < 0 || window > 1 {
+		return fmt.Errorf("messi: DTW window fraction %v out of range [0,1]", window)
+	}
+	return nil
+}
+
 // Series returns (a view of) the indexed series at the given position.
 // Callers must not modify it.
 func (ix *Index) Series(position int) []float32 {
-	return ix.inner.Data.At(position)
+	return ix.inner.At(position)
 }
 
 // Len reports the number of indexed series.
-func (ix *Index) Len() int { return ix.inner.Data.Count() }
+func (ix *Index) Len() int { return ix.inner.Len() }
 
 // SeriesLen reports the length (points) of each indexed series.
-func (ix *Index) SeriesLen() int { return ix.inner.Data.Length }
+func (ix *Index) SeriesLen() int { return ix.inner.SeriesLen() }
+
+// Shards reports the number of index shards (1 = unsharded).
+func (ix *Index) Shards() int { return ix.inner.NumShards() }
 
 // Stats describes the shape of the built index tree.
 type Stats struct {
@@ -231,10 +266,25 @@ type Stats struct {
 	MaxLeafFill   int // largest leaf occupancy
 }
 
-// Stats returns tree shape statistics.
+// Stats returns tree shape statistics, aggregated across shards (counts
+// sum; depth and fill take the max).
 func (ix *Index) Stats() Stats {
 	s := ix.inner.Stats()
 	return Stats(s)
+}
+
+// ShardStats returns each shard's own tree statistics, or nil for an
+// unsharded index.
+func (ix *Index) ShardStats() []Stats {
+	if ix.inner.NumShards() == 1 {
+		return nil
+	}
+	per := ix.inner.ShardStats()
+	out := make([]Stats, len(per))
+	for i, st := range per {
+		out[i] = Stats(st)
+	}
+	return out
 }
 
 // compile-time check that the conversion above stays in sync with the

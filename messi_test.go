@@ -163,9 +163,10 @@ func TestSearchDTWWindow(t *testing.T) {
 	if d10.Distance > ed.Distance+1e-6 {
 		t.Errorf("DTW %v exceeds ED %v", d10.Distance, ed.Distance)
 	}
+	// Out-of-range fractions are rejected — they used to be clamped
+	// silently (window=-0.5 answered with err=nil), which hid caller bugs.
 	if _, err := ix.SearchDTW(q, -0.5); err == nil {
-		// Negative fractions clamp to zero-window (ED); must not error.
-		t.Log("negative window clamped (ok)")
+		t.Error("negative window fraction accepted")
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/live"
 	"repro/internal/persist"
+	"repro/internal/shard"
 )
 
 // This file is the public face of the snapshot subsystem
@@ -27,17 +29,32 @@ import (
 // immutable generation to snapshot (nothing was ever indexed).
 var ErrNoGeneration = errors.New("messi: live index has no generation to snapshot")
 
-// Save writes the index to path as a snapshot. The write is atomic: a
-// temporary file is written, synced, and renamed over path, so a crash
-// cannot leave a truncated snapshot under the target name.
+// ErrShardedStream is returned by WriteSnapshot on a sharded index: the
+// multi-shard snapshot is a directory layout (one file per shard plus a
+// manifest), not a single stream. Use Save with a directory path instead.
+var ErrShardedStream = errors.New("messi: sharded index snapshots are directories; use Save")
+
+// Save writes the index to path as a snapshot. An unsharded index becomes
+// a single file (written atomically: temp file, sync, rename); a sharded
+// index becomes a snapshot DIRECTORY at path — one ordinary snapshot file
+// per shard plus a checksummed manifest, written concurrently with the
+// manifest last. Load accepts either shape.
 func (ix *Index) Save(path string) error {
-	return persist.WriteFile(path, ix.inner, ix.normalize)
+	if single := ix.inner.Single(); single != nil {
+		return persist.WriteFile(path, single, ix.normalize)
+	}
+	return persist.WriteShardedDir(path, ix.inner, ix.normalize)
 }
 
 // WriteSnapshot streams the index snapshot to w (the same bytes Save
-// writes to a file).
+// writes to a file). Sharded indexes cannot be streamed (their snapshot
+// is a directory): WriteSnapshot returns ErrShardedStream.
 func (ix *Index) WriteSnapshot(w io.Writer) error {
-	return persist.Write(w, ix.inner, ix.normalize)
+	single := ix.inner.Single()
+	if single == nil {
+		return ErrShardedStream
+	}
+	return persist.Write(w, single, ix.normalize)
 }
 
 // Load reads a snapshot written by Save (or messi-gen -snapshot) and
@@ -51,12 +68,21 @@ func (ix *Index) WriteSnapshot(w io.Writer) error {
 // snapshot at boot. A process that loads snapshots repeatedly
 // accumulates one mapping per Load; use ReadSnapshot over an opened file
 // for a fully heap-allocated index instead.
+// Sharded snapshot directories (written by Save on a sharded index) are
+// detected by their manifest and loaded shard-parallel.
 func Load(path string) (*Index, error) {
+	if persist.IsShardedDir(path) {
+		inner, normalize, err := persist.ReadShardedDir(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Index{inner: inner, normalize: normalize}, nil
+	}
 	inner, normalize, err := persist.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{inner: inner, normalize: normalize}, nil
+	return &Index{inner: shard.Wrap(inner), normalize: normalize}, nil
 }
 
 // ReadSnapshot restores an index from a snapshot stream (the inverse of
@@ -66,7 +92,7 @@ func ReadSnapshot(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{inner: inner, normalize: normalize}, nil
+	return &Index{inner: shard.Wrap(inner), normalize: normalize}, nil
 }
 
 // LoadLive boots a mutable live index from a snapshot: the snapshot
@@ -75,8 +101,21 @@ func ReadSnapshot(r io.Reader) (*Index, error) {
 // are taken from the snapshot; opts supplies runtime tuning and lopts the
 // live-index behaviour (including SnapshotPath for automatic
 // re-snapshots on Flush and Close).
+// A sharded snapshot directory boots a sharded live index: the base's
+// shard count carries over, so appends keep the same round-robin routing.
 func LoadLive(path string, opts *Options, lopts *LiveOptions) (*LiveIndex, error) {
-	base, normalize, err := persist.ReadFile(path)
+	var (
+		base      *shard.Index
+		normalize bool
+		err       error
+	)
+	if persist.IsShardedDir(path) {
+		base, normalize, err = persist.ReadShardedDir(path)
+	} else {
+		var single *core.Index
+		single, normalize, err = persist.ReadFile(path)
+		base = shard.Wrap(single)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +123,7 @@ func LoadLive(path string, opts *Options, lopts *LiveOptions) (*LiveIndex, error
 	if err != nil {
 		return nil, err
 	}
-	inner, err := live.NewFromIndex(base, lopts.toLive(coreOpts))
+	inner, err := live.NewFromIndex(base, lopts.toLive(coreOpts, opts.shards()))
 	if err != nil {
 		return nil, err
 	}
@@ -102,13 +141,18 @@ func (ix *LiveIndex) Save(path string) error {
 	return ix.saveBase(path)
 }
 
-// saveBase persists the current immutable generation as-is (no flush).
+// saveBase persists the current immutable generation as-is (no flush):
+// a single snapshot file for an unsharded index, a snapshot directory
+// for a sharded one.
 func (ix *LiveIndex) saveBase(path string) error {
 	base := ix.inner.Base()
 	if base == nil {
 		return ErrNoGeneration
 	}
-	return persist.WriteFile(path, base, ix.normalize)
+	if single := base.Single(); single != nil {
+		return persist.WriteFile(path, single, ix.normalize)
+	}
+	return persist.WriteShardedDir(path, base, ix.normalize)
 }
 
 func snapshotPath(lopts *LiveOptions) string {
