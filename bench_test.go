@@ -9,6 +9,7 @@
 package messi
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -743,6 +744,54 @@ func BenchmarkShardedQuery(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				q := queries.At(i % queries.Count())
 				if _, err := x.Search(q, core.SearchOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkApproxQuery — latency of the one-leaf-scan approximate answer
+// through the unified Do API, the cheap end of the quality spectrum.
+func BenchmarkApproxQuery(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	queries := benchQueriesFor(b, dataset.RandomWalk)
+	ix, err := BuildFlat(data.Data, data.Length, &Options{LeafCapacity: benchLeafCap})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries.At(i % queries.Count())
+		if _, err := ix.Do(ctx, SearchRequest{Query: q, Mode: ModeApprox}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEpsilonQuery — ε-bounded 1-NN latency at ε=0.05 versus the
+// exact search on the same index: the price of the (1+ε) guarantee.
+func BenchmarkEpsilonQuery(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	queries := benchQueriesFor(b, dataset.RandomWalk)
+	ix, err := BuildFlat(data.Data, data.Length, &Options{LeafCapacity: benchLeafCap})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, bench := range []struct {
+		name string
+		req  SearchRequest
+	}{
+		{"exact", SearchRequest{}},
+		{"epsilon=0.05", SearchRequest{Mode: ModeEpsilon, Epsilon: 0.05}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				req := bench.req
+				req.Query = queries.At(i % queries.Count())
+				if _, err := ix.Do(ctx, req); err != nil {
 					b.Fatal(err)
 				}
 			}

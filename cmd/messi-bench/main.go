@@ -6,6 +6,9 @@
 //	messi-bench -fig 17                # one figure
 //	messi-bench -fig all               # every figure, in order
 //	messi-bench -fig 11 -series 200000 -queries 100 -v
+//	messi-bench -fig spectrum          # quality/latency spectrum of the Do API
+//	messi-bench -fig spectrum -mode epsilon -epsilon 0.1
+//	messi-bench -fig spectrum -deadline 500us
 //
 // Absolute times depend on the host; the comparisons (which algorithm
 // wins, by what factor, where the curves bend) are the reproduction
@@ -37,13 +40,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("messi-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig       = fs.String("fig", "all", "figure number (5-19) or 'all'")
+		fig       = fs.String("fig", "all", "figure number (5-19), 'spectrum', or 'all'")
 		seriesN   = fs.Int("series", 0, "base collection size in series (default 100000)")
 		length    = fs.Int("length", 0, "series length in points (default 256)")
 		queries   = fs.Int("queries", 0, "queries per measurement (default 10)")
 		dtwSeries = fs.Int("dtw-series", 0, "collection size for the DTW figure (default 5000)")
 		seed      = fs.Int64("seed", 0, "generator seed (default 1)")
 		verbose   = fs.Bool("v", false, "log progress to stderr")
+		mode      = fs.String("mode", "", "spectrum: restrict to one quality mode (exact, approx, epsilon, deadline)")
+		epsilon   = fs.Float64("epsilon", 0, "spectrum: relative error budget of the epsilon row (default 0.05)")
+		deadline  = fs.Duration("deadline", 0, "spectrum: latency budget of the deadline row (default 1ms)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Queries:   *queries,
 		DTWSeries: *dtwSeries,
 		Seed:      *seed,
+		Mode:      *mode,
+		Epsilon:   *epsilon,
+		Deadline:  *deadline,
 	}
 	if *verbose {
 		cfg.Progress = stderr
@@ -63,9 +72,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *fig == "all" {
 		return experiments.RunAll(cfg, stdout)
 	}
+	if *fig == "spectrum" {
+		table, err := experiments.Spectrum(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = table.WriteTo(stdout)
+		return err
+	}
 	n, err := strconv.Atoi(*fig)
 	if err != nil {
-		return fmt.Errorf("-fig must be a number or 'all', got %q", *fig)
+		return fmt.Errorf("-fig must be a number, 'spectrum', or 'all', got %q", *fig)
 	}
 	table, err := experiments.Run(n, cfg)
 	if err != nil {

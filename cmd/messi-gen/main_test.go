@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -8,6 +9,16 @@ import (
 	messi "repro"
 	"repro/internal/dataset"
 )
+
+// mustSeries fetches an indexed series, failing the test on range errors.
+func mustSeries(t *testing.T, ix *messi.Index, pos int) []float32 {
+	t.Helper()
+	s, err := ix.Series(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
 
 func TestRunWritesDataset(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "data.bin")
@@ -82,16 +93,16 @@ func TestRunEmitsSnapshot(t *testing.T) {
 		t.Fatalf("snapshot stats %+v, rebuilt stats %+v", loaded.Stats(), built.Stats())
 	}
 	q := make([]float32, 64)
-	copy(q, built.Series(123))
-	want, err := built.Search(q)
+	copy(q, mustSeries(t, built, 123))
+	wantRes, err := built.Do(context.Background(), messi.SearchRequest{Query: q})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := loaded.Search(q)
+	gotRes, err := loaded.Do(context.Background(), messi.SearchRequest{Query: q})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if got, want := gotRes.Best(), wantRes.Best(); got != want {
 		t.Fatalf("snapshot answered %+v, rebuild %+v", got, want)
 	}
 }

@@ -9,13 +9,21 @@
 //	messi-query -data data.bin -queries queries.bin
 //	messi-query -data data.bin -queries queries.bin -k 5
 //	messi-query -data data.bin -queries queries.bin -dtw 0.1
+//	messi-query -data data.bin -queries queries.bin -mode epsilon -epsilon 0.05
+//	messi-query -data data.bin -queries queries.bin -mode deadline -deadline 2ms
+//
+// The -mode flag selects the quality-of-service level (exact, approx,
+// epsilon, deadline); inexact answers are annotated with the quality
+// actually proven.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"time"
 
@@ -42,12 +50,19 @@ func run(args []string, stdout io.Writer) error {
 		leafCap   = fs.Int("leaf", 0, "leaf capacity (default 2000)")
 		workers   = fs.Int("workers", 0, "search workers (default 48)")
 		queues    = fs.Int("queues", 0, "priority queues (default 24)")
+		modeFlag  = fs.String("mode", "", "quality mode: exact (default), approx, epsilon, deadline")
+		epsilon   = fs.Float64("epsilon", 0, "relative error budget for -mode epsilon (0.05 = within 5% of optimal)")
+		deadline  = fs.Duration("deadline", 0, "per-query latency budget for -mode deadline (e.g. 2ms)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dataPath == "" || *queryPath == "" {
 		return errors.New("-data and -queries are required")
+	}
+	mode, err := messi.ParseMode(*modeFlag)
+	if err != nil {
+		return err
 	}
 
 	opts := &messi.Options{
@@ -77,37 +92,58 @@ func run(args []string, stdout io.Writer) error {
 	var total time.Duration
 	for qi := 0; qi < nq; qi++ {
 		q := qdata[qi*qlen : (qi+1)*qlen]
-		start := time.Now()
+		req := messi.SearchRequest{
+			Query:    q,
+			Mode:     mode,
+			Epsilon:  *epsilon,
+			Deadline: *deadline,
+		}
 		switch {
 		case *dtwWin >= 0:
-			m, err := ix.SearchDTW(q, *dtwWin)
-			if err != nil {
-				return err
-			}
-			elapsed := time.Since(start)
-			total += elapsed
-			fmt.Fprintf(stdout, "query %3d: DTW 1-NN pos=%d dist=%.4f (%v)\n", qi, m.Position, m.Distance, elapsed.Round(time.Microsecond))
+			// DTW takes precedence over -k (k-NN under DTW is unsupported).
+			req.DTW, req.Window = true, *dtwWin
 		case *k > 1:
-			ms, err := ix.SearchKNN(q, *k)
-			if err != nil {
-				return err
-			}
-			elapsed := time.Since(start)
-			total += elapsed
-			fmt.Fprintf(stdout, "query %3d: %d-NN best pos=%d dist=%.4f worst dist=%.4f (%v)\n",
-				qi, *k, ms[0].Position, ms[0].Distance, ms[len(ms)-1].Distance, elapsed.Round(time.Microsecond))
+			req.K = *k
+		}
+		start := time.Now()
+		res, err := ix.Do(context.Background(), req)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		total += elapsed
+		if len(res.Matches) == 0 {
+			fmt.Fprintf(stdout, "query %3d: no answer within budget (%v)\n", qi, elapsed.Round(time.Microsecond))
+			continue
+		}
+		best := res.Best()
+		switch {
+		case req.DTW:
+			fmt.Fprintf(stdout, "query %3d: DTW 1-NN pos=%d dist=%.4f%s (%v)\n",
+				qi, best.Position, best.Distance, qualityNote(res), elapsed.Round(time.Microsecond))
+		case req.K > 1:
+			worst := res.Matches[len(res.Matches)-1]
+			fmt.Fprintf(stdout, "query %3d: %d-NN best pos=%d dist=%.4f worst dist=%.4f%s (%v)\n",
+				qi, req.K, best.Position, best.Distance, worst.Distance, qualityNote(res), elapsed.Round(time.Microsecond))
 		default:
-			m, err := ix.Search(q)
-			if err != nil {
-				return err
-			}
-			elapsed := time.Since(start)
-			total += elapsed
-			fmt.Fprintf(stdout, "query %3d: 1-NN pos=%d dist=%.4f (%v)\n", qi, m.Position, m.Distance, elapsed.Round(time.Microsecond))
+			fmt.Fprintf(stdout, "query %3d: 1-NN pos=%d dist=%.4f%s (%v)\n",
+				qi, best.Position, best.Distance, qualityNote(res), elapsed.Round(time.Microsecond))
 		}
 	}
 	if nq > 0 {
 		fmt.Fprintf(stdout, "answered %d queries, avg %v/query\n", nq, (total / time.Duration(nq)).Round(time.Microsecond))
 	}
 	return nil
+}
+
+// qualityNote annotates inexact answers with the quality actually proven;
+// exact answers (the default mode) stay unannotated.
+func qualityNote(res messi.Result) string {
+	if res.Exact {
+		return ""
+	}
+	if math.IsInf(res.EpsilonBound, 1) {
+		return " [approx]"
+	}
+	return fmt.Sprintf(" [within %.3g of optimal]", 1+res.EpsilonBound)
 }

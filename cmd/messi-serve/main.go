@@ -15,11 +15,23 @@
 //
 //	GET  /healthz         → 200 "ok" once serving
 //	GET  /v1/stats        → index shape, generation and delta occupancy
-//	POST /v1/query        → {"query":[...], "k":5}         → {"matches":[{"position":..,"distance":..}]}
-//	POST /v1/dtw          → {"query":[...], "window":0.1}  → {"matches":[{"position":..,"distance":..}]}
+//	POST /v1/search       → {"query":[...], "k":5, "dtw":false, "window":0, "mode":"exact", "epsilon":0, "deadline_ms":0}
+//	                      → {"matches":[{"position":..,"distance":..}], "exact":true, "epsilon_bound":...}
+//	POST /v1/knn          → same request with k ≥ 1 required
+//	POST /v1/query        → {"query":[...], "k":5}         → same response (legacy alias of /v1/search)
+//	POST /v1/dtw          → {"query":[...], "window":0.1}  → same response with DTW forced on
 //	POST /v1/query/batch  → {"queries":[[...],[...], ...]} → {"results":[[...],[...]]}
 //	POST /v1/series       → {"series":[[...], ...]}        → {"first_position":..,"count":..} (live mode only)
 //	POST /v1/snapshot     → {"path":"..."} (optional)      → {"path":..,"series":..,"bytes":..}
+//
+// Every query endpoint accepts the quality-spectrum fields: "mode" is one
+// of "exact" (default), "approx", "epsilon", "deadline"; "epsilon" is the
+// relative error budget for mode=epsilon; "deadline_ms" is the latency
+// budget for mode=deadline. Responses report "exact" (whether the answer
+// is provably exact) and, for inexact answers with a proven bound,
+// "epsilon_bound". With -degrade-epsilon the admission gate serves
+// exact-mode requests arriving under overload as ε-bounded ones instead
+// of queueing them.
 //
 // With -live the server runs a messi.LiveIndex: POST /v1/series appends
 // new series that are searchable immediately, and a background rebuild
@@ -57,6 +69,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -91,6 +104,7 @@ func run(args []string) error {
 		perQuery  = fs.Int("per-query", 0, "worker units per query (default: whole pool)")
 		queues    = fs.Int("queues", 0, "priority queues per query (default 24)")
 		admit     = fs.Int("admit", 0, "max concurrently executing queries (default pool/per-query)")
+		degrade   = fs.Float64("degrade-epsilon", 0, "overload policy: serve exact queries arriving at a full admission gate as ε-bounded with this ε (0 disables)")
 		normalize = fs.Bool("normalize", false, "z-normalize data and queries")
 		liveMode  = fs.Bool("live", false, "serve a mutable live index accepting appends on POST /v1/series")
 		shards    = fs.Int("shards", 0, "partition the index across this many shards (default 1)")
@@ -115,10 +129,11 @@ func run(args []string) error {
 
 	opts := &messi.Options{LeafCapacity: *leafCap, Normalize: *normalize, Shards: *shards}
 	engOpts := messi.EngineOptions{
-		PoolWorkers:   *pool,
-		QueryWorkers:  *perQuery,
-		Queues:        *queues,
-		MaxConcurrent: *admit,
+		PoolWorkers:    *pool,
+		QueryWorkers:   *perQuery,
+		Queues:         *queues,
+		MaxConcurrent:  *admit,
+		DegradeEpsilon: *degrade,
 	}
 	var handler http.Handler
 	// In live mode with a snapshot path, a graceful shutdown must not
@@ -289,18 +304,60 @@ type jsonMatch struct {
 	Distance float64 `json:"distance"`
 }
 
-type queryRequest struct {
-	Query []float32 `json:"query"`
-	K     int       `json:"k,omitempty"`
+// searchRequest is the wire form of a quality-spectrum query, shared by
+// /v1/search, /v1/knn, /v1/query and /v1/dtw.
+type searchRequest struct {
+	Query      []float32 `json:"query"`
+	K          int       `json:"k,omitempty"`
+	DTW        bool      `json:"dtw,omitempty"`
+	Window     float64   `json:"window,omitempty"`
+	Mode       string    `json:"mode,omitempty"`
+	Epsilon    float64   `json:"epsilon,omitempty"`
+	DeadlineMS int64     `json:"deadline_ms,omitempty"`
+}
+
+// The legacy endpoints accept the same superset body.
+type (
+	queryRequest = searchRequest
+	dtwRequest   = searchRequest
+)
+
+// toSearchRequest converts the wire form to the library request.
+func (sr searchRequest) toSearchRequest() (messi.SearchRequest, error) {
+	mode, err := messi.ParseMode(sr.Mode)
+	if err != nil {
+		return messi.SearchRequest{}, err
+	}
+	return messi.SearchRequest{
+		Query:    sr.Query,
+		K:        sr.K,
+		DTW:      sr.DTW,
+		Window:   sr.Window,
+		Mode:     mode,
+		Epsilon:  sr.Epsilon,
+		Deadline: time.Duration(sr.DeadlineMS) * time.Millisecond,
+	}, nil
 }
 
 type queryResponse struct {
 	Matches []jsonMatch `json:"matches"`
+	// Exact reports whether the answer is provably exact; EpsilonBound is
+	// the proven relative error bound for inexact answers that have one
+	// (omitted when exact, or when nothing was proven — mode=approx and
+	// deadline truncations).
+	Exact        bool     `json:"exact"`
+	EpsilonBound *float64 `json:"epsilon_bound,omitempty"`
 }
 
-type dtwRequest struct {
-	Query  []float32 `json:"query"`
-	Window float64   `json:"window"`
+// toQueryResponse converts a library result to the wire form. +Inf (no
+// proven bound) is not representable in JSON and means "omit".
+func toQueryResponse(res messi.Result) queryResponse {
+	resp := queryResponse{Matches: toJSONMatches(res.Matches), Exact: res.Exact}
+	if !res.Exact && !math.IsInf(res.EpsilonBound, 1) {
+		eb := res.EpsilonBound
+		resp.EpsilonBound = &eb
+	}
+	return resp
 }
 
 type batchRequest struct {
@@ -375,9 +432,9 @@ func toShardStats(per []messi.Stats) []shardStats {
 // backend abstracts the two serving modes: a static index behind the
 // persistent engine, or a mutable live index accepting appends.
 type backend interface {
-	query(q []float32) (messi.Match, error)
-	queryKNN(q []float32, k int) ([]messi.Match, error)
-	queryDTW(q []float32, window float64) (messi.Match, error)
+	// do answers one quality-spectrum query; the context's cancellation
+	// and deadline thread into the search.
+	do(ctx context.Context, req messi.SearchRequest) (messi.Result, error)
 	queryBatch(qs [][]float32) ([]messi.Match, error)
 	stats() statsResponse
 	// snapshot persists the served index to path (atomically) and
@@ -396,12 +453,8 @@ type engineBackend struct {
 	eng *messi.Engine
 }
 
-func (b *engineBackend) query(q []float32) (messi.Match, error) { return b.eng.Query(q) }
-func (b *engineBackend) queryKNN(q []float32, k int) ([]messi.Match, error) {
-	return b.eng.QueryKNN(q, k)
-}
-func (b *engineBackend) queryDTW(q []float32, window float64) (messi.Match, error) {
-	return b.eng.QueryDTW(q, window)
+func (b *engineBackend) do(ctx context.Context, req messi.SearchRequest) (messi.Result, error) {
+	return b.eng.Do(ctx, req)
 }
 func (b *engineBackend) queryBatch(qs [][]float32) ([]messi.Match, error) {
 	return b.eng.QueryBatch(qs)
@@ -437,12 +490,8 @@ type liveBackend struct {
 	lix *messi.LiveIndex
 }
 
-func (b *liveBackend) query(q []float32) (messi.Match, error) { return b.lix.Search(q) }
-func (b *liveBackend) queryKNN(q []float32, k int) ([]messi.Match, error) {
-	return b.lix.SearchKNN(q, k)
-}
-func (b *liveBackend) queryDTW(q []float32, window float64) (messi.Match, error) {
-	return b.lix.SearchDTW(q, window)
+func (b *liveBackend) do(ctx context.Context, req messi.SearchRequest) (messi.Result, error) {
+	return b.lix.Do(ctx, req)
 }
 func (b *liveBackend) queryBatch(qs [][]float32) ([]messi.Match, error) {
 	// A fixed submitter fleet claiming queries via Fetch&Inc, mirroring
@@ -465,7 +514,11 @@ func (b *liveBackend) queryBatch(qs [][]float32) ([]messi.Match, error) {
 				if i >= len(qs) {
 					return
 				}
-				out[i], errs[i] = b.lix.Search(qs[i])
+				res, err := b.lix.Do(context.Background(), messi.SearchRequest{Query: qs[i]})
+				if err == nil {
+					out[i] = res.Best()
+				}
+				errs[i] = err
 			}
 		}()
 	}
@@ -522,48 +575,46 @@ func newHandler(b backend, defaultSnapshotPath string) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, b.stats())
 	})
-	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
-		var req queryRequest
-		if !readJSON(w, r, &req) {
-			return
+	// One handler serves the whole quality spectrum; prep adjusts the
+	// decoded request for endpoint-specific contracts (forcing DTW on for
+	// /v1/dtw, requiring k for /v1/knn) before it reaches the library.
+	searchHandler := func(prep func(*searchRequest) error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			var req searchRequest
+			if !readJSON(w, r, &req) {
+				return
+			}
+			if prep != nil {
+				if err := prep(&req); err != nil {
+					writeError(w, http.StatusBadRequest, err.Error())
+					return
+				}
+			}
+			mreq, err := req.toSearchRequest()
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			res, err := b.do(r.Context(), mreq)
+			if err != nil {
+				writeError(w, errorStatus(err), err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, toQueryResponse(res))
 		}
-		if req.K < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("k must be non-negative, got %d", req.K))
-			return
+	}
+	mux.HandleFunc("POST /v1/search", searchHandler(nil))
+	mux.HandleFunc("POST /v1/query", searchHandler(nil)) // legacy alias
+	mux.HandleFunc("POST /v1/knn", searchHandler(func(sr *searchRequest) error {
+		if sr.K < 1 {
+			return fmt.Errorf("k must be at least 1, got %d", sr.K)
 		}
-		var matches []messi.Match
-		var err error
-		if req.K > 1 {
-			matches, err = b.queryKNN(req.Query, req.K)
-		} else {
-			var m messi.Match
-			m, err = b.query(req.Query)
-			matches = []messi.Match{m}
-		}
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, queryResponse{Matches: toJSONMatches(matches)})
-	})
-	mux.HandleFunc("POST /v1/dtw", func(w http.ResponseWriter, r *http.Request) {
-		var req dtwRequest
-		if !readJSON(w, r, &req) {
-			return
-		}
-		// The library validates too; rejecting here keeps the error a
-		// clean 400 with a message naming the parameter.
-		if req.Window < 0 || req.Window > 1 || req.Window != req.Window {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("window must be a fraction in [0,1], got %v", req.Window))
-			return
-		}
-		m, err := b.queryDTW(req.Query, req.Window)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, queryResponse{Matches: toJSONMatches([]messi.Match{m})})
-	})
+		return nil
+	}))
+	mux.HandleFunc("POST /v1/dtw", searchHandler(func(sr *searchRequest) error {
+		sr.DTW = true
+		return nil
+	}))
 	mux.HandleFunc("POST /v1/query/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req batchRequest
 		if !readJSON(w, r, &req) {
@@ -683,4 +734,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// errorStatus classifies a query error: the library's typed sentinels are
+// the client's fault (400), a context torn down mid-query maps to 503,
+// and anything else is the server's problem (500).
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, messi.ErrBadK),
+		errors.Is(err, messi.ErrBadWindow),
+		errors.Is(err, messi.ErrWrongLength),
+		errors.Is(err, messi.ErrBadEpsilon):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -13,6 +14,32 @@ import (
 
 	messi "repro"
 )
+
+// doer is the unified query method shared by Index and LiveIndex.
+type doer interface {
+	Do(context.Context, messi.SearchRequest) (messi.Result, error)
+}
+
+// exactDo answers a request through the library's unified API, failing
+// the test on error — the reference answer served responses must match.
+func exactDo(t *testing.T, ix doer, req messi.SearchRequest) messi.Result {
+	t.Helper()
+	res, err := ix.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// mustSeries fetches an indexed series, failing the test on range errors.
+func mustSeries(t *testing.T, ix *messi.Index, pos int) []float32 {
+	t.Helper()
+	s, err := ix.Series(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
 
 // newTestHandler builds a small index and the HTTP API around it.
 func newTestHandler(t *testing.T) (http.Handler, *messi.Index) {
@@ -186,10 +213,7 @@ func TestLiveBatchEndpoint(t *testing.T) {
 		t.Fatalf("live batch returned %d results, want %d", len(resp.Results), len(queries))
 	}
 	for i, ms := range resp.Results {
-		want, err := lix.Search(queries[i])
-		if err != nil {
-			t.Fatal(err)
-		}
+		want := exactDo(t, lix, messi.SearchRequest{Query: queries[i]}).Best()
 		if len(ms) != 1 || ms[0].Position != want.Position {
 			t.Fatalf("live batch result %d: served %+v, library %+v", i, ms, want)
 		}
@@ -214,11 +238,8 @@ func TestLiveBadAppends(t *testing.T) {
 func TestQueryEndpoint(t *testing.T) {
 	h, ix := newTestHandler(t)
 	q := make([]float32, 64)
-	copy(q, ix.Series(123))
-	want, err := ix.Search(q)
-	if err != nil {
-		t.Fatal(err)
-	}
+	copy(q, mustSeries(t, ix, 123))
+	want := exactDo(t, ix, messi.SearchRequest{Query: q}).Best()
 
 	rr := postJSON(t, h, "/v1/query", queryRequest{Query: q})
 	if rr.Code != http.StatusOK {
@@ -236,11 +257,8 @@ func TestQueryEndpoint(t *testing.T) {
 func TestQueryKNNEndpoint(t *testing.T) {
 	h, ix := newTestHandler(t)
 	q := make([]float32, 64)
-	copy(q, ix.Series(7))
-	want, err := ix.SearchKNN(q, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
+	copy(q, mustSeries(t, ix, 7))
+	want := exactDo(t, ix, messi.SearchRequest{Query: q, K: 3}).Matches
 
 	rr := postJSON(t, h, "/v1/query", queryRequest{Query: q, K: 3})
 	if rr.Code != http.StatusOK {
@@ -262,7 +280,7 @@ func TestBatchEndpoint(t *testing.T) {
 	queries := make([][]float32, 4)
 	for i := range queries {
 		queries[i] = make([]float32, 64)
-		copy(queries[i], ix.Series(i*100))
+		copy(queries[i], mustSeries(t, ix, i*100))
 	}
 	rr := postJSON(t, h, "/v1/query/batch", batchRequest{Queries: queries})
 	if rr.Code != http.StatusOK {
@@ -273,10 +291,7 @@ func TestBatchEndpoint(t *testing.T) {
 		t.Fatalf("batch returned %d results, want %d", len(resp.Results), len(queries))
 	}
 	for i, ms := range resp.Results {
-		want, err := ix.Search(queries[i])
-		if err != nil {
-			t.Fatal(err)
-		}
+		want := exactDo(t, ix, messi.SearchRequest{Query: queries[i]}).Best()
 		if len(ms) != 1 || ms[0].Position != want.Position {
 			t.Fatalf("batch result %d: served %+v, library %+v", i, ms, want)
 		}
@@ -372,15 +387,9 @@ func TestSnapshotEndpointAndBoot(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := make([]float32, 64)
-	copy(q, ix.Series(42))
-	want, err := ix.Search(q)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := loaded.Search(q)
-	if err != nil {
-		t.Fatal(err)
-	}
+	copy(q, mustSeries(t, ix, 42))
+	want := exactDo(t, ix, messi.SearchRequest{Query: q}).Best()
+	got := exactDo(t, loaded, messi.SearchRequest{Query: q}).Best()
 	if got != want {
 		t.Fatalf("loaded snapshot answered %+v, served index %+v", got, want)
 	}
@@ -501,11 +510,8 @@ func TestPprofListener(t *testing.T) {
 func TestDTWEndpoint(t *testing.T) {
 	h, ix := newTestHandler(t)
 	q := make([]float32, 64)
-	copy(q, ix.Series(55))
-	want, err := ix.SearchDTW(q, 0.1)
-	if err != nil {
-		t.Fatal(err)
-	}
+	copy(q, mustSeries(t, ix, 55))
+	want := exactDo(t, ix, messi.SearchRequest{Query: q, DTW: true, Window: 0.1}).Best()
 	rr := postJSON(t, h, "/v1/dtw", dtwRequest{Query: q, Window: 0.1})
 	if rr.Code != http.StatusOK {
 		t.Fatalf("dtw: status %d, body %s", rr.Code, rr.Body)
@@ -522,10 +528,7 @@ func TestDTWEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	copy(lq, ls)
-	lwant, err := lix.SearchDTW(lq, 0.1)
-	if err != nil {
-		t.Fatal(err)
-	}
+	lwant := exactDo(t, lix, messi.SearchRequest{Query: lq, DTW: true, Window: 0.1}).Best()
 	rr = postJSON(t, lh, "/v1/dtw", dtwRequest{Query: lq, Window: 0.1})
 	if rr.Code != http.StatusOK {
 		t.Fatalf("live dtw: status %d, body %s", rr.Code, rr.Body)
@@ -580,11 +583,8 @@ func TestShardedServe(t *testing.T) {
 	h := newHandler(&engineBackend{eng: eng}, "")
 
 	q := make([]float32, 64)
-	copy(q, plain.Series(321))
-	want, err := plain.Search(q)
-	if err != nil {
-		t.Fatal(err)
-	}
+	copy(q, mustSeries(t, plain, 321))
+	want := exactDo(t, plain, messi.SearchRequest{Query: q}).Best()
 	rr := postJSON(t, h, "/v1/query", queryRequest{Query: q})
 	if rr.Code != http.StatusOK {
 		t.Fatalf("sharded query: status %d, body %s", rr.Code, rr.Body)
@@ -635,5 +635,148 @@ func TestSnapshotSizeForDirectory(t *testing.T) {
 	// inode stat would report ~4 KiB.
 	if sr.Bytes < 100_000 {
 		t.Fatalf("snapshot bytes %d implausibly small for the sharded directory", sr.Bytes)
+	}
+}
+
+// TestSearchEndpointSpectrum: /v1/search serves the whole quality
+// spectrum with the exactness contract in the response, on the static
+// and the live backend alike.
+func TestSearchEndpointSpectrum(t *testing.T) {
+	h, ix := newTestHandler(t)
+	q := make([]float32, 64)
+	copy(q, mustSeries(t, ix, 99))
+	want := exactDo(t, ix, messi.SearchRequest{Query: q}).Best()
+
+	// Default mode is exact and says so.
+	rr := postJSON(t, h, "/v1/search", searchRequest{Query: q})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("search: status %d, body %s", rr.Code, rr.Body)
+	}
+	resp := decode[queryResponse](t, rr)
+	if !resp.Exact || resp.EpsilonBound != nil {
+		t.Fatalf("exact search response %+v, want exact with no bound", resp)
+	}
+	if len(resp.Matches) != 1 || resp.Matches[0].Position != want.Position {
+		t.Fatalf("search served %+v, library %+v", resp.Matches, want)
+	}
+
+	// Approximate answers are flagged inexact and never better than exact.
+	rr = postJSON(t, h, "/v1/search", searchRequest{Query: q, Mode: "approx"})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("approx search: status %d, body %s", rr.Code, rr.Body)
+	}
+	resp = decode[queryResponse](t, rr)
+	if resp.Exact {
+		t.Fatal("approx answer claimed exactness")
+	}
+	if len(resp.Matches) != 1 || resp.Matches[0].Distance < want.Distance-1e-9 {
+		t.Fatalf("approx answer %+v beats the exact one %+v", resp.Matches, want)
+	}
+
+	// An ε query over a self-match proves exactness (distance 0).
+	rr = postJSON(t, h, "/v1/search", searchRequest{Query: q, Mode: "epsilon", Epsilon: 0.05})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("epsilon search: status %d, body %s", rr.Code, rr.Body)
+	}
+	resp = decode[queryResponse](t, rr)
+	if len(resp.Matches) != 1 || resp.Matches[0].Position != want.Position {
+		t.Fatalf("epsilon search served %+v, library %+v", resp.Matches, want)
+	}
+	if !resp.Exact && (resp.EpsilonBound == nil || *resp.EpsilonBound > 0.05) {
+		t.Fatalf("epsilon response %+v proves no usable bound", resp)
+	}
+
+	// A generous deadline completes exactly.
+	rr = postJSON(t, h, "/v1/search", searchRequest{Query: q, Mode: "deadline", DeadlineMS: 60000})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("deadline search: status %d, body %s", rr.Code, rr.Body)
+	}
+	resp = decode[queryResponse](t, rr)
+	if !resp.Exact || resp.Matches[0].Position != want.Position {
+		t.Fatalf("deadline search with a generous budget: %+v, want exact %+v", resp, want)
+	}
+
+	// The live backend speaks the same spectrum.
+	lh, lix := newLiveTestHandler(t)
+	lq := make([]float32, 64)
+	ls, err := lix.Series(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(lq, ls)
+	rr = postJSON(t, lh, "/v1/search", searchRequest{Query: lq, Mode: "epsilon", Epsilon: 0.1})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("live epsilon search: status %d, body %s", rr.Code, rr.Body)
+	}
+	resp = decode[queryResponse](t, rr)
+	if len(resp.Matches) != 1 || resp.Matches[0].Position != 11 || resp.Matches[0].Distance != 0 {
+		t.Fatalf("live epsilon self-query: %+v", resp.Matches)
+	}
+}
+
+// TestKNNEndpoint: /v1/knn requires k and returns sorted matches.
+func TestKNNEndpoint(t *testing.T) {
+	h, ix := newTestHandler(t)
+	q := make([]float32, 64)
+	copy(q, mustSeries(t, ix, 7))
+
+	if rr := postJSON(t, h, "/v1/knn", searchRequest{Query: q}); rr.Code != http.StatusBadRequest {
+		t.Fatalf("knn without k: status %d, want 400", rr.Code)
+	}
+
+	want := exactDo(t, ix, messi.SearchRequest{Query: q, K: 3}).Matches
+	rr := postJSON(t, h, "/v1/knn", searchRequest{Query: q, K: 3})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("knn: status %d, body %s", rr.Code, rr.Body)
+	}
+	resp := decode[queryResponse](t, rr)
+	if !resp.Exact || len(resp.Matches) != len(want) {
+		t.Fatalf("knn response %+v, want %d exact matches", resp, len(want))
+	}
+	for i, m := range resp.Matches {
+		if m.Position != want[i].Position || m.Distance != want[i].Distance {
+			t.Fatalf("knn match %d: served %+v, library %+v", i, m, want[i])
+		}
+	}
+}
+
+// TestSearchEndpointBadRequests: typed sentinel errors from the library
+// surface as 400s, whatever layer raises them.
+func TestSearchEndpointBadRequests(t *testing.T) {
+	h, _ := newTestHandler(t)
+	good := make([]float32, 64)
+	cases := []struct {
+		name string
+		req  searchRequest
+	}{
+		{"unknown mode", searchRequest{Query: good, Mode: "psychic"}},
+		{"negative k", searchRequest{Query: good, K: -1}},
+		{"negative epsilon", searchRequest{Query: good, Mode: "epsilon", Epsilon: -0.5}},
+		{"wrong length", searchRequest{Query: make([]float32, 5)}},
+		{"bad dtw window", searchRequest{Query: good, DTW: true, Window: 3}},
+		{"dtw knn", searchRequest{Query: good, DTW: true, Window: 0.1, K: 4}},
+	}
+	for _, tc := range cases {
+		if rr := postJSON(t, h, "/v1/search", tc.req); rr.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, rr.Code, rr.Body)
+		}
+	}
+}
+
+// TestDTWEndpointModes: /v1/dtw accepts the quality fields too.
+func TestDTWEndpointModes(t *testing.T) {
+	h, ix := newTestHandler(t)
+	q := make([]float32, 64)
+	copy(q, mustSeries(t, ix, 31))
+	rr := postJSON(t, h, "/v1/dtw", searchRequest{Query: q, Window: 0.1, Mode: "approx"})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("approx dtw: status %d, body %s", rr.Code, rr.Body)
+	}
+	resp := decode[queryResponse](t, rr)
+	if resp.Exact {
+		t.Fatal("approx DTW answer claimed exactness")
+	}
+	if len(resp.Matches) != 1 {
+		t.Fatalf("approx dtw matches: %+v", resp.Matches)
 	}
 }

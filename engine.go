@@ -23,6 +23,15 @@ type EngineOptions struct {
 	// queries wait for admission. Default: PoolWorkers/QueryWorkers
 	// (at least 1).
 	MaxConcurrent int
+	// DegradeEpsilon, when positive, is the overload policy of the
+	// admission gate: an exact-mode Do request arriving while
+	// MaxConcurrent queries are already executing is served as an
+	// ε-bounded query with this ε instead of stacking queueing latency
+	// on top of exact-search latency. Requests that chose their mode
+	// explicitly are never rewritten, and the Result reports the bound
+	// actually proven. Zero (the default) never degrades; the deprecated
+	// always-exact Query methods are unaffected either way.
+	DegradeEpsilon float64
 }
 
 // Engine is a persistent query engine over one Index: a long-lived worker
@@ -45,17 +54,21 @@ func (ix *Index) NewEngine(opts *EngineOptions) *Engine {
 	var eo engine.Options
 	if opts != nil {
 		eo = engine.Options{
-			PoolWorkers:   opts.PoolWorkers,
-			QueryWorkers:  opts.QueryWorkers,
-			Queues:        opts.Queues,
-			MaxConcurrent: opts.MaxConcurrent,
+			PoolWorkers:    opts.PoolWorkers,
+			QueryWorkers:   opts.QueryWorkers,
+			Queues:         opts.Queues,
+			MaxConcurrent:  opts.MaxConcurrent,
+			DegradeEpsilon: opts.DegradeEpsilon,
 		}
 	}
 	return &Engine{ix: ix, inner: engine.NewSharded(ix.inner, eo)}
 }
 
 // Query answers an exact 1-NN query under Euclidean distance on the
-// shared pool. It blocks until the query is admitted and answered.
+// shared pool. It blocks until the query is admitted and answered, and is
+// never subject to DegradeEpsilon.
+//
+// Deprecated: use Do with a SearchRequest (the zero Mode is exact 1-NN).
 func (e *Engine) Query(query []float32) (Match, error) {
 	m, err := e.inner.Search(e.ix.prepareQuery(query))
 	if err != nil {
@@ -66,6 +79,8 @@ func (e *Engine) Query(query []float32) (Match, error) {
 
 // QueryKNN answers an exact k-NN query, returning up to k matches in
 // ascending distance order.
+//
+// Deprecated: use Do with K set.
 func (e *Engine) QueryKNN(query []float32, k int) ([]Match, error) {
 	ms, err := e.inner.SearchKNN(e.ix.prepareQuery(query), k)
 	if err != nil {
@@ -83,6 +98,8 @@ func (e *Engine) QueryKNN(query []float32, k int) ([]Match, error) {
 // [0,1]. DTW spawns its own per-query workers, but the call still passes
 // through the engine's admission gate, so concurrent DTW traffic is
 // bounded like every other query.
+//
+// Deprecated: use Do with DTW: true and Window set.
 func (e *Engine) QueryDTW(query []float32, window float64) (Match, error) {
 	if err := checkWindowFraction(window); err != nil {
 		return Match{}, err

@@ -1,7 +1,9 @@
 package messi_test
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	messi "repro"
 )
@@ -15,28 +17,38 @@ func ExampleBuildFlat() {
 	}
 	// Query with an indexed series: the nearest neighbor is itself.
 	query := make([]float32, 64)
-	copy(query, ix.Series(123))
-	m, err := ix.Search(query)
+	s, err := ix.Series(123)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(m.Position, m.Distance)
-	// Output: 123 0
+	copy(query, s)
+	res, err := ix.Do(context.Background(), messi.SearchRequest{Query: query})
+	if err != nil {
+		panic(err)
+	}
+	m := res.Best()
+	fmt.Println(m.Position, m.Distance, res.Exact)
+	// Output: 123 0 true
 }
 
 // Exact k-NN returns matches in ascending distance order.
-func ExampleIndex_SearchKNN() {
+func ExampleIndex_Do_knn() {
 	data := messi.RandomWalk(500, 64, 8)
 	ix, err := messi.BuildFlat(data, 64, &messi.Options{LeafCapacity: 32})
 	if err != nil {
 		panic(err)
 	}
 	query := make([]float32, 64)
-	copy(query, ix.Series(42))
-	matches, err := ix.SearchKNN(query, 3)
+	s, err := ix.Series(42)
 	if err != nil {
 		panic(err)
 	}
+	copy(query, s)
+	res, err := ix.Do(context.Background(), messi.SearchRequest{Query: query, K: 3})
+	if err != nil {
+		panic(err)
+	}
+	matches := res.Matches
 	fmt.Println(len(matches), matches[0].Position, matches[0].Distance)
 	fmt.Println(matches[0].Distance <= matches[1].Distance)
 	// Output:
@@ -45,21 +57,67 @@ func ExampleIndex_SearchKNN() {
 }
 
 // DTW search with a 10% warping window finds time-shifted patterns.
-func ExampleIndex_SearchDTW() {
+func ExampleIndex_Do_dtw() {
 	data := messi.RandomWalk(500, 64, 9)
 	ix, err := messi.BuildFlat(data, 64, nil)
 	if err != nil {
 		panic(err)
 	}
 	query := make([]float32, 64)
-	copy(query, ix.Series(7))
-	m, err := ix.SearchDTW(query, 0.1)
+	s, err := ix.Series(7)
+	if err != nil {
+		panic(err)
+	}
+	copy(query, s)
+	res, err := ix.Do(context.Background(), messi.SearchRequest{Query: query, DTW: true, Window: 0.1})
 	if err != nil {
 		panic(err)
 	}
 	// DTW(a,a) is zero; an indexed series matches itself.
+	m := res.Best()
 	fmt.Println(m.Position, m.Distance)
 	// Output: 7 0
+}
+
+// The quality spectrum: an ε-bounded query answers within (1+ε) of
+// optimal and reports the bound actually proven; a deadline-bounded query
+// returns the best answer found within the budget.
+func ExampleIndex_Do_epsilon() {
+	data := messi.RandomWalk(2000, 64, 11)
+	ix, err := messi.BuildFlat(data, 64, nil)
+	if err != nil {
+		panic(err)
+	}
+	query := make([]float32, 64)
+	s, err := ix.Series(99)
+	if err != nil {
+		panic(err)
+	}
+	copy(query, s)
+	res, err := ix.Do(context.Background(), messi.SearchRequest{
+		Query:   query,
+		Mode:    messi.ModeEpsilon,
+		Epsilon: 0.05,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// A self-query's distance is 0, which no ε-pruning can displace.
+	fmt.Println(res.Best().Position, res.EpsilonBound <= 0.05)
+
+	// Deadline-bounded: generous budget, so the answer completes exactly.
+	res, err = ix.Do(context.Background(), messi.SearchRequest{
+		Query:    query,
+		Mode:     messi.ModeDeadline,
+		Deadline: time.Minute,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Best().Position, res.Exact)
+	// Output:
+	// 99 true
+	// 99 true
 }
 
 // Index every subsequence of a stream, the paper's prescription for

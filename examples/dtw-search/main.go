@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -47,17 +48,19 @@ func main() {
 	query := pattern(0) // the unshifted pattern
 
 	edStart := time.Now()
-	ed, err := ix.Search(query)
+	edRes, err := ix.Do(context.Background(), messi.SearchRequest{Query: query})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ed := edRes.Best()
 	edElapsed := time.Since(edStart)
 
 	dtwStart := time.Now()
-	warped, err := ix.SearchDTW(query, 0.10) // the paper's 10% window
+	dtwRes, err := ix.Do(context.Background(), messi.SearchRequest{Query: query, DTW: true, Window: 0.10}) // the paper's 10% window
 	if err != nil {
 		log.Fatal(err)
 	}
+	warped := dtwRes.Best()
 	dtwElapsed := time.Since(dtwStart)
 
 	fmt.Printf("collection: %d series; planted shifted pattern at #%d\n\n", count, count-1)

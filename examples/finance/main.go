@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -56,10 +57,11 @@ func main() {
 	messi.ZNormalize(recent)
 
 	qStart := time.Now()
-	matches, err := ix.SearchKNN(recent, 8)
+	res, err := ix.Do(context.Background(), messi.SearchRequest{Query: recent, K: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
+	matches := res.Matches
 	elapsed := time.Since(qStart)
 
 	fmt.Printf("\nwindows most similar to the last %d ticks (found in %v):\n", window, elapsed.Round(time.Microsecond))

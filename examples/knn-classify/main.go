@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -72,10 +73,11 @@ func main() {
 		trueClass := t % numClasses
 		q := makeSeries(rng, trueClass)
 		qStart := time.Now()
-		neighbors, err := ix.SearchKNN(q, k)
+		res, err := ix.Do(context.Background(), messi.SearchRequest{Query: q, K: k})
 		if err != nil {
 			log.Fatal(err)
 		}
+		neighbors := res.Matches
 		queryTime += time.Since(qStart)
 		votes := [numClasses]int{}
 		for _, nb := range neighbors {

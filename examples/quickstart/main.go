@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -32,21 +33,26 @@ func main() {
 	fmt.Printf("indexed %d series in %v (%d root subtrees, %d leaves)\n",
 		ix.Len(), time.Since(start).Round(time.Millisecond), st.RootChildren, st.Leaves)
 
-	// 3. Query: find the nearest neighbor of a fresh series.
+	// 3. Query: find the nearest neighbor of a fresh series. The zero
+	//    SearchRequest mode is exact 1-NN; the result says so.
 	query := messi.RandomWalk(1, length, 424242)
 	start = time.Now()
-	m, err := ix.Search(query)
+	res, err := ix.Do(context.Background(), messi.SearchRequest{Query: query})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("1-NN: series #%d at distance %.4f (answered in %v)\n",
-		m.Position, m.Distance, time.Since(start).Round(time.Microsecond))
+	m := res.Best()
+	fmt.Printf("1-NN: series #%d at distance %.4f (exact=%v, answered in %v)\n",
+		m.Position, m.Distance, res.Exact, time.Since(start).Round(time.Microsecond))
 
 	// 4. Exactness check the hard way: linear scan.
 	bestPos, bestDist := -1, float64(1e300)
 	for i := 0; i < ix.Len(); i++ {
 		var sq float64
-		s := ix.Series(i)
+		s, err := ix.Series(i)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for j := range query {
 			d := float64(query[j] - s[j])
 			sq += d * d

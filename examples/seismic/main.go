@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -37,10 +38,11 @@ func main() {
 	for e := 0; e < 5; e++ {
 		q := events[e*length : (e+1)*length]
 		qStart := time.Now()
-		similar, err := ix.SearchKNN(q, 5)
+		res, err := ix.Do(context.Background(), messi.SearchRequest{Query: q, K: 5})
 		if err != nil {
 			log.Fatal(err)
 		}
+		similar := res.Matches
 		elapsed := time.Since(qStart)
 		fmt.Printf("\nevent %d: top-5 similar archived waveforms (in %v):\n",
 			e, elapsed.Round(time.Microsecond))

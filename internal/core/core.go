@@ -117,7 +117,7 @@ func (ix *Index) validateQuery(query []float32) error {
 		return ErrEmptyIndex
 	}
 	if len(query) != ix.Data.Length {
-		return fmt.Errorf("core: query length %d, index series length %d", len(query), ix.Data.Length)
+		return fmt.Errorf("%w: query length %d, index series length %d", ErrWrongLength, len(query), ix.Data.Length)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -31,7 +32,7 @@ func (ix *Index) SearchDTW(query []float32, window int, opt SearchOptions) (Matc
 		return Match{}, err
 	}
 	if err := dtw.CheckWindow(ix.Data.Length, window); err != nil {
-		return Match{}, err
+		return Match{}, fmt.Errorf("%w: %v", ErrBadWindow, err)
 	}
 	opt = opt.withDefaults(ix.Opts)
 	bd := opt.Breakdown
@@ -42,6 +43,7 @@ func (ix *Index) SearchDTW(query []float32, window int, opt SearchOptions) (Matc
 	}
 	env := ix.newDTWQuery(query, window)
 	defer ix.putTable(env.tab)
+	env.qos, env.escale = opt.QoS, opt.QoS.Scale()
 	bsf := opt.Shared
 	if bsf == nil {
 		bsf = stats.NewBSF()
@@ -87,6 +89,8 @@ type dtwQuery struct {
 	lower  []float32
 	tab    *isax.DistTable // built from the envelope summary
 	qword  []uint8         // query's own word, for the approximate descent
+	qos    *QoS            // nil for plain exact runs
+	escale float64         // qos.Scale(); see SearchRun.escale
 }
 
 func (ix *Index) newDTWQuery(query []float32, window int) *dtwQuery {
@@ -102,6 +106,7 @@ func (ix *Index) newDTWQuery(query []float32, window int) *dtwQuery {
 		lower:  l,
 		tab:    tab,
 		qword:  ix.Schema.WordFromPAA(qpaa, nil),
+		escale: 1,
 	}
 }
 
@@ -113,6 +118,10 @@ func (ix *Index) dtwWorker(env *dtwQuery, bsf bound, queues *pqueue.Set[*tree.No
 	for {
 		i := int(rootCtr.Add(1) - 1)
 		if i >= len(ix.activeRoots) {
+			break
+		}
+		if env.qos.ShouldStop() {
+			env.qos.MarkTruncated()
 			break
 		}
 		ix.traverseDTW(ix.Tree.Root(int(ix.activeRoots[i])), env, bsf, queues, &cursor, ctrs)
@@ -140,7 +149,10 @@ func (ix *Index) traverseDTW(node *tree.Node, env *dtwQuery, bsf bound,
 	ctrs.AddNodesVisited(1)
 	dist := env.tab.MinDistPrefix(node.Symbols, node.Bits)
 	ctrs.AddLowerBound(1)
-	if dist >= bsf.Load() {
+	if limit := bsf.Load(); dist*env.escale >= limit {
+		if dist < limit {
+			env.qos.PruneEps(dist)
+		}
 		return
 	}
 	if node.IsLeaf() {
@@ -162,12 +174,22 @@ func (ix *Index) processQueueDTW(q *pqueue.Queue[*tree.Node], env *dtwQuery,
 		if q.Finished() {
 			return
 		}
+		if env.qos.ShouldStop() {
+			if _, ok := q.PopMin(); ok {
+				env.qos.MarkTruncated()
+			}
+			q.MarkFinished()
+			return
+		}
 		item, ok := q.PopMin()
 		if !ok {
 			q.MarkFinished()
 			return
 		}
-		if item.Priority >= bsf.Load() {
+		if limit := bsf.Load(); item.Priority*env.escale >= limit {
+			if item.Priority < limit {
+				env.qos.PruneEps(item.Priority)
+			}
 			ctrs.AddLeavesPruned(1)
 			q.MarkFinished()
 			return
@@ -201,7 +223,10 @@ func (ix *Index) scanLeafDTW(leaf *tree.Node, env *dtwQuery, scratch *leafScratc
 			end = n
 		}
 		for e := base; e < end; e++ {
-			if lbs[e]*scale >= limit {
+			if lb := lbs[e] * scale; lb*env.escale >= limit {
+				if env.escale > 1 && lb < limit {
+					env.qos.PruneEps(lb)
+				}
 				continue
 			}
 			pos := leaf.Positions[e]
@@ -225,6 +250,31 @@ func (ix *Index) scanLeafDTW(leaf *tree.Node, env *dtwQuery, scratch *leafScratc
 	}
 	ctrs.AddLowerBound(lbCount)
 	ctrs.AddRealDist(realCount)
+}
+
+// ApproxDTW answers an approximate 1-NN DTW query: only the BSF-seeding
+// descent of SearchDTW (plus any seeds). Its distance is an upper bound on
+// the exact constrained-DTW distance. Falls back to the exact search when
+// the descent finds nothing.
+func (ix *Index) ApproxDTW(query []float32, window int, opt SearchOptions) (Match, error) {
+	if err := ix.validateQuery(query); err != nil {
+		return Match{}, err
+	}
+	if err := dtw.CheckWindow(ix.Data.Length, window); err != nil {
+		return Match{}, fmt.Errorf("%w: %v", ErrBadWindow, err)
+	}
+	env := ix.newDTWQuery(query, window)
+	defer ix.putTable(env.tab)
+	bsf := stats.NewBSF()
+	for _, s := range opt.Seeds {
+		bsf.Update(s.Dist, int64(s.Position))
+	}
+	ix.approxSearchDTW(env, workerBound(bsf, opt.GlobalPos), opt.Counters)
+	d, pos := bsf.Best()
+	if pos < 0 {
+		return ix.SearchDTW(query, window, opt)
+	}
+	return Match{Position: int(pos), Dist: d}, nil
 }
 
 // approxSearchDTW seeds the DTW BSF from the leaf matching the query's own

@@ -118,7 +118,7 @@ func (ix *Index) validateKNN(query []float32, k int) error {
 		return err
 	}
 	if k <= 0 {
-		return fmt.Errorf("core: k must be positive, got %d", k)
+		return fmt.Errorf("%w, got %d", ErrBadK, k)
 	}
 	return nil
 }

@@ -53,6 +53,13 @@ type SearchOptions struct {
 	// which merge per-shard top-k sets instead.
 	Shared *stats.BSF
 
+	// QoS, when non-nil, carries the query's quality-of-service state:
+	// ε-inflated pruning and deadline/cancellation stop checks, with the
+	// bookkeeping that proves the answer's quality afterwards. Like
+	// Shared, one QoS is threaded through every shard run of a fan-out.
+	// Nil means plain exact search with zero added hot-path work.
+	QoS *QoS
+
 	// Counters, when non-nil, accumulates operation counts (Figure 17).
 	Counters *stats.Counters
 	// Breakdown, when non-nil, accumulates per-phase wall time across
@@ -188,6 +195,8 @@ type SearchRun struct {
 	queues      *pqueue.Set[*tree.Node]
 	rootCtr     atomic.Int64
 	opt         SearchOptions
+	qos         *QoS    // nil for plain exact runs
+	escale      float64 // qos.Scale(): (1+ε)² lower-bound inflation, 1 = exact
 }
 
 // NewSearchRun prepares an exact 1-NN query: it validates the query,
@@ -203,7 +212,8 @@ func (ix *Index) NewSearchRun(query []float32, st *QueryState, opt SearchOptions
 	if bsf == nil {
 		bsf = stats.NewBSF()
 	}
-	r := &SearchRun{ix: ix, query: query, bnd: workerBound(bsf, opt.GlobalPos), bsf: bsf, opt: opt.withDefaults(ix.Opts)}
+	r := &SearchRun{ix: ix, query: query, bnd: workerBound(bsf, opt.GlobalPos), bsf: bsf,
+		opt: opt.withDefaults(ix.Opts), qos: opt.QoS, escale: opt.QoS.Scale()}
 	r.init(st)
 	return r, nil
 }
@@ -220,7 +230,8 @@ func (ix *Index) NewKNNRun(query []float32, k int, st *QueryState, opt SearchOpt
 		k = ix.Data.Count() + len(opt.Seeds)
 	}
 	best := newTopK(k)
-	r := &SearchRun{ix: ix, query: query, bnd: workerBound(best, opt.GlobalPos), top: best, opt: opt.withDefaults(ix.Opts)}
+	r := &SearchRun{ix: ix, query: query, bnd: workerBound(best, opt.GlobalPos), top: best,
+		opt: opt.withDefaults(ix.Opts), qos: opt.QoS, escale: opt.QoS.Scale()}
 	r.init(st)
 	return r, nil
 }
@@ -333,6 +344,11 @@ func (r *SearchRun) InsertPhase(pid int) {
 		if i >= len(r.ix.activeRoots) {
 			break
 		}
+		if r.qos.ShouldStop() {
+			// Root subtree i (at least) goes unexplored.
+			r.qos.MarkTruncated()
+			break
+		}
 		root := r.ix.Tree.Root(int(r.ix.activeRoots[i]))
 		r.traverse(root, &cursor, &insertTime, ctrs, bd)
 	}
@@ -394,7 +410,13 @@ func (r *SearchRun) traverse(node *tree.Node, cursor *int, insertTime *time.Dura
 	ctrs.AddNodesVisited(1)
 	dist := r.table.MinDistPrefix(node.Symbols, node.Bits)
 	ctrs.AddLowerBound(1)
-	if dist >= r.bnd.Load() {
+	if limit := r.bnd.Load(); dist*r.escale >= limit {
+		if dist < limit {
+			// Pruned only because of the (1+ε)² inflation: this subtree
+			// could hold something better than the BSF, but nothing below
+			// dist — record it as an answer-quality witness.
+			r.qos.PruneEps(dist)
+		}
 		return
 	}
 	if node.IsLeaf() {
@@ -425,6 +447,16 @@ func (r *SearchRun) processQueue(q *pqueue.Queue[*tree.Node], scratch *leafScrat
 		if q.Finished() {
 			return
 		}
+		if r.qos.ShouldStop() {
+			// Deadline passed or request cancelled: abandon the queue at
+			// leaf-scan granularity. The answer only loses exactness if
+			// unscanned work actually remained.
+			if _, ok := q.PopMin(); ok {
+				r.qos.MarkTruncated()
+			}
+			q.MarkFinished()
+			return
+		}
 		var t0 time.Time
 		if bd.Enabled() {
 			t0 = time.Now()
@@ -437,9 +469,14 @@ func (r *SearchRun) processQueue(q *pqueue.Queue[*tree.Node], scratch *leafScrat
 			q.MarkFinished()
 			return
 		}
-		if item.Priority >= r.bnd.Load() {
+		if limit := r.bnd.Load(); item.Priority*r.escale >= limit {
 			// Everything left in this min-queue is at least as far:
-			// abandon the whole queue (Algorithm 8 lines 8-10).
+			// abandon the whole queue (Algorithm 8 lines 8-10). Under
+			// ε-inflation the popped minimum bounds every remaining item,
+			// so it is the single witness for the whole queue.
+			if item.Priority < limit {
+				r.qos.PruneEps(item.Priority)
+			}
 			ctrs.AddLeavesPruned(1)
 			q.MarkFinished()
 			return
@@ -447,7 +484,7 @@ func (r *SearchRun) processQueue(q *pqueue.Queue[*tree.Node], scratch *leafScrat
 		if bd.Enabled() {
 			t0 = time.Now()
 		}
-		r.ix.scanLeaf(item.Value, r.query, r.table, scratch, r.bnd, ctrs)
+		r.ix.scanLeaf(item.Value, r.query, r.table, scratch, r.bnd, r.qos, r.escale, ctrs)
 		if bd.Enabled() {
 			bd.Add(stats.PhaseDistCalc, time.Since(t0))
 		}
@@ -464,7 +501,7 @@ func (r *SearchRun) processQueue(q *pqueue.Queue[*tree.Node], scratch *leafScrat
 // after every improvement) instead of loading the shared atomic twice
 // per candidate.
 func (ix *Index) scanLeaf(leaf *tree.Node, query []float32, tab *isax.DistTable,
-	scratch *leafScratch, bnd bound, ctrs *stats.Counters) {
+	scratch *leafScratch, bnd bound, qos *QoS, escale float64, ctrs *stats.Counters) {
 
 	n := leaf.LeafLen()
 	if n == 0 {
@@ -481,7 +518,11 @@ func (ix *Index) scanLeaf(leaf *tree.Node, query []float32, tab *isax.DistTable,
 			end = n
 		}
 		for e := base; e < end; e++ {
-			if lbs[e]*scale >= limit {
+			if lb := lbs[e] * scale; lb*escale >= limit {
+				if escale > 1 && lb < limit {
+					// Candidate skipped only because of ε-inflation.
+					qos.PruneEps(lb)
+				}
 				continue
 			}
 			pos := leaf.Positions[e]
@@ -515,6 +556,11 @@ func (ix *Index) ApproxSearch(query []float32, opt SearchOptions) (Match, error)
 	qpaa := paa.Transform(query, ix.Schema.Segments, nil)
 	qword := ix.Schema.WordFromPAA(qpaa, nil)
 	bsf := stats.NewBSF()
+	// Seeds (delta-scan results in a live index) compete with the leaf's
+	// candidates exactly as in an exact run; their positions are global.
+	for _, s := range opt.Seeds {
+		bsf.Update(s.Dist, int64(s.Position))
+	}
 	// No distance table here: the approximate search only needs one in
 	// the rare empty-subtree fallback, and its point is to be cheap.
 	ix.approxSearch(query, qpaa, qword, nil, workerBound(bsf, opt.GlobalPos), opt.Counters)
@@ -523,6 +569,30 @@ func (ix *Index) ApproxSearch(query []float32, opt SearchOptions) (Match, error)
 		return ix.Search(query, opt)
 	}
 	return Match{Position: int(pos), Dist: d}, nil
+}
+
+// ApproxKNN is the k-NN form of ApproxSearch: the query's own leaf (plus
+// any seeds) populates a top-k set. It reports at most k matches — fewer
+// when the leaf holds fewer series — in ascending distance order.
+func (ix *Index) ApproxKNN(query []float32, k int, opt SearchOptions) ([]Match, error) {
+	if err := ix.validateKNN(query, k); err != nil {
+		return nil, err
+	}
+	if k > ix.Data.Count()+len(opt.Seeds) {
+		k = ix.Data.Count() + len(opt.Seeds)
+	}
+	top := newTopK(k)
+	for _, s := range opt.Seeds {
+		top.Update(s.Dist, int64(s.Position))
+	}
+	qpaa := paa.Transform(query, ix.Schema.Segments, nil)
+	qword := ix.Schema.WordFromPAA(qpaa, nil)
+	ix.approxSearch(query, qpaa, qword, nil, workerBound(top, opt.GlobalPos), opt.Counters)
+	ms := top.results()
+	if len(ms) == 0 {
+		return ix.SearchKNN(query, k, opt)
+	}
+	return ms, nil
 }
 
 // approxSearch seeds the BSF (Figure 4(a)): descend to the leaf matching

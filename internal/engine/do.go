@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Do serves one quality-of-service request through the engine: admission
+// gate, pooled execution for Euclidean searches, spawn-mode execution for
+// DTW, and the overload-degradation policy (Options.DegradeEpsilon).
+func (e *Engine) Do(req core.Request) (core.Result, error) {
+	return e.DoSeeded(req, nil)
+}
+
+// DoSeeded is Do with externally known candidate matches (global
+// positions) applied to the pruning bound — the live index's delta-scan
+// results. A seed that remains best is part of the answer.
+func (e *Engine) DoSeeded(req core.Request, seeds []core.Match) (core.Result, error) {
+	if err := req.Validate(); err != nil {
+		return core.Result{}, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return core.Result{}, ErrClosed
+	}
+
+	// Overload degradation: with the admission gate full, an exact request
+	// would pay queueing latency on top of exact-search latency. When the
+	// engine is configured to degrade, rewrite it to an ε-bounded request
+	// instead — it still waits for admission, but runs far cheaper once
+	// admitted, and the result honestly reports what was proven. Requests
+	// that chose their mode explicitly are never rewritten.
+	if req.Mode == core.ModeExact && e.opts.DegradeEpsilon > 0 && len(e.admit) == cap(e.admit) {
+		req.Mode = core.ModeEpsilon
+		req.Epsilon = e.opts.DegradeEpsilon
+	}
+
+	admitted, err := e.admitQoS(req)
+	if err != nil {
+		return core.Result{}, err
+	}
+	if admitted {
+		defer func() { <-e.admit }()
+	}
+
+	sx := e.sx.Load()
+	if sx == nil {
+		return core.Result{}, ErrNoIndex
+	}
+
+	if !admitted {
+		// The deadline expired while waiting for admission. The contract is
+		// best-so-far within the budget, so bypass the gate for the cheap
+		// approximate step only (one leaf scan — bounded work even under
+		// overload) and report it as what it is: an inexact answer.
+		req.Mode = core.ModeApprox
+		return sx.Do(req, core.SearchOptions{Seeds: seeds})
+	}
+
+	if req.Mode == core.ModeApprox || req.DTW {
+		// Approximate answers are a single leaf scan; DTW runs the paper's
+		// per-query spawn mode. Neither uses the pool — delegate to the
+		// shard layer under the admission slot we hold.
+		opt := core.SearchOptions{Workers: e.opts.QueryWorkers, Queues: e.opts.Queues, Seeds: seeds}
+		return sx.Do(req, opt)
+	}
+
+	// Pooled Euclidean path: exact, ε-bounded, and deadline-bounded all run
+	// the exact machinery with the QoS state threaded through every unit.
+	qos := req.NewQoS()
+	base := core.SearchOptions{QoS: qos, Counters: req.Counters}
+	k := req.K
+	if k <= 0 {
+		k = 1
+	}
+	if k == 1 {
+		m, err := e.run1NN(sx, req.Query, seeds, base)
+		if err != nil {
+			return core.Result{}, err
+		}
+		return qos.Finish([]core.Match{m}, req.Mode), nil
+	}
+	ms, err := e.runKNN(sx, req.Query, k, seeds, base)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return qos.Finish(ms, req.Mode), nil
+}
+
+// admitQoS waits for an admission slot, honoring the request's
+// cancellation signal and deadline. It reports whether a slot was taken
+// (false only when a deadline expired while waiting); cancellation is an
+// error, matching context semantics.
+func (e *Engine) admitQoS(req core.Request) (bool, error) {
+	hasDeadline := req.Mode == core.ModeDeadline && !req.Deadline.IsZero()
+	if req.Cancel == nil && !hasDeadline {
+		e.admit <- struct{}{}
+		return true, nil
+	}
+	var timerC <-chan time.Time
+	if hasDeadline {
+		t := time.NewTimer(time.Until(req.Deadline))
+		defer t.Stop()
+		timerC = t.C
+	}
+	// A nil req.Cancel never fires in the select.
+	select {
+	case e.admit <- struct{}{}:
+		return true, nil
+	case <-req.Cancel:
+		return false, context.Canceled
+	case <-timerC:
+		return false, nil
+	}
+}

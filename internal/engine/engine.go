@@ -58,6 +58,17 @@ type Options struct {
 	// concurrently; further queries wait for admission. Default:
 	// max(1, PoolWorkers/QueryWorkers), the pool's saturation point.
 	MaxConcurrent int
+	// DegradeEpsilon, when positive, makes the admission gate trade
+	// answer quality for latency under overload: an exact Do request
+	// arriving while MaxConcurrent queries are already executing is
+	// degraded to an ε-bounded one with this ε instead of paying full
+	// queueing plus full exact-search latency. Requests that ask for a
+	// specific mode (approximate, ε, deadline) are never rewritten, and
+	// the result honestly reports Exact=false plus the ε actually
+	// proven. Zero (the default) never degrades. Only Do requests are
+	// subject to degradation; the deprecated always-exact methods stay
+	// exact.
+	DegradeEpsilon float64
 }
 
 func (o Options) withDefaults(ixOpts core.Options) Options {
@@ -179,11 +190,6 @@ func (e *Engine) SwapSharded(sx *shard.Index) *shard.Index {
 	return e.sx.Swap(sx)
 }
 
-// searchOpt builds the per-query options handed to core.
-func (e *Engine) searchOpt(seeds []core.Match) core.SearchOptions {
-	return core.SearchOptions{Workers: e.opts.QueryWorkers, Queues: e.opts.Queues, Seeds: seeds}
-}
-
 // Search answers an exact 1-NN query on the shared pool. It blocks until
 // the query is admitted and answered.
 func (e *Engine) Search(query []float32) (core.Match, error) {
@@ -206,9 +212,20 @@ func (e *Engine) SearchSeeded(query []float32, seeds []core.Match) (core.Match, 
 	if sx == nil {
 		return core.Match{}, ErrNoIndex
 	}
+	return e.run1NN(sx, query, seeds, core.SearchOptions{})
+}
+
+// run1NN executes an already-admitted 1-NN query on the pool. base carries
+// per-query extras (QoS, Counters); worker shape, seeds, and the sharded
+// fan-out plumbing are filled in here — the one shared path under both the
+// deprecated entry points and Do.
+func (e *Engine) run1NN(sx *shard.Index, query []float32, seeds []core.Match, base core.SearchOptions) (core.Match, error) {
+	base.Workers = e.opts.QueryWorkers
+	base.Queues = e.opts.Queues
 	if single := sx.Single(); single != nil {
+		base.Seeds = seeds
 		st := e.states.Get().(*core.QueryState)
-		run, err := single.NewSearchRun(query, st, e.searchOpt(seeds))
+		run, err := single.NewSearchRun(query, st, base)
 		if err != nil {
 			e.states.Put(st)
 			return core.Match{}, err
@@ -226,7 +243,7 @@ func (e *Engine) SearchSeeded(query []float32, seeds []core.Match) (core.Match, 
 		shared.Update(s.Dist, int64(s.Position))
 	}
 	runs, sts, err := e.shardRuns(sx, func(sh *core.Index, s int, st *core.QueryState) (*core.SearchRun, error) {
-		opt := e.searchOpt(nil)
+		opt := base
 		opt.Shared = shared
 		opt.GlobalPos = sx.GlobalPosFunc(s)
 		return sh.NewSearchRun(query, st, opt)
@@ -324,9 +341,17 @@ func (e *Engine) SearchKNNSeeded(query []float32, k int, seeds []core.Match) ([]
 	if sx == nil {
 		return nil, ErrNoIndex
 	}
+	return e.runKNN(sx, query, k, seeds, core.SearchOptions{})
+}
+
+// runKNN executes an already-admitted k-NN query on the pool (see run1NN).
+func (e *Engine) runKNN(sx *shard.Index, query []float32, k int, seeds []core.Match, base core.SearchOptions) ([]core.Match, error) {
+	base.Workers = e.opts.QueryWorkers
+	base.Queues = e.opts.Queues
 	if single := sx.Single(); single != nil {
+		base.Seeds = seeds
 		st := e.states.Get().(*core.QueryState)
-		run, err := single.NewKNNRun(query, k, st, e.searchOpt(seeds))
+		run, err := single.NewKNNRun(query, k, st, base)
 		if err != nil {
 			e.states.Put(st)
 			return nil, err
@@ -341,7 +366,8 @@ func (e *Engine) SearchKNNSeeded(query []float32, k int, seeds []core.Match) ([]
 	// with the caller's global-position seeds) and the per-shard sets are
 	// merged through a priority queue.
 	runs, sts, err := e.shardRuns(sx, func(sh *core.Index, s int, st *core.QueryState) (*core.SearchRun, error) {
-		opt := e.searchOpt(seeds)
+		opt := base
+		opt.Seeds = seeds
 		opt.GlobalPos = sx.GlobalPosFunc(s)
 		return sh.NewKNNRun(query, k, st, opt)
 	})

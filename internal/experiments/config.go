@@ -14,6 +14,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -29,6 +30,14 @@ type Config struct {
 	DTWSeries int       // collection size for the DTW figure (full DTW is costly)
 	Seed      int64     // generator seed
 	Progress  io.Writer // optional progress log (nil = silent)
+
+	// Spectrum experiment knobs (ignored by the paper figures): Mode
+	// restricts the sweep to one quality mode ("" = all four), Epsilon is
+	// the relative-error budget of the epsilon row (default 0.05), and
+	// Deadline is the latency budget of the deadline row (default 1ms).
+	Mode     string
+	Epsilon  float64
+	Deadline time.Duration
 }
 
 // DefaultConfig returns the scaled-down default workload (~100 MB of raw

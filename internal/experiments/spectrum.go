@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	messi "repro"
+	"repro/internal/dataset"
+)
+
+// Spectrum is not a paper figure: it profiles the quality/latency spectrum
+// of the unified Do API over one workload — one row per quality mode, with
+// the mean latency, the fraction of answers proven exact, and the mean
+// proven relative-error bound. It is the operator-facing companion to the
+// admission gate's DegradeEpsilon policy: the epsilon row's latency is
+// what a degraded exact query costs.
+func Spectrum(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	eps := cfg.Epsilon
+	if eps <= 0 {
+		eps = 0.05
+	}
+	budget := cfg.Deadline
+	if budget <= 0 {
+		budget = time.Millisecond
+	}
+	data, queries, err := cfg.data(dataset.RandomWalk, cfg.Series)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := messi.BuildFlat(data.Data, data.Length, &messi.Options{LeafCapacity: cfg.leafCapacity()})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := []struct {
+		label string
+		req   messi.SearchRequest
+	}{
+		{"exact", messi.SearchRequest{Mode: messi.ModeExact}},
+		{"approx", messi.SearchRequest{Mode: messi.ModeApprox}},
+		{fmt.Sprintf("epsilon(%g)", eps), messi.SearchRequest{Mode: messi.ModeEpsilon, Epsilon: eps}},
+		{fmt.Sprintf("deadline(%v)", budget), messi.SearchRequest{Mode: messi.ModeDeadline, Deadline: budget}},
+	}
+	if cfg.Mode != "" {
+		mode, err := messi.ParseMode(cfg.Mode)
+		if err != nil {
+			return nil, err
+		}
+		kept := rows[:0]
+		for _, r := range rows {
+			if r.req.Mode == mode {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	t := &Table{
+		Figure:  "Spectrum",
+		Title:   "Quality/latency spectrum of the unified search API",
+		Columns: []string{"mode", "avg_ms", "exact_frac", "mean_proven_bound"},
+	}
+	for _, row := range rows {
+		var exactN int
+		var boundSum float64
+		boundN := 0
+		start := time.Now()
+		for qi := 0; qi < queries.Count(); qi++ {
+			req := row.req
+			req.Query = queries.At(qi)
+			res, err := ix.Do(context.Background(), req)
+			if err != nil {
+				return nil, fmt.Errorf("%s query %d: %w", row.label, qi, err)
+			}
+			if res.Exact {
+				exactN++
+			}
+			if !math.IsInf(res.EpsilonBound, 1) {
+				boundSum += res.EpsilonBound
+				boundN++
+			}
+		}
+		avg := time.Since(start).Seconds() / float64(queries.Count())
+		bound := "-"
+		if boundN > 0 {
+			bound = fmt.Sprintf("%.4f", boundSum/float64(boundN))
+		}
+		cfg.logf("spectrum %s: avg=%.3fms exact=%d/%d", row.label, avg*1e3, exactN, queries.Count())
+		t.AddRow(row.label, ms(avg), fmt.Sprintf("%.2f", float64(exactN)/float64(queries.Count())), bound)
+	}
+	t.AddNote("exact_frac counts answers proven optimal; mean_proven_bound averages the finite ε bounds actually proven ('-' when none)")
+	return t, nil
+}

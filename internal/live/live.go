@@ -55,7 +55,8 @@ const DefaultScanWorkers = 8
 var ErrClosed = errors.New("live: index closed")
 
 // ErrEmpty is returned by queries against a live index holding no series.
-var ErrEmpty = errors.New("live: index contains no series")
+// It wraps core.ErrEmptyIndex so errors.Is treats the two uniformly.
+var ErrEmpty = fmt.Errorf("live: index contains no series: %w", core.ErrEmptyIndex)
 
 // Options configures a live index.
 type Options struct {
@@ -493,7 +494,7 @@ func (ix *Index) Series(pos int) ([]float32, error) {
 // validateQuery checks the query length against the index shape.
 func (ix *Index) validateQuery(query []float32) error {
 	if len(query) != ix.seriesLen {
-		return fmt.Errorf("live: query length %d, index series length %d", len(query), ix.seriesLen)
+		return fmt.Errorf("%w: query length %d, index series length %d", core.ErrWrongLength, len(query), ix.seriesLen)
 	}
 	return nil
 }
@@ -525,7 +526,7 @@ func (ix *Index) SearchKNN(query []float32, k int) ([]core.Match, error) {
 		return nil, err
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("live: k must be positive, got %d", k)
+		return nil, fmt.Errorf("%w, got %d", core.ErrBadK, k)
 	}
 	v := ix.view.Load()
 	seeds, err := ix.deltaKNN(v, query, k)

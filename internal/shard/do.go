@@ -1,0 +1,118 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ApproxKNN fans the approximate k-NN search out across the shards and
+// merges the per-shard sets — the k-NN form of ApproxSearch.
+func (x *Index) ApproxKNN(query []float32, k int, opt core.SearchOptions) ([]core.Match, error) {
+	if single := x.Single(); single != nil {
+		return single.ApproxKNN(query, k, opt)
+	}
+	S := len(x.shards)
+	perShard := make([][]core.Match, S)
+	err := x.forEachShard(func(s int, sh *core.Index) error {
+		o := opt
+		o.GlobalPos = globalPos(s, S)
+		ms, err := sh.ApproxKNN(query, k, o)
+		perShard[s] = ms
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return MergeKNN(perShard, k), nil
+}
+
+// ApproxDTW fans the approximate DTW search out across the shards and
+// returns the best per-shard answer — the DTW form of ApproxSearch.
+func (x *Index) ApproxDTW(query []float32, window int, opt core.SearchOptions) (core.Match, error) {
+	if single := x.Single(); single != nil {
+		return single.ApproxDTW(query, window, opt)
+	}
+	best := make([]core.Match, len(x.shards))
+	err := x.forEachShard(func(s int, sh *core.Index) error {
+		o := opt
+		o.GlobalPos = globalPos(s, len(x.shards))
+		m, err := sh.ApproxDTW(query, window, o)
+		best[s] = m
+		return err
+	})
+	if err != nil {
+		return core.Match{}, err
+	}
+	out := core.Match{Position: -1}
+	for s, sh := range x.shards {
+		if sh == nil {
+			continue
+		}
+		if out.Position < 0 || best[s].Dist < out.Dist {
+			out = best[s]
+		}
+	}
+	return out, nil
+}
+
+// Do serves one quality-of-service request on this index: the single entry
+// point behind which exact, approximate, ε-bounded, and deadline-bounded
+// answers share the same machinery. The request's QoS state (built here)
+// is threaded through every shard of the fan-out via the options struct,
+// exactly like the shared best-so-far, so ε-pruning witnesses and stop
+// checks act globally. Matches carry squared distances (like Match).
+func (x *Index) Do(req core.Request, opt core.SearchOptions) (core.Result, error) {
+	if err := req.Validate(); err != nil {
+		return core.Result{}, err
+	}
+	k := req.K
+	if k <= 0 {
+		k = 1
+	}
+	if req.DTW && k > 1 {
+		return core.Result{}, fmt.Errorf("shard: k-NN under DTW is not supported (k=%d)", k)
+	}
+	if req.Counters != nil {
+		opt.Counters = req.Counters
+	}
+	qos := req.NewQoS()
+	opt.QoS = qos
+
+	var matches []core.Match
+	var err error
+	if req.Mode == core.ModeApprox {
+		switch {
+		case req.DTW:
+			var m core.Match
+			m, err = x.ApproxDTW(req.Query, req.Window, opt)
+			matches = []core.Match{m}
+		case k > 1:
+			matches, err = x.ApproxKNN(req.Query, k, opt)
+		default:
+			var m core.Match
+			m, err = x.ApproxSearch(req.Query, opt)
+			matches = []core.Match{m}
+		}
+	} else {
+		// Exact, ε-bounded, and deadline-bounded answers all run the exact
+		// algorithm; the QoS state (nil for plain exact) adjusts pruning
+		// and stopping.
+		switch {
+		case req.DTW:
+			var m core.Match
+			m, err = x.SearchDTW(req.Query, req.Window, opt)
+			matches = []core.Match{m}
+		case k > 1:
+			matches, err = x.SearchKNN(req.Query, k, opt)
+		default:
+			var m core.Match
+			m, err = x.Search(req.Query, opt)
+			matches = []core.Match{m}
+		}
+	}
+	if err != nil {
+		return core.Result{}, err
+	}
+	return qos.Finish(matches, req.Mode), nil
+}

@@ -1,11 +1,11 @@
 package messi
 
 import (
-	"math"
+	"context"
+	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/dtw"
 	"repro/internal/engine"
 	"repro/internal/live"
 	"repro/internal/series"
@@ -38,10 +38,11 @@ func (o *LiveOptions) toLive(coreOpts core.Options, shards int) live.Options {
 		lo.RebuildThreshold = o.RebuildThreshold
 		lo.ScanWorkers = o.ScanWorkers
 		lo.Engine = engine.Options{
-			PoolWorkers:   o.Engine.PoolWorkers,
-			QueryWorkers:  o.Engine.QueryWorkers,
-			Queues:        o.Engine.Queues,
-			MaxConcurrent: o.Engine.MaxConcurrent,
+			PoolWorkers:    o.Engine.PoolWorkers,
+			QueryWorkers:   o.Engine.QueryWorkers,
+			Queues:         o.Engine.Queues,
+			MaxConcurrent:  o.Engine.MaxConcurrent,
+			DegradeEpsilon: o.Engine.DegradeEpsilon,
 		}
 	}
 	return lo
@@ -150,42 +151,43 @@ func (ix *LiveIndex) AppendBatch(rows [][]float32) (int, error) {
 
 // Search answers an exact 1-NN query under Euclidean distance over all
 // appended and indexed series.
+//
+// Deprecated: use Do with a SearchRequest (the zero Mode is exact 1-NN).
 func (ix *LiveIndex) Search(query []float32) (Match, error) {
-	m, err := ix.inner.Search(ix.prepareQuery(query))
+	res, err := ix.Do(context.Background(), SearchRequest{Query: query})
 	if err != nil {
 		return Match{}, err
 	}
-	return Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}, nil
+	return res.Best(), nil
 }
 
 // SearchKNN answers an exact k-NN query, returning up to k matches in
 // ascending distance order.
+//
+// Deprecated: use Do with K set.
 func (ix *LiveIndex) SearchKNN(query []float32, k int) ([]Match, error) {
-	ms, err := ix.inner.SearchKNN(ix.prepareQuery(query), k)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w, got %d", ErrBadK, k)
+	}
+	res, err := ix.Do(context.Background(), SearchRequest{Query: query, K: k})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Match, len(ms))
-	for i, m := range ms {
-		out[i] = Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}
-	}
-	return out, nil
+	return res.Matches, nil
 }
 
 // SearchDTW answers an exact 1-NN query under constrained DTW with a
 // Sakoe-Chiba warping window given as a fraction of the series length
 // (0.1 = the 10% window the paper uses). Fractions outside [0,1] are an
 // error, not a silent clamp.
+//
+// Deprecated: use Do with DTW: true and Window set.
 func (ix *LiveIndex) SearchDTW(query []float32, window float64) (Match, error) {
-	if err := checkWindowFraction(window); err != nil {
-		return Match{}, err
-	}
-	r := dtw.WindowSize(ix.inner.SeriesLen(), window)
-	m, err := ix.inner.SearchDTW(ix.prepareQuery(query), r)
+	res, err := ix.Do(context.Background(), SearchRequest{Query: query, DTW: true, Window: window})
 	if err != nil {
 		return Match{}, err
 	}
-	return Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}, nil
+	return res.Best(), nil
 }
 
 // Flush synchronously merges all buffered series into the immutable

@@ -24,13 +24,13 @@
 package messi
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/dtw"
 	"repro/internal/series"
 	"repro/internal/shard"
 	"repro/internal/tree"
@@ -180,54 +180,57 @@ func (ix *Index) prepareQuery(query []float32) []float32 {
 }
 
 // Search answers an exact 1-NN query under Euclidean distance.
+//
+// Deprecated: use Do with a SearchRequest (the zero Mode is exact 1-NN).
 func (ix *Index) Search(query []float32) (Match, error) {
-	m, err := ix.inner.Search(ix.prepareQuery(query), core.SearchOptions{})
+	res, err := ix.Do(context.Background(), SearchRequest{Query: query})
 	if err != nil {
 		return Match{}, err
 	}
-	return Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}, nil
+	return res.Best(), nil
 }
 
 // ApproxSearch answers an approximate 1-NN query: the initial step of the
 // exact algorithm only (the leaf matching the query's iSAX summary). It is
 // much cheaper than Search and its answer is typically very close to
 // exact; its distance is always an upper bound on the exact distance.
+//
+// Deprecated: use Do with Mode: ModeApprox.
 func (ix *Index) ApproxSearch(query []float32) (Match, error) {
-	m, err := ix.inner.ApproxSearch(ix.prepareQuery(query), core.SearchOptions{})
+	res, err := ix.Do(context.Background(), SearchRequest{Query: query, Mode: ModeApprox})
 	if err != nil {
 		return Match{}, err
 	}
-	return Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}, nil
+	return res.Best(), nil
 }
 
 // SearchKNN answers an exact k-NN query under Euclidean distance,
 // returning up to k matches in ascending distance order.
+//
+// Deprecated: use Do with K set.
 func (ix *Index) SearchKNN(query []float32, k int) ([]Match, error) {
-	ms, err := ix.inner.SearchKNN(ix.prepareQuery(query), k, core.SearchOptions{})
+	if k <= 0 {
+		return nil, fmt.Errorf("%w, got %d", ErrBadK, k)
+	}
+	res, err := ix.Do(context.Background(), SearchRequest{Query: query, K: k})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Match, len(ms))
-	for i, m := range ms {
-		out[i] = Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}
-	}
-	return out, nil
+	return res.Matches, nil
 }
 
 // SearchDTW answers an exact 1-NN query under constrained DTW with a
 // Sakoe-Chiba warping window given as a fraction of the series length
 // (0.1 = the 10% window the paper uses). Fractions outside [0,1] are an
 // error, not a silent clamp.
+//
+// Deprecated: use Do with DTW: true and Window set.
 func (ix *Index) SearchDTW(query []float32, window float64) (Match, error) {
-	if err := checkWindowFraction(window); err != nil {
-		return Match{}, err
-	}
-	r := dtw.WindowSize(ix.inner.SeriesLen(), window)
-	m, err := ix.inner.SearchDTW(ix.prepareQuery(query), r, core.SearchOptions{})
+	res, err := ix.Do(context.Background(), SearchRequest{Query: query, DTW: true, Window: window})
 	if err != nil {
 		return Match{}, err
 	}
-	return Match{Position: m.Position, Distance: math.Sqrt(m.Dist)}, nil
+	return res.Best(), nil
 }
 
 // checkWindowFraction validates a DTW warping-window fraction. The
@@ -236,15 +239,19 @@ func (ix *Index) SearchDTW(query []float32, window float64) (Match, error) {
 // fractions instead, since they are always caller bugs.
 func checkWindowFraction(window float64) error {
 	if math.IsNaN(window) || window < 0 || window > 1 {
-		return fmt.Errorf("messi: DTW window fraction %v out of range [0,1]", window)
+		return fmt.Errorf("%w: fraction %v outside [0,1]", ErrBadWindow, window)
 	}
 	return nil
 }
 
 // Series returns (a view of) the indexed series at the given position.
-// Callers must not modify it.
-func (ix *Index) Series(position int) []float32 {
-	return ix.inner.At(position)
+// Callers must not modify it. An out-of-range position is reported as an
+// error, matching LiveIndex.Series (earlier versions panicked).
+func (ix *Index) Series(position int) ([]float32, error) {
+	if position < 0 || position >= ix.inner.Len() {
+		return nil, fmt.Errorf("messi: position %d out of range [0,%d)", position, ix.inner.Len())
+	}
+	return ix.inner.At(position), nil
 }
 
 // Len reports the number of indexed series.

@@ -6,6 +6,16 @@ import (
 	"testing"
 )
 
+// mustSeries fetches an indexed series, failing the test on range errors.
+func mustSeries(t testing.TB, ix *Index, pos int) []float32 {
+	t.Helper()
+	s, err := ix.Series(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestBuildAndSearch(t *testing.T) {
 	data := RandomWalk(2000, 64, 1)
 	ix, err := BuildFlat(data, 64, &Options{LeafCapacity: 64})
@@ -19,7 +29,7 @@ func TestBuildAndSearch(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		pos := i * 97 % 2000
 		q := make([]float32, 64)
-		copy(q, ix.Series(pos))
+		copy(q, mustSeries(t, ix, pos))
 		m, err := ix.Search(q)
 		if err != nil {
 			t.Fatal(err)
@@ -49,7 +59,7 @@ func TestBuildFromRows(t *testing.T) {
 	}
 	// Build must copy: mutating the caller's rows does not affect results.
 	rows[2][0] = 1000
-	m2, err := ix.Search(ix.Series(2))
+	m2, err := ix.Search(mustSeries(t, ix, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +91,7 @@ func TestCardinalityMapping(t *testing.T) {
 			t.Fatalf("cardinality %d: %v", card, err)
 		}
 		q := make([]float32, 64)
-		copy(q, ix.Series(7))
+		copy(q, mustSeries(t, ix, 7))
 		m, err := ix.Search(q)
 		if err != nil {
 			t.Fatal(err)
@@ -105,7 +115,7 @@ func TestSearchReturnsTrueDistance(t *testing.T) {
 	}
 	// Recompute the true distance directly.
 	var sq float64
-	best := ix.Series(m.Position)
+	best := mustSeries(t, ix, m.Position)
 	for i := range q {
 		d := float64(q[i] - best[i])
 		sq += d * d
@@ -221,7 +231,7 @@ func TestFileRoundTripThroughAPI(t *testing.T) {
 		t.Errorf("Len = %d", ix.Len())
 	}
 	q := make([]float32, 128)
-	copy(q, ix.Series(42))
+	copy(q, mustSeries(t, ix, 42))
 	m, err := ix.Search(q)
 	if err != nil {
 		t.Fatal(err)
@@ -337,7 +347,13 @@ func TestSeriesAccessor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := ix.Series(1); got[0] != 5 || got[3] != 8 {
+	if got := mustSeries(t, ix, 1); got[0] != 5 || got[3] != 8 {
 		t.Errorf("Series(1) = %v", got)
+	}
+	// Out-of-range positions are reported, not panics or silent nils.
+	for _, pos := range []int{-1, len(rows), len(rows) + 10} {
+		if _, err := ix.Series(pos); err == nil {
+			t.Errorf("Series(%d) did not error", pos)
+		}
 	}
 }

@@ -1,0 +1,283 @@
+package messi
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dtw"
+	"repro/internal/series"
+	"repro/internal/stats"
+)
+
+// This file is the unified query API: one SearchRequest served by one Do
+// method on Index, LiveIndex, and Engine, covering the whole quality
+// spectrum — exact, approximate, ε-bounded, and deadline-bounded answers —
+// under every distance (Euclidean and constrained DTW) and answer shape
+// (1-NN and k-NN). The older per-method entry points (Search, SearchKNN,
+// SearchDTW, ApproxSearch, Query…) remain as thin deprecated shims.
+//
+// The unified method is named Do (as in http.Client.Do) because Go has no
+// overloading and the name Search is already taken by the deprecated
+// 1-NN methods this API supersedes.
+
+// Typed sentinel errors shared by every query layer, matchable with
+// errors.Is across Index, LiveIndex, Engine, and the HTTP handlers.
+var (
+	// ErrBadK reports a negative K in a request (or non-positive k in the
+	// deprecated k-NN methods).
+	ErrBadK = core.ErrBadK
+	// ErrBadWindow reports a DTW window fraction outside [0,1].
+	ErrBadWindow = core.ErrBadWindow
+	// ErrWrongLength reports a query whose length does not match the
+	// indexed series length.
+	ErrWrongLength = core.ErrWrongLength
+	// ErrBadEpsilon reports a negative or non-finite Epsilon.
+	ErrBadEpsilon = core.ErrBadEpsilon
+)
+
+// Mode selects the quality-of-service level of a query: how much answer
+// quality the caller is willing to trade for latency.
+type Mode int
+
+const (
+	// ModeExact (the zero value) runs the search to completion; the
+	// answer is provably the nearest neighbor (or exact top-k).
+	ModeExact = Mode(core.ModeExact)
+	// ModeApprox runs only the BSF-seeding step of the exact algorithm —
+	// the leaf matching the query's iSAX summary. Much cheaper; the
+	// distance is always an upper bound on the exact one, and on real
+	// data frequently equals it.
+	ModeApprox = Mode(core.ModeApprox)
+	// ModeEpsilon runs the exact algorithm with pruning bounds inflated
+	// by (1+ε)², terminating as soon as the answer is provably within
+	// (1+ε) of optimal. Epsilon = 0 is identical to ModeExact.
+	ModeEpsilon = Mode(core.ModeEpsilon)
+	// ModeDeadline runs the exact algorithm but stops at leaf-scan
+	// granularity when the request's Deadline (or the context's) passes,
+	// returning the best answer found so far flagged Exact=false. With
+	// no deadline at all it is identical to ModeExact.
+	ModeDeadline = Mode(core.ModeDeadline)
+)
+
+// String returns the wire name of the mode ("exact", "approx", "epsilon",
+// "deadline").
+func (m Mode) String() string { return core.Mode(m).String() }
+
+// ParseMode parses a wire-format mode name. The empty string is ModeExact;
+// "approximate" is accepted for ModeApprox.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "exact":
+		return ModeExact, nil
+	case "approx", "approximate":
+		return ModeApprox, nil
+	case "epsilon":
+		return ModeEpsilon, nil
+	case "deadline":
+		return ModeDeadline, nil
+	default:
+		return 0, fmt.Errorf("messi: unknown search mode %q", s)
+	}
+}
+
+// SearchRequest describes one similarity query for Do. The zero value of
+// every optional field means its default: K=0 is 1-NN, DTW=false is
+// Euclidean distance, Mode's zero value is ModeExact.
+type SearchRequest struct {
+	// Query is the query series; its length must match the index's.
+	Query []float32
+	// K is the number of nearest neighbors (0 and 1 both mean 1-NN).
+	// K > 1 with DTW is not supported.
+	K int
+	// DTW selects constrained Dynamic Time Warping with a Sakoe-Chiba
+	// band of Window (a fraction of the series length in [0,1]; 0.1 is
+	// the paper's 10% window). False means Euclidean distance.
+	DTW    bool
+	Window float64
+	// Mode is the quality-of-service level. Epsilon applies in
+	// ModeEpsilon; Deadline applies in ModeDeadline.
+	Mode    Mode
+	Epsilon float64
+	// Deadline is the query's latency budget, measured from the Do call.
+	// Zero means no budget (the context's deadline, if any, still
+	// applies in ModeDeadline).
+	Deadline time.Duration
+	// Counters, when true, collects per-query operation counts into
+	// Result.Counters (a small amount of atomic-counter overhead).
+	Counters bool
+}
+
+// QueryCounters are per-query operation counts (see SearchRequest.Counters).
+type QueryCounters struct {
+	NodesVisited   int64 // index tree nodes considered
+	LowerBounds    int64 // summary lower-bound computations
+	RealDistances  int64 // full distance computations
+	LeavesInserted int64 // leaves pushed into priority queues
+	LeavesPruned   int64 // queue abandonments on a popped minimum
+	BSFUpdates     int64 // improvements to the pruning bound
+}
+
+// Result is one Do answer.
+type Result struct {
+	// Matches holds up to K matches in ascending distance order, with
+	// true (non-squared) distances like every Match in this package.
+	Matches []Match
+	// Exact reports whether the answer is provably exact. Approximate
+	// answers and truncated deadline answers report false; ε-bounded
+	// answers report true when the search happened to prove exactness
+	// (common on real data) and false otherwise.
+	Exact bool
+	// EpsilonBound is the relative error bound actually proven: the
+	// reported distance is within (1+EpsilonBound)× the optimal one. It
+	// is 0 when Exact, at most the requested Epsilon for ModeEpsilon
+	// answers, and +Inf when nothing was proven (ModeApprox, or a
+	// deadline/cancellation truncation).
+	EpsilonBound float64
+	// Counters holds per-query operation counts when the request asked
+	// for them, nil otherwise.
+	Counters *QueryCounters
+}
+
+// Best returns the first (nearest) match, or a zero Match with
+// Position -1 when the result is empty.
+func (r Result) Best() Match {
+	if len(r.Matches) == 0 {
+		return Match{Position: -1}
+	}
+	return r.Matches[0]
+}
+
+// buildRequest is the one shared request-normalization path under every
+// frontend's Do: it validates the request, applies z-normalization when
+// the index uses it, converts the window fraction to points, and resolves
+// the effective absolute deadline from the request budget and the context.
+func buildRequest(ctx context.Context, req SearchRequest, seriesLen int, normalize bool) (core.Request, *stats.Counters, error) {
+	if req.K < 0 {
+		return core.Request{}, nil, fmt.Errorf("%w, got %d", ErrBadK, req.K)
+	}
+	if req.DTW && req.K > 1 {
+		return core.Request{}, nil, fmt.Errorf("messi: k-NN under DTW is not supported (k=%d): %w", req.K, ErrBadK)
+	}
+	window := 0
+	if req.DTW {
+		if err := checkWindowFraction(req.Window); err != nil {
+			return core.Request{}, nil, err
+		}
+		window = dtw.WindowSize(seriesLen, req.Window)
+	}
+	query := req.Query
+	if normalize {
+		query = series.ZNormalized(query)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var deadline time.Time
+	if req.Mode == ModeDeadline {
+		if req.Deadline > 0 {
+			deadline = time.Now().Add(req.Deadline)
+		}
+		if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+			deadline = d
+		}
+	}
+	var ctrs *stats.Counters
+	if req.Counters {
+		ctrs = &stats.Counters{}
+	}
+	creq := core.Request{
+		Query:    query,
+		K:        req.K,
+		DTW:      req.DTW,
+		Window:   window,
+		Mode:     core.Mode(req.Mode),
+		Epsilon:  req.Epsilon,
+		Deadline: deadline,
+		Cancel:   ctx.Done(),
+		Counters: ctrs,
+	}
+	if err := creq.Validate(); err != nil {
+		return core.Request{}, nil, err
+	}
+	return creq, ctrs, nil
+}
+
+// publicResult converts a core result (squared distances) into the public
+// shape (true distances, counters snapshot).
+func publicResult(res core.Result, ctrs *stats.Counters) Result {
+	out := Result{
+		Matches:      make([]Match, 0, len(res.Matches)),
+		Exact:        res.Exact,
+		EpsilonBound: res.EpsilonBound,
+	}
+	for _, m := range res.Matches {
+		if m.Position < 0 {
+			continue
+		}
+		out.Matches = append(out.Matches, Match{Position: m.Position, Distance: math.Sqrt(m.Dist)})
+	}
+	if ctrs != nil {
+		s := ctrs.Snapshot()
+		out.Counters = &QueryCounters{
+			NodesVisited:   s.NodesVisited,
+			LowerBounds:    s.LowerBoundCalcs,
+			RealDistances:  s.RealDistCalcs,
+			LeavesInserted: s.LeavesInserted,
+			LeavesPruned:   s.LeavesPruned,
+			BSFUpdates:     s.BSFUpdates,
+		}
+	}
+	return out
+}
+
+// Do serves one query on the index across the whole quality spectrum —
+// the unified entry point the deprecated Search/ApproxSearch/SearchKNN/
+// SearchDTW methods delegate to. A context cancellation stops the search
+// at leaf-scan granularity and returns the best answer so far flagged
+// Exact=false.
+func (ix *Index) Do(ctx context.Context, req SearchRequest) (Result, error) {
+	creq, ctrs, err := buildRequest(ctx, req, ix.inner.SeriesLen(), ix.normalize)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := ix.inner.Do(creq, core.SearchOptions{})
+	if err != nil {
+		return Result{}, err
+	}
+	return publicResult(res, ctrs), nil
+}
+
+// Do serves one query over the union of the immutable generation and the
+// delta buffer (see Index.Do). The delta is always answered exactly; the
+// quality mode governs the tree search it seeds.
+func (ix *LiveIndex) Do(ctx context.Context, req SearchRequest) (Result, error) {
+	creq, ctrs, err := buildRequest(ctx, req, ix.inner.SeriesLen(), ix.normalize)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := ix.inner.Do(creq)
+	if err != nil {
+		return Result{}, err
+	}
+	return publicResult(res, ctrs), nil
+}
+
+// Do serves one query through the persistent engine: the pool answers it
+// under the admission gate, and with EngineOptions.DegradeEpsilon set an
+// exact request arriving under overload is degraded to an ε-bounded one
+// instead of paying queueing latency (the Result reports what was actually
+// proven).
+func (e *Engine) Do(ctx context.Context, req SearchRequest) (Result, error) {
+	creq, ctrs, err := buildRequest(ctx, req, e.ix.SeriesLen(), e.ix.normalize)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := e.inner.Do(creq)
+	if err != nil {
+		return Result{}, err
+	}
+	return publicResult(res, ctrs), nil
+}

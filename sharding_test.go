@@ -109,7 +109,7 @@ func TestShardedSnapshotDirRoundTrip(t *testing.T) {
 		t.Fatalf("loaded %d shards × %d series", loaded.Shards(), loaded.Len())
 	}
 	q := make([]float32, 64)
-	copy(q, sharded.Series(421))
+	copy(q, mustSeries(t, sharded, 421))
 	want, err := sharded.Search(q)
 	if err != nil {
 		t.Fatal(err)
@@ -245,7 +245,7 @@ func TestAPIBoundaryEdgeCases(t *testing.T) {
 		// Partial error: the slice stays full-length, good entries are
 		// answered, and the error names the failing query.
 		good := make([]float32, 64)
-		copy(good, ix.Series(3))
+		copy(good, mustSeries(t, ix, 3))
 		ms, err = eng.QueryBatch([][]float32{good, make([]float32, 5), good})
 		if err == nil {
 			t.Fatal("batch with a wrong-length query did not error")
