@@ -21,6 +21,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dtw"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/paris"
 	"repro/internal/scan"
 	"repro/internal/serial"
@@ -612,6 +613,47 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkMetricsOverhead — the cost of the observability layer on the
+// serving hot path: sustained engine throughput with a metrics registry
+// attached versus without one (the library default, a nil registry that
+// reduces every instrument to a nil check). The off case shares the
+// bench-compare regression gate with BenchmarkEngineThroughput; the on
+// case bounds what production servers pay for /metrics.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	data := benchCollection(b, dataset.RandomWalk, benchSeries)
+	queries := benchQueriesFor(b, dataset.RandomWalk)
+	ix := buildMESSI(b, data, messiOpts())
+
+	run := func(b *testing.B, reg *metrics.Registry) {
+		b.Helper()
+		b.ReportAllocs()
+		eng := engine.New(ix, engine.Options{Metrics: reg})
+		defer eng.Close()
+		const clients = 8
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= b.N {
+						return
+					}
+					if _, err := eng.Do(core.Request{Query: queries.At(i % queries.Count())}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.Run("metrics=off", func(b *testing.B) { run(b, nil) })
+	b.Run("metrics=on", func(b *testing.B) { run(b, metrics.NewRegistry()) })
 }
 
 // BenchmarkSnapshotLoad — restart cost: loading a snapshot versus

@@ -13,8 +13,11 @@
 //
 // API (JSON over HTTP):
 //
-//	GET  /healthz         → 200 "ok" once serving
-//	GET  /v1/stats        → index shape, generation and delta occupancy
+//	GET  /healthz         → 200 "ok" once the index is built/loaded, 503 "loading" before
+//	GET  /readyz          → alias of /healthz for readiness probes
+//	GET  /metrics         → Prometheus text-format metrics (see below)
+//	GET  /v1/stats        → index shape, generation and delta occupancy, uptime,
+//	                        queries served, admission-gate configuration
 //	POST /v1/search       → {"query":[...], "k":5, "dtw":false, "window":0, "mode":"exact", "epsilon":0, "deadline_ms":0}
 //	                      → {"matches":[{"position":..,"distance":..}], "exact":true, "epsilon_bound":...}
 //	POST /v1/knn          → same request with k ≥ 1 required
@@ -32,6 +35,19 @@
 // "epsilon_bound". With -degrade-epsilon the admission gate serves
 // exact-mode requests arriving under overload as ε-bounded ones instead
 // of queueing them.
+//
+// Observability: GET /metrics serves the process's metrics registry in
+// Prometheus text format — admission-gate pressure and outcomes, per-mode
+// query latency histograms, cumulative pruning counters, per-route HTTP
+// latency, live-index rebuild and snapshot I/O activity, plus basic Go
+// runtime stats. Query endpoints additionally accept "counters": true
+// (per-query operation counts in the response) and "trace": true (the
+// full per-phase wall-time breakdown of the paper's Figure 13, plus
+// counters and wall-clock latency, inline in the response). With
+// -slow-query the server logs the full trace of any query slower than
+// the threshold. Logs are structured (key=value via log/slog) and every
+// HTTP response carries an X-Request-Id header that slow-query log lines
+// reference.
 //
 // With -live the server runs a messi.LiveIndex: POST /v1/series appends
 // new series that are searchable immediately, and a background rebuild
@@ -57,6 +73,10 @@
 // snapshot → restart cycle needs no other coordination. In live mode the
 // snapshot is also rewritten automatically on flush and shutdown.
 //
+// The listener opens before the index is built or loaded, so health
+// probes get an honest 503 during a long boot instead of a connection
+// refused; every API endpoint returns 503 until the index is ready.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections, drains in-flight requests, then closes the engine pool.
 package main
@@ -68,19 +88,21 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	messi "repro"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -109,6 +131,7 @@ func run(args []string) error {
 		liveMode  = fs.Bool("live", false, "serve a mutable live index accepting appends on POST /v1/series")
 		shards    = fs.Int("shards", 0, "partition the index across this many shards (default 1)")
 		threshold = fs.Int("rebuild-threshold", 0, "live mode: delta series triggering a background rebuild (default 100000)")
+		slowQuery = fs.Duration("slow-query", 0, "log the full execution trace of queries slower than this (e.g. 250ms; 0 disables)")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); keep it loopback-only, the listener is unauthenticated")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -127,6 +150,12 @@ func run(args []string) error {
 		defer stopPprof()
 	}
 
+	// One registry for the whole process: the engine, the live index, the
+	// snapshot layer, and the HTTP layer all record into it, and
+	// GET /metrics serves it.
+	reg := messi.NewMetrics()
+	messi.EnableSnapshotMetrics(reg)
+
 	opts := &messi.Options{LeafCapacity: *leafCap, Normalize: *normalize, Shards: *shards}
 	engOpts := messi.EngineOptions{
 		PoolWorkers:    *pool,
@@ -134,8 +163,36 @@ func run(args []string) error {
 		Queues:         *queues,
 		MaxConcurrent:  *admit,
 		DegradeEpsilon: *degrade,
+		Metrics:        reg,
 	}
-	var handler http.Handler
+
+	// The listener opens before the index boots so health probes see an
+	// honest 503 ("loading") instead of a connection refused during a
+	// long build; the backend is installed once boot succeeds.
+	s := newServer(reg, *snapPath, *slowQuery)
+	srv := &http.Server{
+		Handler: s,
+		// Bound slow clients: a connection may not hold a goroutine and
+		// fd forever by trickling bytes (batch bodies can be large, so
+		// the full-request ReadTimeout stays generous).
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	slog.Info("listening", "addr", ln.Addr().String())
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
 	// In live mode with a snapshot path, a graceful shutdown must not
 	// lose series still sitting in the delta: Close alone snapshots only
 	// the already-merged generation, so drain the delta first.
@@ -145,66 +202,50 @@ func run(args []string) error {
 			RebuildThreshold: *threshold,
 			SnapshotPath:     *snapPath,
 			Engine:           engOpts,
+			Metrics:          reg,
 		})
 		if err != nil {
+			srv.Close()
 			return err
 		}
 		defer lix.Close()
 		warnShardMismatch(*shards, lix.Stats().Shards)
-		log.Printf("%s: %d series × %d points (rebuild threshold %d)",
-			source, lix.Len(), lix.SeriesLen(), *threshold)
-		handler = newHandler(&liveBackend{lix: lix}, *snapPath)
+		slog.Info("index ready", "source", source, "series", lix.Len(),
+			"series_len", lix.SeriesLen(), "rebuild_threshold", *threshold)
+		s.install(&liveBackend{lix: lix})
 		if *snapPath != "" {
 			persistOnShutdown = func() {
 				if err := lix.Save(*snapPath); err != nil {
-					log.Printf("shutdown snapshot: %v", err)
+					slog.Error("shutdown snapshot failed", "path", *snapPath, "err", err)
 					return
 				}
-				log.Printf("snapshot of %d series saved to %s", lix.Len(), *snapPath)
+				slog.Info("shutdown snapshot saved", "path", *snapPath,
+					"series", lix.Len(), "gen", lix.Stats().Generation)
 			}
 		}
 	} else {
 		ix, source, err := bootStatic(*dataPath, *snapPath, opts)
 		if err != nil {
+			srv.Close()
 			return err
 		}
 		warnShardMismatch(*shards, ix.Shards())
-		log.Printf("%s: %d series × %d points", source, ix.Len(), ix.SeriesLen())
+		slog.Info("index ready", "source", source, "series", ix.Len(), "series_len", ix.SeriesLen())
 
 		eng := ix.NewEngine(&engOpts)
 		defer eng.Close()
-		handler = newHandler(&engineBackend{eng: eng}, *snapPath)
+		s.install(&engineBackend{eng: eng})
 	}
 
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: handler,
-		// Bound slow clients: a connection may not hold a goroutine and
-		// fd forever by trickling bytes (batch bodies can be large, so
-		// the full-request ReadTimeout stays generous).
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       2 * time.Minute,
-		IdleTimeout:       2 * time.Minute,
-	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	errc := make(chan error, 1)
-	go func() {
-		log.Printf("serving on %s", *addr)
-		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-			errc <- err
-			return
-		}
-		errc <- nil
-	}()
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	log.Print("shutting down")
+	slog.Info("shutting down", "addr", ln.Addr().String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -220,7 +261,8 @@ func run(args []string) error {
 // so the flag is silently superseded and the operator should know.
 func warnShardMismatch(requested, actual int) {
 	if requested > 0 && requested != actual {
-		log.Printf("warning: -shards %d ignored: the loaded snapshot is partitioned into %d shard(s); re-shard by rebuilding from -data", requested, actual)
+		slog.Warn("-shards ignored: the loaded snapshot keeps its own partition; re-shard by rebuilding from -data",
+			"requested", requested, "actual", actual)
 	}
 }
 
@@ -244,19 +286,19 @@ func startPprof(addr string) (string, func(), error) {
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go func() {
 		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("pprof server: %v", err)
+			slog.Error("pprof server failed", "err", err)
 		}
 	}()
-	log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+	slog.Info("pprof listening", "addr", ln.Addr().String())
 	return ln.Addr().String(), func() { srv.Close() }, nil
 }
 
 // boot resolves what the server serves: the snapshot when one is
 // available, the dataset file otherwise. It returns a human-readable
 // source description for the boot log. Load failures name the failing
-// path — a dataset error is additionally logged before it aborts startup
-// (the listener never opens), so a restart loop is diagnosable from the
-// server's own output, not just the exit status.
+// path — a dataset error is additionally logged before it aborts startup,
+// so a restart loop is diagnosable from the server's own output, not
+// just the exit status.
 func boot[T any](dataPath, snapPath, loadedAs, builtAs string,
 	loadSnap func(string) (T, error), build func(string) (T, error)) (T, string, error) {
 
@@ -270,15 +312,15 @@ func boot[T any](dataPath, snapPath, loadedAs, builtAs string,
 			}
 			return ix, fmt.Sprintf("%s %s in %v", loadedAs, snapPath, time.Since(start).Round(time.Millisecond)), nil
 		}
+		slog.Info("snapshot not found, building from dataset", "path", snapPath, "data", dataPath)
 		if dataPath == "" {
 			return zero, "", fmt.Errorf("snapshot %s does not exist and no -data to build from", snapPath)
 		}
-		log.Printf("snapshot %s not found, building from %s", snapPath, dataPath)
 	}
 	ix, err := build(dataPath)
 	if err != nil {
 		err = fmt.Errorf("load dataset %s: %w", dataPath, err)
-		log.Print(err)
+		slog.Error("boot failed", "path", dataPath, "err", err)
 		return zero, "", err
 	}
 	return ix, fmt.Sprintf("%s %s in %v", builtAs, dataPath, time.Since(start).Round(time.Millisecond)), nil
@@ -314,6 +356,11 @@ type searchRequest struct {
 	Mode       string    `json:"mode,omitempty"`
 	Epsilon    float64   `json:"epsilon,omitempty"`
 	DeadlineMS int64     `json:"deadline_ms,omitempty"`
+	// Counters asks for per-query operation counts in the response;
+	// Trace additionally asks for the per-phase wall-time breakdown and
+	// the query's latency (a superset of Counters).
+	Counters bool `json:"counters,omitempty"`
+	Trace    bool `json:"trace,omitempty"`
 }
 
 // The legacy endpoints accept the same superset body.
@@ -336,7 +383,57 @@ func (sr searchRequest) toSearchRequest() (messi.SearchRequest, error) {
 		Mode:     mode,
 		Epsilon:  sr.Epsilon,
 		Deadline: time.Duration(sr.DeadlineMS) * time.Millisecond,
+		Counters: sr.Counters,
+		Trace:    sr.Trace,
 	}, nil
+}
+
+// jsonCounters is the wire form of per-query operation counts.
+type jsonCounters struct {
+	NodesVisited   int64 `json:"nodes_visited"`
+	LowerBounds    int64 `json:"lower_bounds"`
+	RealDistances  int64 `json:"real_distances"`
+	LeavesInserted int64 `json:"leaves_inserted"`
+	LeavesPruned   int64 `json:"leaves_pruned"`
+	BSFUpdates     int64 `json:"bsf_updates"`
+}
+
+func toJSONCounters(c messi.QueryCounters) jsonCounters {
+	return jsonCounters{
+		NodesVisited:   c.NodesVisited,
+		LowerBounds:    c.LowerBounds,
+		RealDistances:  c.RealDistances,
+		LeavesInserted: c.LeavesInserted,
+		LeavesPruned:   c.LeavesPruned,
+		BSFUpdates:     c.BSFUpdates,
+	}
+}
+
+// jsonTracePhase is one Figure 13 phase timing in a trace response.
+type jsonTracePhase struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// jsonTrace is the wire form of a per-query execution trace. Phase times
+// are worker-seconds (phases run on many workers concurrently), so their
+// sum can exceed elapsed_seconds.
+type jsonTrace struct {
+	ElapsedSeconds float64          `json:"elapsed_seconds"`
+	Phases         []jsonTracePhase `json:"phases"`
+	Counters       jsonCounters     `json:"counters"`
+}
+
+func toJSONTrace(tr *messi.Trace) *jsonTrace {
+	out := &jsonTrace{
+		ElapsedSeconds: tr.Elapsed.Seconds(),
+		Phases:         make([]jsonTracePhase, len(tr.Phases)),
+		Counters:       toJSONCounters(tr.Counters),
+	}
+	for i, p := range tr.Phases {
+		out.Phases[i] = jsonTracePhase{Name: p.Name, Seconds: p.Duration.Seconds()}
+	}
+	return out
 }
 
 type queryResponse struct {
@@ -345,8 +442,10 @@ type queryResponse struct {
 	// the proven relative error bound for inexact answers that have one
 	// (omitted when exact, or when nothing was proven — mode=approx and
 	// deadline truncations).
-	Exact        bool     `json:"exact"`
-	EpsilonBound *float64 `json:"epsilon_bound,omitempty"`
+	Exact        bool          `json:"exact"`
+	EpsilonBound *float64      `json:"epsilon_bound,omitempty"`
+	Counters     *jsonCounters `json:"counters,omitempty"`
+	Trace        *jsonTrace    `json:"trace,omitempty"`
 }
 
 // toQueryResponse converts a library result to the wire form. +Inf (no
@@ -356,6 +455,13 @@ func toQueryResponse(res messi.Result) queryResponse {
 	if !res.Exact && !math.IsInf(res.EpsilonBound, 1) {
 		eb := res.EpsilonBound
 		resp.EpsilonBound = &eb
+	}
+	if res.Counters != nil {
+		c := toJSONCounters(*res.Counters)
+		resp.Counters = &c
+	}
+	if res.Trace != nil {
+		resp.Trace = toJSONTrace(res.Trace)
 	}
 	return resp
 }
@@ -387,6 +493,16 @@ type snapshotResponse struct {
 	Bytes  int64  `json:"bytes"`
 }
 
+// admissionConfig is the engine's effective admission-gate configuration,
+// reported by /v1/stats so operators can see the limits in force.
+type admissionConfig struct {
+	PoolWorkers    int     `json:"pool_workers"`
+	QueryWorkers   int     `json:"query_workers"`
+	Queues         int     `json:"queues"`
+	MaxConcurrent  int     `json:"max_concurrent"`
+	DegradeEpsilon float64 `json:"degrade_epsilon,omitempty"`
+}
+
 type statsResponse struct {
 	Series        int          `json:"series"`
 	SeriesLen     int          `json:"series_len"`
@@ -402,6 +518,10 @@ type statsResponse struct {
 	BaseSeries    int          `json:"base_series,omitempty"`
 	DeltaSeries   int          `json:"delta_series,omitempty"`
 	Rebuilding    bool         `json:"rebuilding,omitempty"`
+	// Server-level fields, filled by the HTTP layer (not the backend).
+	UptimeSeconds float64          `json:"uptime_seconds,omitempty"`
+	QueriesServed int64            `json:"queries_served,omitempty"`
+	Admission     *admissionConfig `json:"admission,omitempty"`
 }
 
 // shardStats is one shard's slice of the stats (tree counts are per
@@ -437,6 +557,8 @@ type backend interface {
 	do(ctx context.Context, req messi.SearchRequest) (messi.Result, error)
 	queryBatch(qs [][]float32) ([]messi.Match, error)
 	stats() statsResponse
+	// engineOptions reports the effective admission-gate configuration.
+	engineOptions() messi.EngineOptions
 	// snapshot persists the served index to path (atomically) and
 	// reports how many series it covers. Live backends flush first, so
 	// the snapshot includes everything appended so far.
@@ -459,6 +581,7 @@ func (b *engineBackend) do(ctx context.Context, req messi.SearchRequest) (messi.
 func (b *engineBackend) queryBatch(qs [][]float32) ([]messi.Match, error) {
 	return b.eng.QueryBatch(qs)
 }
+func (b *engineBackend) engineOptions() messi.EngineOptions { return b.eng.Options() }
 func (b *engineBackend) snapshot(path string) (int, error) {
 	ix := b.eng.Index()
 	if err := ix.Save(path); err != nil {
@@ -533,6 +656,7 @@ func (b *liveBackend) queryBatch(qs [][]float32) ([]messi.Match, error) {
 func (b *liveBackend) appendSeries(rows [][]float32) (int, error) {
 	return b.lix.AppendBatch(rows)
 }
+func (b *liveBackend) engineOptions() messi.EngineOptions { return b.lix.EngineOptions() }
 func (b *liveBackend) snapshot(path string) (int, error) {
 	if err := b.lix.Save(path); err != nil {
 		return 0, err
@@ -562,122 +686,356 @@ func (b *liveBackend) stats() statsResponse {
 	return resp
 }
 
-// newHandler builds the HTTP API around a serving backend. The append
-// endpoint is registered only when the backend supports it (live mode).
-// defaultSnapshotPath (the -snapshot flag) is where POST /v1/snapshot
-// writes when the request names no path of its own.
-func newHandler(b backend, defaultSnapshotPath string) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, b.stats())
-	})
-	// One handler serves the whole quality spectrum; prep adjusts the
-	// decoded request for endpoint-specific contracts (forcing DTW on for
-	// /v1/dtw, requiring k for /v1/knn) before it reaches the library.
-	searchHandler := func(prep func(*searchRequest) error) http.HandlerFunc {
-		return func(w http.ResponseWriter, r *http.Request) {
-			var req searchRequest
-			if !readJSON(w, r, &req) {
-				return
-			}
-			if prep != nil {
-				if err := prep(&req); err != nil {
-					writeError(w, http.StatusBadRequest, err.Error())
-					return
-				}
-			}
-			mreq, err := req.toSearchRequest()
-			if err != nil {
-				writeError(w, http.StatusBadRequest, err.Error())
-				return
-			}
-			res, err := b.do(r.Context(), mreq)
-			if err != nil {
-				writeError(w, errorStatus(err), err.Error())
-				return
-			}
-			writeJSON(w, http.StatusOK, toQueryResponse(res))
-		}
+// backendBox wraps the backend interface for atomic.Pointer.
+type backendBox struct{ b backend }
+
+// server is the HTTP layer around a serving backend: routing, readiness
+// gating, per-route latency metrics, request IDs, and slow-query trace
+// logging. The backend is installed only after boot completes, so every
+// endpoint (including the health probes) answers 503 while a snapshot
+// load or index build is still running behind an already-open listener.
+type server struct {
+	mux   *http.ServeMux
+	reg   *messi.Metrics
+	start time.Time
+
+	backend atomic.Pointer[backendBox] // nil until install
+
+	defaultSnapshotPath string        // -snapshot: POST /v1/snapshot target when the body names none
+	slowQuery           time.Duration // -slow-query: trace-log threshold (0 disables)
+
+	queries atomic.Int64 // quality-spectrum and batch queries answered
+	reqID   atomic.Int64 // X-Request-Id source
+}
+
+// newServer builds the HTTP API recording into reg. The returned server
+// is not ready (everything 503s) until install is called with a backend.
+func newServer(reg *messi.Metrics, defaultSnapshotPath string, slowQuery time.Duration) *server {
+	s := &server{
+		mux:                 http.NewServeMux(),
+		reg:                 reg,
+		start:               time.Now(),
+		defaultSnapshotPath: defaultSnapshotPath,
+		slowQuery:           slowQuery,
 	}
-	mux.HandleFunc("POST /v1/search", searchHandler(nil))
-	mux.HandleFunc("POST /v1/query", searchHandler(nil)) // legacy alias
-	mux.HandleFunc("POST /v1/knn", searchHandler(func(sr *searchRequest) error {
+	s.routes()
+	return s
+}
+
+// install makes b the serving backend; the server reports ready from now
+// on. Safe to call while requests are in flight.
+func (s *server) install(b backend) { s.backend.Store(&backendBox{b: b}) }
+
+// current returns the serving backend, or nil before install.
+func (s *server) current() backend {
+	if box := s.backend.Load(); box != nil {
+		return box.b
+	}
+	return nil
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// newHandler builds a ready HTTP API around a backend with a private
+// metrics registry — the embedding/test entry point. run() instead wires
+// one shared registry through every layer and installs the backend only
+// after boot.
+func newHandler(b backend, defaultSnapshotPath string) http.Handler {
+	s := newServer(messi.NewMetrics(), defaultSnapshotPath, 0)
+	s.install(b)
+	return s
+}
+
+func (s *server) routes() {
+	health := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.current() == nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "loading")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}
+	s.route("GET /healthz", health)
+	s.route("GET /readyz", health) // alias for readiness probes
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /v1/stats", s.handleStats)
+	s.route("POST /v1/search", s.searchHandler(nil))
+	s.route("POST /v1/query", s.searchHandler(nil)) // legacy alias
+	s.route("POST /v1/knn", s.searchHandler(func(sr *searchRequest) error {
 		if sr.K < 1 {
 			return fmt.Errorf("k must be at least 1, got %d", sr.K)
 		}
 		return nil
 	}))
-	mux.HandleFunc("POST /v1/dtw", searchHandler(func(sr *searchRequest) error {
+	s.route("POST /v1/dtw", s.searchHandler(func(sr *searchRequest) error {
 		sr.DTW = true
 		return nil
 	}))
-	mux.HandleFunc("POST /v1/query/batch", func(w http.ResponseWriter, r *http.Request) {
-		var req batchRequest
+	s.route("POST /v1/query/batch", s.handleBatch)
+	s.route("POST /v1/snapshot", s.handleSnapshot)
+	s.route("POST /v1/series", s.handleAppend)
+}
+
+// route registers one endpoint wrapped with per-route telemetry: a
+// latency histogram and per-status-class request counters labeled with
+// the route path (a fixed set, so label cardinality is bounded), plus a
+// request ID issued into the context and echoed as X-Request-Id.
+func (s *server) route(pattern string, h http.HandlerFunc) {
+	path := pattern[strings.IndexByte(pattern, ' ')+1:]
+	dur := s.reg.Histogram("messi_http_request_seconds",
+		"Wall time of HTTP requests by route.", metrics.L("path", path))
+	var classes [5]*metrics.Counter
+	for i := range classes {
+		classes[i] = s.reg.Counter("messi_http_requests_total",
+			"HTTP requests served, by route and status class.",
+			metrics.L("path", path), metrics.L("code", fmt.Sprintf("%dxx", i+1)))
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("%08x", s.reqID.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id)))
+		dur.Observe(time.Since(start))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if c := status/100 - 1; c >= 0 && c < len(classes) {
+			classes[c].Inc()
+		}
+	})
+}
+
+// statusWriter records the status code for the per-route counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// reqIDKey carries the per-request ID through the context.
+type reqIDKey struct{}
+
+// requestID returns the request's ID, or "" outside a routed request.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// readyBackend returns the serving backend, writing a 503 and returning
+// nil while the index is still booting.
+func (s *server) readyBackend(w http.ResponseWriter) backend {
+	b := s.current()
+	if b == nil {
+		writeError(w, http.StatusServiceUnavailable, "index is still loading")
+	}
+	return b
+}
+
+// handleMetrics serves the registry plus Go runtime stats in Prometheus
+// text format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WriteText(w); err != nil {
+		return // client went away mid-scrape; nothing to salvage
+	}
+	_ = messi.WriteRuntimeMetrics(w)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	b := s.readyBackend(w)
+	if b == nil {
+		return
+	}
+	resp := b.stats()
+	resp.UptimeSeconds = time.Since(s.start).Seconds()
+	resp.QueriesServed = s.queries.Load()
+	eo := b.engineOptions()
+	resp.Admission = &admissionConfig{
+		PoolWorkers:    eo.PoolWorkers,
+		QueryWorkers:   eo.QueryWorkers,
+		Queues:         eo.Queues,
+		MaxConcurrent:  eo.MaxConcurrent,
+		DegradeEpsilon: eo.DegradeEpsilon,
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// searchHandler serves the whole quality spectrum; prep adjusts the
+// decoded request for endpoint-specific contracts (forcing DTW on for
+// /v1/dtw, requiring k for /v1/knn) before it reaches the library.
+func (s *server) searchHandler(prep func(*searchRequest) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		b := s.readyBackend(w)
+		if b == nil {
+			return
+		}
+		var req searchRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		if len(req.Queries) == 0 {
-			writeError(w, http.StatusBadRequest, "queries must be non-empty")
-			return
+		if prep != nil {
+			if err := prep(&req); err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
 		}
-		matches, err := b.queryBatch(req.Queries)
+		mreq, err := req.toSearchRequest()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		resp := batchResponse{Results: make([][]jsonMatch, len(matches))}
-		for i, m := range matches {
-			resp.Results[i] = toJSONMatches([]messi.Match{m})
+		// Slow-query logging needs the trace even when the client did not
+		// ask for one: collect it unconditionally and strip it from the
+		// response below.
+		wantTrace := mreq.Trace
+		if s.slowQuery > 0 {
+			mreq.Trace = true
 		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		// The body is optional: an empty POST snapshots to the default.
-		var req snapshotRequest
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
-			return
-		}
-		path := req.Path
-		if path == "" {
-			path = defaultSnapshotPath
-		}
-		if path == "" {
-			writeError(w, http.StatusBadRequest, "no snapshot path: pass {\"path\":...} or start with -snapshot")
-			return
-		}
-		series, err := b.snapshot(path)
+		start := time.Now()
+		res, err := b.do(r.Context(), mreq)
+		elapsed := time.Since(start)
+		s.queries.Add(1)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeError(w, errorStatus(err), err.Error())
 			return
 		}
-		writeJSON(w, http.StatusOK, snapshotResponse{Path: path, Series: series, Bytes: snapshotSize(path)})
-	})
-	if app, ok := b.(appender); ok {
-		mux.HandleFunc("POST /v1/series", func(w http.ResponseWriter, r *http.Request) {
-			var req appendRequest
-			if !readJSON(w, r, &req) {
-				return
-			}
-			if len(req.Series) == 0 {
-				writeError(w, http.StatusBadRequest, "series must be non-empty")
-				return
-			}
-			first, err := app.appendSeries(req.Series)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, err.Error())
-				return
-			}
-			writeJSON(w, http.StatusOK, appendResponse{FirstPosition: first, Count: len(req.Series)})
-		})
+		if s.slowQuery > 0 && elapsed >= s.slowQuery {
+			s.logSlowQuery(r, mreq, res, elapsed)
+		}
+		if !wantTrace {
+			res.Trace = nil
+		}
+		writeJSON(w, http.StatusOK, toQueryResponse(res))
 	}
-	return mux
+}
+
+// logSlowQuery logs the full execution trace of one slow query: what it
+// asked for, how long it ran, and where the time and the work went.
+func (s *server) logSlowQuery(r *http.Request, req messi.SearchRequest, res messi.Result, elapsed time.Duration) {
+	attrs := []any{
+		"id", requestID(r.Context()),
+		"path", r.URL.Path,
+		"elapsed", elapsed,
+		"mode", req.Mode.String(),
+		"k", req.K,
+		"dtw", req.DTW,
+		"exact", res.Exact,
+	}
+	if tr := res.Trace; tr != nil {
+		for _, p := range tr.Phases {
+			attrs = append(attrs, phaseKey(p.Name), p.Duration)
+		}
+		c := tr.Counters
+		attrs = append(attrs,
+			"nodes_visited", c.NodesVisited,
+			"lower_bounds", c.LowerBounds,
+			"real_distances", c.RealDistances,
+			"leaves_inserted", c.LeavesInserted,
+			"leaves_pruned", c.LeavesPruned,
+			"bsf_updates", c.BSFUpdates,
+		)
+	}
+	slog.Warn("slow query", attrs...)
+}
+
+// phaseKey turns a Figure 13 phase label into a log attribute key
+// ("MESSI tree pass" → "messi_tree_pass").
+func phaseKey(name string) string {
+	return strings.ToLower(strings.ReplaceAll(name, " ", "_"))
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	b := s.readyBackend(w)
+	if b == nil {
+		return
+	}
+	var req batchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "queries must be non-empty")
+		return
+	}
+	matches, err := b.queryBatch(req.Queries)
+	s.queries.Add(int64(len(req.Queries)))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := batchResponse{Results: make([][]jsonMatch, len(matches))}
+	for i, m := range matches {
+		resp.Results[i] = toJSONMatches([]messi.Match{m})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	b := s.readyBackend(w)
+	if b == nil {
+		return
+	}
+	// The body is optional: an empty POST snapshots to the default.
+	var req snapshotRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	path := req.Path
+	if path == "" {
+		path = s.defaultSnapshotPath
+	}
+	if path == "" {
+		writeError(w, http.StatusBadRequest, "no snapshot path: pass {\"path\":...} or start with -snapshot")
+		return
+	}
+	series, err := b.snapshot(path)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{Path: path, Series: series, Bytes: snapshotSize(path)})
+}
+
+// handleAppend serves POST /v1/series. The route always exists (so it
+// can 503 during boot like everything else), but a backend that cannot
+// append — static mode — answers 404 exactly as when the route was not
+// registered at all.
+func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	b := s.readyBackend(w)
+	if b == nil {
+		return
+	}
+	app, ok := b.(appender)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	var req appendRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Series) == 0 {
+		writeError(w, http.StatusBadRequest, "series must be non-empty")
+		return
+	}
+	first, err := app.appendSeries(req.Series)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, appendResponse{FirstPosition: first, Count: len(req.Series)})
 }
 
 // snapshotSize reports the on-disk size of a snapshot: the file's size,
@@ -728,7 +1086,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("write response: %v", err)
+		slog.Warn("write response failed", "err", err)
 	}
 }
 

@@ -335,7 +335,7 @@ func TestRunFlagValidation(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Fatal("run without -data or -snapshot did not error")
 	}
-	if err := run([]string{"-data", "/nonexistent/file.bin"}); err == nil {
+	if err := run([]string{"-addr", "127.0.0.1:0", "-data", "/nonexistent/file.bin"}); err == nil {
 		t.Fatal("run with missing dataset file did not error")
 	}
 }
@@ -345,7 +345,7 @@ func TestRunFlagValidation(t *testing.T) {
 // non-zero on it) — not fail silently before the listener opens.
 func TestRunLiveDatasetLoadError(t *testing.T) {
 	missing := filepath.Join(t.TempDir(), "nope.bin")
-	err := run([]string{"-live", "-data", missing})
+	err := run([]string{"-addr", "127.0.0.1:0", "-live", "-data", missing})
 	if err == nil {
 		t.Fatal("run -live with missing dataset file did not error")
 	}
@@ -358,7 +358,7 @@ func TestRunLiveDatasetLoadError(t *testing.T) {
 	if err := os.WriteFile(corrupt, []byte("this is not a dataset"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err = run([]string{"-live", "-data", corrupt})
+	err = run([]string{"-addr", "127.0.0.1:0", "-live", "-data", corrupt})
 	if err == nil {
 		t.Fatal("run -live with corrupt dataset file did not error")
 	}

@@ -1,0 +1,324 @@
+package main
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	messi "repro"
+)
+
+// newObservableServer builds a server the way run() does: one registry
+// shared by the engine and the HTTP layer.
+func newObservableServer(t *testing.T, slowQuery time.Duration) (*server, *messi.Index) {
+	t.Helper()
+	data := messi.RandomWalk(1200, 64, 17)
+	ix, err := messi.BuildFlat(data, 64, &messi.Options{LeafCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := messi.NewMetrics()
+	eng := ix.NewEngine(&messi.EngineOptions{PoolWorkers: 4, Metrics: reg})
+	t.Cleanup(eng.Close)
+	s := newServer(reg, "", slowQuery)
+	s.install(&engineBackend{eng: eng})
+	return s, ix
+}
+
+func getPath(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+	return rr
+}
+
+// Exposition format 0.0.4: every line is a HELP comment, a TYPE comment,
+// or a sample with an optional label set and a float value.
+var (
+	helpLine   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	typeLine   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$`)
+	sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]Inf|[+-]?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?)$`)
+)
+
+// scrape fetches /metrics, validates every line of the exposition, and
+// returns the per-sample values keyed by the full sample name (with
+// labels).
+func scrape(t *testing.T, h http.Handler) map[string]float64 {
+	t.Helper()
+	rr := getPath(t, h, "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	samples := make(map[string]float64)
+	for i, line := range strings.Split(rr.Body.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP"):
+			if !helpLine.MatchString(line) {
+				t.Fatalf("line %d: malformed HELP line %q", i+1, line)
+			}
+		case strings.HasPrefix(line, "#"):
+			if !typeLine.MatchString(line) {
+				t.Fatalf("line %d: malformed TYPE line %q", i+1, line)
+			}
+		default:
+			m := sampleLine.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample line %q", i+1, line)
+			}
+			name := line[:strings.LastIndexByte(line, ' ')]
+			v, err := strconv.ParseFloat(m[2], 64)
+			if err != nil && m[2] != "NaN" && m[2] != "+Inf" && m[2] != "-Inf" {
+				t.Fatalf("line %d: unparseable value in %q: %v", i+1, line, err)
+			}
+			samples[name] = v
+		}
+	}
+	return samples
+}
+
+// TestMetricsExposition: /metrics serves valid Prometheus text covering
+// the engine and HTTP instruments, and counters are monotone across two
+// scrapes with traffic in between.
+func TestMetricsExposition(t *testing.T) {
+	s, ix := newObservableServer(t, 0)
+	query, err := ix.Series(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	search := func() {
+		rr := postJSON(t, s, "/v1/search", searchRequest{Query: query})
+		if rr.Code != http.StatusOK {
+			t.Fatalf("search: status %d, body %s", rr.Code, rr.Body)
+		}
+	}
+	search()
+
+	first := scrape(t, s)
+	for _, want := range []string{
+		`messi_queries_admitted_total`,
+		`messi_query_duration_seconds_count{mode="exact"}`,
+		`messi_query_duration_seconds_sum{mode="exact"}`,
+		`messi_lower_bound_calcs_total`,
+		`messi_real_dist_calcs_total`,
+		`messi_admission_queue_depth`,
+		`messi_engine_pool_workers`,
+		`messi_http_request_seconds_count{path="/v1/search"}`,
+		`go_goroutines`,
+	} {
+		if _, ok := first[want]; !ok {
+			t.Errorf("scrape is missing sample %q", want)
+		}
+	}
+	if got := first[`messi_query_duration_seconds_count{mode="exact"}`]; got != 1 {
+		t.Errorf("exact query count = %v after one query, want 1", got)
+	}
+	// The cumulative histogram buckets must be monotone non-decreasing
+	// and end at the _count in the +Inf bucket.
+	prev := -1.0
+	for name, v := range first {
+		if strings.HasPrefix(name, `messi_query_duration_seconds_bucket{mode="exact"`) && strings.Contains(name, `le="+Inf"`) {
+			if v != first[`messi_query_duration_seconds_count{mode="exact"}`] {
+				t.Errorf("+Inf bucket %v != count", v)
+			}
+		}
+		_ = prev
+	}
+
+	search()
+	search()
+	second := scrape(t, s)
+	for name, before := range first {
+		if !strings.HasSuffix(strings.SplitN(name, "{", 2)[0], "_total") &&
+			!strings.Contains(name, "_count") && !strings.Contains(name, "_bucket") {
+			continue // gauges may move either way
+		}
+		if strings.HasPrefix(name, "go_") {
+			continue // runtime totals are not under test
+		}
+		after, ok := second[name]
+		if !ok {
+			t.Errorf("counter %q disappeared between scrapes", name)
+			continue
+		}
+		if after < before {
+			t.Errorf("counter %q went backwards: %v → %v", name, before, after)
+		}
+	}
+	if got := second[`messi_query_duration_seconds_count{mode="exact"}`]; got != 3 {
+		t.Errorf("exact query count = %v after three queries, want 3", got)
+	}
+}
+
+// TestReadiness: before a backend is installed every endpoint (including
+// the health probes) answers 503 — except /metrics, which must be
+// scrapeable during a long boot; after install the server is ready.
+func TestReadiness(t *testing.T) {
+	s := newServer(messi.NewMetrics(), "", 0)
+	for _, path := range []string{"/healthz", "/readyz", "/v1/stats"} {
+		if rr := getPath(t, s, path); rr.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s before install: status %d, want 503", path, rr.Code)
+		}
+	}
+	if rr := postJSON(t, s, "/v1/search", searchRequest{Query: make([]float32, 64)}); rr.Code != http.StatusServiceUnavailable {
+		t.Errorf("/v1/search before install: status %d, want 503", rr.Code)
+	}
+	if rr := getPath(t, s, "/metrics"); rr.Code != http.StatusOK {
+		t.Errorf("/metrics before install: status %d, want 200", rr.Code)
+	}
+
+	data := messi.RandomWalk(300, 64, 5)
+	ix, err := messi.BuildFlat(data, 64, &messi.Options{LeafCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := ix.NewEngine(&messi.EngineOptions{PoolWorkers: 2})
+	t.Cleanup(eng.Close)
+	s.install(&engineBackend{eng: eng})
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		rr := getPath(t, s, path)
+		if rr.Code != http.StatusOK {
+			t.Errorf("%s after install: status %d, want 200", path, rr.Code)
+		}
+		if !strings.Contains(rr.Body.String(), "ok") {
+			t.Errorf("%s body %q, want ok", path, rr.Body)
+		}
+		if rr.Header().Get("X-Request-Id") == "" {
+			t.Errorf("%s: no X-Request-Id header", path)
+		}
+	}
+}
+
+// TestTraceFlag: "trace": true returns phase timings and operation
+// counts inline; "counters": true returns only the counts; a plain
+// request returns neither.
+func TestTraceFlag(t *testing.T) {
+	s, ix := newObservableServer(t, 0)
+	query, err := ix.Series(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rr := postJSON(t, s, "/v1/search", searchRequest{Query: query, Trace: true})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("trace search: status %d, body %s", rr.Code, rr.Body)
+	}
+	resp := decode[queryResponse](t, rr)
+	if resp.Trace == nil {
+		t.Fatal("trace:true returned no trace")
+	}
+	if len(resp.Trace.Phases) != 5 {
+		t.Fatalf("trace has %d phases, want the 5 of Figure 13", len(resp.Trace.Phases))
+	}
+	for _, p := range resp.Trace.Phases {
+		if p.Name == "" {
+			t.Fatal("trace phase with empty name")
+		}
+		if p.Seconds < 0 {
+			t.Fatalf("trace phase %q has negative time %v", p.Name, p.Seconds)
+		}
+	}
+	if resp.Trace.ElapsedSeconds <= 0 {
+		t.Fatalf("trace elapsed_seconds = %v, want > 0", resp.Trace.ElapsedSeconds)
+	}
+	if resp.Trace.Counters.RealDistances == 0 {
+		t.Fatal("trace counters report zero real distance computations")
+	}
+
+	rr = postJSON(t, s, "/v1/search", searchRequest{Query: query, Counters: true})
+	resp = decode[queryResponse](t, rr)
+	if resp.Counters == nil || resp.Counters.RealDistances == 0 {
+		t.Fatalf("counters:true returned %+v", resp.Counters)
+	}
+	if resp.Trace != nil {
+		t.Fatal("counters:true returned a trace")
+	}
+
+	rr = postJSON(t, s, "/v1/search", searchRequest{Query: query})
+	resp = decode[queryResponse](t, rr)
+	if resp.Counters != nil || resp.Trace != nil {
+		t.Fatal("plain request returned counters or trace")
+	}
+}
+
+// TestStatsServerFields: /v1/stats reports uptime, queries served, and
+// the effective admission-gate configuration.
+func TestStatsServerFields(t *testing.T) {
+	s, ix := newObservableServer(t, 0)
+	query, err := ix.Series(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postJSON(t, s, "/v1/search", searchRequest{Query: query})
+	postJSON(t, s, "/v1/query/batch", batchRequest{Queries: [][]float32{query, query}})
+
+	rr := getPath(t, s, "/v1/stats")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stats: status %d", rr.Code)
+	}
+	st := decode[statsResponse](t, rr)
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v, want > 0", st.UptimeSeconds)
+	}
+	if st.QueriesServed != 3 {
+		t.Errorf("queries_served = %d, want 3 (one search + two batch)", st.QueriesServed)
+	}
+	if st.Admission == nil {
+		t.Fatal("stats report no admission configuration")
+	}
+	if st.Admission.PoolWorkers != 4 {
+		t.Errorf("admission pool_workers = %d, want 4", st.Admission.PoolWorkers)
+	}
+	if st.Admission.MaxConcurrent < 1 {
+		t.Errorf("admission max_concurrent = %d, want >= 1", st.Admission.MaxConcurrent)
+	}
+}
+
+// TestSlowQueryLog: with -slow-query set, a query over the threshold is
+// logged with its request ID and trace keys, and the response still
+// omits the trace the client never asked for.
+func TestSlowQueryLog(t *testing.T) {
+	s, ix := newObservableServer(t, time.Nanosecond) // everything is slow
+	query, err := ix.Series(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	old := slog.Default()
+	slog.SetDefault(slog.New(slog.NewTextHandler(&buf, nil)))
+	defer slog.SetDefault(old)
+
+	rr := postJSON(t, s, "/v1/search", searchRequest{Query: query})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("search: status %d", rr.Code)
+	}
+	if resp := decode[queryResponse](t, rr); resp.Trace != nil {
+		t.Fatal("forced slow-query trace leaked into the response")
+	}
+	id := rr.Header().Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("no X-Request-Id header")
+	}
+	logged := buf.String()
+	if !strings.Contains(logged, "slow query") {
+		t.Fatalf("no slow-query log line in %q", logged)
+	}
+	for _, key := range []string{"id=" + id, "path=/v1/search", "mode=exact", "real_distances=", "distance_calculation="} {
+		if !strings.Contains(logged, key) {
+			t.Errorf("slow-query log %q is missing %q", logged, key)
+		}
+	}
+}

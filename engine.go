@@ -32,6 +32,27 @@ type EngineOptions struct {
 	// actually proven. Zero (the default) never degrades; the deprecated
 	// always-exact Query methods are unaffected either way.
 	DegradeEpsilon float64
+	// Metrics, when non-nil, receives the engine's serving telemetry:
+	// admission-gate pressure (queue depth, wait time, admitted/degraded/
+	// deadline-expired/cancelled counts), per-mode latency histograms,
+	// answer exactness outcomes, and cumulative pruning counters. Nil
+	// (the default) disables all measurement.
+	Metrics *Metrics
+}
+
+// toInternal converts the public options to the engine package's.
+func (o *EngineOptions) toInternal() engine.Options {
+	if o == nil {
+		return engine.Options{}
+	}
+	return engine.Options{
+		PoolWorkers:    o.PoolWorkers,
+		QueryWorkers:   o.QueryWorkers,
+		Queues:         o.Queues,
+		MaxConcurrent:  o.MaxConcurrent,
+		DegradeEpsilon: o.DegradeEpsilon,
+		Metrics:        o.Metrics,
+	}
 }
 
 // Engine is a persistent query engine over one Index: a long-lived worker
@@ -51,17 +72,21 @@ type Engine struct {
 // NewEngine starts a persistent query engine over the index. opts may be
 // nil for the defaults.
 func (ix *Index) NewEngine(opts *EngineOptions) *Engine {
-	var eo engine.Options
-	if opts != nil {
-		eo = engine.Options{
-			PoolWorkers:    opts.PoolWorkers,
-			QueryWorkers:   opts.QueryWorkers,
-			Queues:         opts.Queues,
-			MaxConcurrent:  opts.MaxConcurrent,
-			DegradeEpsilon: opts.DegradeEpsilon,
-		}
+	return &Engine{ix: ix, inner: engine.NewSharded(ix.inner, opts.toInternal())}
+}
+
+// Options returns the engine's effective (defaulted) options — the
+// admission-gate configuration actually in force.
+func (e *Engine) Options() EngineOptions {
+	o := e.inner.Options()
+	return EngineOptions{
+		PoolWorkers:    o.PoolWorkers,
+		QueryWorkers:   o.QueryWorkers,
+		Queues:         o.Queues,
+		MaxConcurrent:  o.MaxConcurrent,
+		DegradeEpsilon: o.DegradeEpsilon,
+		Metrics:        o.Metrics,
 	}
-	return &Engine{ix: ix, inner: engine.NewSharded(ix.inner, eo)}
 }
 
 // Query answers an exact 1-NN query under Euclidean distance on the

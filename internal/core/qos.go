@@ -104,6 +104,11 @@ type Request struct {
 	Cancel <-chan struct{}
 	// Counters, when non-nil, accumulates operation counts.
 	Counters *stats.Counters
+	// Breakdown, when non-nil, accumulates per-phase wall time (Figure
+	// 13) across every worker of the query — the per-query trace the
+	// serving layer returns inline and logs for slow queries. Adds clock
+	// reads to hot paths; leave nil when not tracing.
+	Breakdown *stats.Breakdown
 }
 
 // Validate checks the mode-specific parameters (query shape is validated

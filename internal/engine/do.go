@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/stats"
 )
 
 // Do serves one quality-of-service request through the engine: admission
@@ -27,6 +29,17 @@ func (e *Engine) DoSeeded(req core.Request, seeds []core.Match) (core.Result, er
 		return core.Result{}, ErrClosed
 	}
 
+	// With metrics on, every query contributes its operation counts to the
+	// cumulative pruning-efficiency counters, whether or not the caller
+	// asked for a per-query trace.
+	var start time.Time
+	if e.met != nil {
+		start = time.Now()
+		if req.Counters == nil {
+			req.Counters = &stats.Counters{}
+		}
+	}
+
 	// Overload degradation: with the admission gate full, an exact request
 	// would pay queueing latency on top of exact-search latency. When the
 	// engine is configured to degrade, rewrite it to an ε-bounded request
@@ -36,7 +49,11 @@ func (e *Engine) DoSeeded(req core.Request, seeds []core.Match) (core.Result, er
 	if req.Mode == core.ModeExact && e.opts.DegradeEpsilon > 0 && len(e.admit) == cap(e.admit) {
 		req.Mode = core.ModeEpsilon
 		req.Epsilon = e.opts.DegradeEpsilon
+		if e.met != nil {
+			e.met.degraded.Inc()
+		}
 	}
+	mode := req.Mode
 
 	admitted, err := e.admitQoS(req)
 	if err != nil {
@@ -51,6 +68,19 @@ func (e *Engine) DoSeeded(req core.Request, seeds []core.Match) (core.Result, er
 		return core.Result{}, ErrNoIndex
 	}
 
+	res, err := e.doAdmitted(sx, req, seeds, admitted)
+	if err != nil {
+		return core.Result{}, err
+	}
+	if e.met != nil {
+		e.met.recordOutcome(mode, time.Since(start), res.Exact)
+		e.met.recordCounters(req.Counters.Snapshot())
+	}
+	return res, nil
+}
+
+// doAdmitted executes the request once the admission decision is made.
+func (e *Engine) doAdmitted(sx *shard.Index, req core.Request, seeds []core.Match, admitted bool) (core.Result, error) {
 	if !admitted {
 		// The deadline expired while waiting for admission. The contract is
 		// best-so-far within the budget, so bypass the gate for the cheap
@@ -71,7 +101,7 @@ func (e *Engine) DoSeeded(req core.Request, seeds []core.Match) (core.Result, er
 	// Pooled Euclidean path: exact, ε-bounded, and deadline-bounded all run
 	// the exact machinery with the QoS state threaded through every unit.
 	qos := req.NewQoS()
-	base := core.SearchOptions{QoS: qos, Counters: req.Counters}
+	base := core.SearchOptions{QoS: qos, Counters: req.Counters, Breakdown: req.Breakdown}
 	k := req.K
 	if k <= 0 {
 		k = 1
@@ -97,7 +127,7 @@ func (e *Engine) DoSeeded(req core.Request, seeds []core.Match) (core.Result, er
 func (e *Engine) admitQoS(req core.Request) (bool, error) {
 	hasDeadline := req.Mode == core.ModeDeadline && !req.Deadline.IsZero()
 	if req.Cancel == nil && !hasDeadline {
-		e.admit <- struct{}{}
+		e.acquire()
 		return true, nil
 	}
 	var timerC <-chan time.Time
@@ -106,13 +136,26 @@ func (e *Engine) admitQoS(req core.Request) (bool, error) {
 		defer t.Stop()
 		timerC = t.C
 	}
+	waitStart := e.met.waitStart()
 	// A nil req.Cancel never fires in the select.
 	select {
 	case e.admit <- struct{}{}:
+		if e.met != nil {
+			e.met.waitEnd(waitStart)
+			e.met.admitted.Inc()
+		}
 		return true, nil
 	case <-req.Cancel:
+		if e.met != nil {
+			e.met.waitEnd(waitStart)
+			e.met.cancelled.Inc()
+		}
 		return false, context.Canceled
 	case <-timerC:
+		if e.met != nil {
+			e.met.waitEnd(waitStart)
+			e.met.expired.Inc()
+		}
 		return false, nil
 	}
 }

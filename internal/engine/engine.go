@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/shard"
 	"repro/internal/stats"
 )
@@ -69,6 +70,12 @@ type Options struct {
 	// subject to degradation; the deprecated always-exact methods stay
 	// exact.
 	DegradeEpsilon float64
+	// Metrics, when non-nil, receives the engine's production telemetry:
+	// admission-gate pressure, per-mode latency histograms, answer
+	// exactness outcomes, and cumulative pruning counters. Nil (the
+	// default) disables every measurement — the hot path pays a single
+	// nil check, preserving benchmark numbers.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults(ixOpts core.Options) Options {
@@ -112,6 +119,7 @@ type task func(pid int)
 type Engine struct {
 	sx     atomic.Pointer[shard.Index]
 	opts   Options
+	met    *engMetrics // nil when Options.Metrics is nil
 	tasks  chan task
 	admit  chan struct{}
 	states sync.Pool
@@ -138,10 +146,19 @@ func NewSharded(sx *shard.Index, opts Options) *Engine {
 	opts = opts.withDefaults(ixOpts)
 	e := &Engine{
 		opts:  opts,
+		met:   newEngMetrics(opts.Metrics, opts),
 		tasks: make(chan task, 4*opts.PoolWorkers),
 		admit: make(chan struct{}, opts.MaxConcurrent),
 	}
 	e.sx.Store(sx)
+	opts.Metrics.GaugeFunc("messi_engine_shards",
+		"Shards in the currently installed index generation.", func() float64 {
+			cur := e.sx.Load()
+			if cur == nil {
+				return 0
+			}
+			return float64(cur.NumShards())
+		})
 	e.states.New = func() any { return core.NewQueryState() }
 	e.wg.Add(opts.PoolWorkers)
 	for pid := 0; pid < opts.PoolWorkers; pid++ {
@@ -190,6 +207,19 @@ func (e *Engine) SwapSharded(sx *shard.Index) *shard.Index {
 	return e.sx.Swap(sx)
 }
 
+// acquire blocks until an admission slot is free, recording queue depth
+// and wait time when metrics are on. Release by receiving from e.admit.
+func (e *Engine) acquire() {
+	if e.met == nil {
+		e.admit <- struct{}{}
+		return
+	}
+	start := e.met.waitStart()
+	e.admit <- struct{}{}
+	e.met.waitEnd(start)
+	e.met.admitted.Inc()
+}
+
 // Search answers an exact 1-NN query on the shared pool. It blocks until
 // the query is admitted and answered.
 func (e *Engine) Search(query []float32) (core.Match, error) {
@@ -205,7 +235,7 @@ func (e *Engine) SearchSeeded(query []float32, seeds []core.Match) (core.Match, 
 	if e.closed {
 		return core.Match{}, ErrClosed
 	}
-	e.admit <- struct{}{}
+	e.acquire()
 	defer func() { <-e.admit }()
 
 	sx := e.sx.Load()
@@ -238,6 +268,7 @@ func (e *Engine) run1NN(sx *shard.Index, query []float32, seeds []core.Match, ba
 
 	// Sharded generation: one run per non-empty shard, all threading one
 	// shared best-so-far, dispatched as per-shard work units on the pool.
+	e.met.recordFanout()
 	shared := stats.NewBSF()
 	for _, s := range seeds {
 		shared.Update(s.Dist, int64(s.Position))
@@ -334,7 +365,7 @@ func (e *Engine) SearchKNNSeeded(query []float32, k int, seeds []core.Match) ([]
 	if e.closed {
 		return nil, ErrClosed
 	}
-	e.admit <- struct{}{}
+	e.acquire()
 	defer func() { <-e.admit }()
 
 	sx := e.sx.Load()
@@ -365,6 +396,7 @@ func (e *Engine) runKNN(sx *shard.Index, query []float32, k int, seeds []core.Ma
 	// Sharded generation: every shard computes its own top-k (each seeded
 	// with the caller's global-position seeds) and the per-shard sets are
 	// merged through a priority queue.
+	e.met.recordFanout()
 	runs, sts, err := e.shardRuns(sx, func(sh *core.Index, s int, st *core.QueryState) (*core.SearchRun, error) {
 		opt := base
 		opt.Seeds = seeds
@@ -396,7 +428,7 @@ func (e *Engine) SearchDTW(query []float32, window int, seeds []core.Match) (cor
 	if e.closed {
 		return core.Match{}, ErrClosed
 	}
-	e.admit <- struct{}{}
+	e.acquire()
 	defer func() { <-e.admit }()
 
 	sx := e.sx.Load()

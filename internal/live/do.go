@@ -39,11 +39,11 @@ func (ix *Index) Do(req core.Request) (core.Result, error) {
 	var err error
 	switch {
 	case req.DTW:
-		seeds, err = ix.deltaDTW(v, req.Query, req.Window)
+		seeds, err = ix.deltaDTW(v, req.Query, req.Window, req.Counters)
 	case k > 1:
-		seeds, err = ix.deltaKNN(v, req.Query, k)
+		seeds, err = ix.deltaKNN(v, req.Query, k, req.Counters)
 	default:
-		seeds, err = ix.delta1NN(v, req.Query)
+		seeds, err = ix.delta1NN(v, req.Query, req.Counters)
 	}
 	if err != nil {
 		return core.Result{}, err

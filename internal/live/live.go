@@ -30,14 +30,17 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/delta"
 	"repro/internal/engine"
 	"repro/internal/isax"
+	"repro/internal/metrics"
 	"repro/internal/scan"
 	"repro/internal/series"
 	"repro/internal/shard"
+	"repro/internal/stats"
 	"repro/internal/tree"
 )
 
@@ -80,6 +83,11 @@ type Options struct {
 	// O(n/S) series concurrently instead of one O(n) tree, and queries
 	// fan out across the shards with a shared pruning bound.
 	Shards int
+	// Metrics, when non-nil, receives the live index's telemetry — delta
+	// occupancy, generation number, rebuild counts and durations — and is
+	// handed to the query engine (unless Engine.Metrics is already set).
+	// Nil disables all measurement.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +136,11 @@ type Index struct {
 	eng       *engine.Engine
 	view      atomic.Pointer[view]
 	gen       atomic.Int64 // immutable generations built so far
+
+	// Rebuild telemetry (nil instruments when Options.Metrics is nil).
+	rebuilds        *metrics.Counter
+	rebuildFailures *metrics.Counter
+	rebuildDur      *metrics.Histogram
 
 	mu         sync.Mutex // serializes appends and view transitions
 	cond       *sync.Cond // broadcast when a rebuild finishes
@@ -194,6 +207,9 @@ func prepare(seriesLen int, opts Options) (*Index, error) {
 	if opts.Engine.Queues <= 0 {
 		opts.Engine.Queues = opts.Core.QueueCount
 	}
+	if opts.Engine.Metrics == nil {
+		opts.Engine.Metrics = opts.Metrics
+	}
 	// Validate the schema and shard count once up front so generation
 	// rebuilds cannot fail on configuration (a bad length/segments
 	// combination surfaces here, not in a background goroutine).
@@ -222,6 +238,27 @@ func (ix *Index) start(base *shard.Index) *Index {
 		active:  delta.New(ix.seriesLen, ix.opts.BlockSeries),
 	})
 	ix.eng = engine.NewSharded(base, ix.opts.Engine)
+	if r := ix.opts.Metrics; r != nil {
+		ix.rebuilds = r.Counter("messi_live_rebuilds_total",
+			"Completed background generation rebuilds.")
+		ix.rebuildFailures = r.Counter("messi_live_rebuild_failures_total",
+			"Background generation rebuilds that failed (the frozen delta stays searchable and is retried).")
+		ix.rebuildDur = r.Histogram("messi_live_rebuild_seconds",
+			"Wall time of background generation rebuilds (merge plus swap).")
+		r.GaugeFunc("messi_live_delta_series",
+			"Series buffered in the delta (frozen plus active), answered by exact scan.", func() float64 {
+				v := ix.view.Load()
+				return float64(v.frozenLen() + v.active.Len())
+			})
+		r.GaugeFunc("messi_live_base_series",
+			"Series in the current immutable generation.", func() float64 {
+				return float64(ix.view.Load().baseLen)
+			})
+		r.GaugeFunc("messi_live_generation",
+			"Immutable generations built so far.", func() float64 {
+				return float64(ix.gen.Load())
+			})
+	}
 	return ix
 }
 
@@ -336,8 +373,15 @@ func (ix *Index) startRebuildLocked() {
 // its round-robin share of the frozen delta — and the S builds run
 // concurrently.
 func (ix *Index) rebuild(v *view) {
+	start := time.Now()
 	total := v.baseLen + v.frozen.Len()
 	newIx, err := ix.mergeGeneration(v, total)
+	ix.rebuildDur.Observe(time.Since(start))
+	if err != nil {
+		ix.rebuildFailures.Inc()
+	} else {
+		ix.rebuilds.Inc()
+	}
 
 	ix.mu.Lock()
 	if err != nil {
@@ -506,7 +550,7 @@ func (ix *Index) Search(query []float32) (core.Match, error) {
 		return core.Match{}, err
 	}
 	v := ix.view.Load()
-	seeds, err := ix.delta1NN(v, query)
+	seeds, err := ix.delta1NN(v, query, nil)
 	if err != nil {
 		return core.Match{}, err
 	}
@@ -529,7 +573,7 @@ func (ix *Index) SearchKNN(query []float32, k int) ([]core.Match, error) {
 		return nil, fmt.Errorf("%w, got %d", core.ErrBadK, k)
 	}
 	v := ix.view.Load()
-	seeds, err := ix.deltaKNN(v, query, k)
+	seeds, err := ix.deltaKNN(v, query, k, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -550,7 +594,7 @@ func (ix *Index) SearchDTW(query []float32, window int) (core.Match, error) {
 		return core.Match{}, err
 	}
 	v := ix.view.Load()
-	seeds, err := ix.deltaDTW(v, query, window)
+	seeds, err := ix.deltaDTW(v, query, window, nil)
 	if err != nil {
 		return core.Match{}, err
 	}
@@ -623,18 +667,20 @@ func (ix *Index) deltaBest(v *view, scanChunk func(col *series.Collection, bound
 }
 
 // delta1NN brute-force scans the delta for the query's nearest neighbor.
-func (ix *Index) delta1NN(v *view, query []float32) ([]core.Match, error) {
+// ctrs, when non-nil, accumulates the scan's distance-computation counts
+// (so per-query traces cover the delta side too).
+func (ix *Index) delta1NN(v *view, query []float32, ctrs *stats.Counters) ([]core.Match, error) {
 	return ix.deltaBest(v, func(col *series.Collection, bound float64) (core.Match, error) {
-		return scan.Search1NNBounded(col, query, ix.opts.ScanWorkers, bound, nil)
+		return scan.Search1NNBounded(col, query, ix.opts.ScanWorkers, bound, ctrs)
 	})
 }
 
 // deltaKNN brute-force scans the delta for the query's k nearest
 // neighbors (global positions, ascending distance).
-func (ix *Index) deltaKNN(v *view, query []float32, k int) ([]core.Match, error) {
+func (ix *Index) deltaKNN(v *view, query []float32, k int, ctrs *stats.Counters) ([]core.Match, error) {
 	var all []core.Match
 	err := ix.forEachDeltaChunk(v, func(col *series.Collection, start int) error {
-		ms, err := scan.SearchKNN(col, query, k, ix.opts.ScanWorkers, nil)
+		ms, err := scan.SearchKNN(col, query, k, ix.opts.ScanWorkers, ctrs)
 		if err != nil {
 			return err
 		}
@@ -659,8 +705,8 @@ func (ix *Index) deltaKNN(v *view, query []float32, k int) ([]core.Match, error)
 }
 
 // deltaDTW brute-force scans the delta under constrained DTW.
-func (ix *Index) deltaDTW(v *view, query []float32, window int) ([]core.Match, error) {
+func (ix *Index) deltaDTW(v *view, query []float32, window int, ctrs *stats.Counters) ([]core.Match, error) {
 	return ix.deltaBest(v, func(col *series.Collection, bound float64) (core.Match, error) {
-		return scan.SearchDTWBounded(col, query, window, ix.opts.ScanWorkers, bound, nil)
+		return scan.SearchDTWBounded(col, query, window, ix.opts.ScanWorkers, bound, ctrs)
 	})
 }

@@ -1,0 +1,434 @@
+// Package metrics is a dependency-free production metrics layer: atomic
+// counters, gauges, and lock-free log2-bucketed latency histograms behind
+// a named registry with Prometheus text-format exposition.
+//
+// Like internal/stats, every hot-path method is nil-receiver safe: a nil
+// *Registry hands out nil instruments, and Add/Set/Observe on a nil
+// instrument is a no-op — library users and benchmarks that never enable
+// metrics pay nothing beyond a nil check.
+//
+// The registry is the serving-side complement of the paper-reproduction
+// collectors in internal/stats: stats measures one query (Figure 13's
+// phase breakdown, Figure 17's operation counts), metrics accumulates the
+// fleet view across every query a process answers — admission pressure,
+// per-mode latency distributions, cumulative pruning work, rebuild and
+// snapshot activity.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric label pair (exposed as name{key="value"}).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing value. All methods are atomic and
+// nil-receiver safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n < 0 is ignored — counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. All methods are atomic and
+// nil-receiver safe.
+type Gauge struct {
+	bits atomic.Uint64 // IEEE-754 bits of the value
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d (negative d subtracts) with a CAS loop.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// numHistBuckets spans 1 ns to 2^36 ns (~69 s) in powers of two; longer
+// observations land in the implicit +Inf bucket.
+const numHistBuckets = 37
+
+// Histogram is a lock-free latency histogram with log2 buckets: bucket i
+// counts observations ≤ 2^i nanoseconds, exposed in seconds in the
+// Prometheus exposition (cumulative le buckets, _sum, _count). Observe is
+// a single atomic add on the owning bucket — safe for any number of
+// concurrent observers — and nil-receiver safe.
+type Histogram struct {
+	buckets  [numHistBuckets]atomic.Uint64 // non-cumulative; exposition accumulates
+	overflow atomic.Uint64                 // observations above the largest bound
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+// bucketIndex returns the log2 bucket for a non-negative duration in
+// nanoseconds: the smallest i with ns ≤ 2^i.
+func bucketIndex(ns int64) int {
+	if ns <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(ns - 1))
+}
+
+// Observe records one duration (negative durations count as zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	if i := bucketIndex(ns); i < numHistBuckets {
+		h.buckets[i].Add(1)
+	} else {
+		h.overflow.Add(1)
+	}
+	h.count.Add(1)
+	h.sumNanos.Add(ns)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNanos.Load())
+}
+
+// kind is the exposition type of a metric family.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// instrument is one registered time series within a family.
+type instrument struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	gf     func() float64
+	h      *Histogram
+}
+
+// family groups every instrument sharing one metric name (one # HELP /
+// # TYPE header, many label sets).
+type family struct {
+	name string
+	help string
+	kind kind
+	byID map[string]*instrument
+	ord  []*instrument
+}
+
+// Registry is a named set of metrics. The zero value is not usable — call
+// NewRegistry — but a nil *Registry is: every constructor returns a nil
+// instrument whose methods are no-ops, so instrumented code needs no
+// branches for the metrics-off case.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelID is the canonical identity of a label set within a family.
+func labelID(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, l := range labels {
+		sb.WriteString(l.Key)
+		sb.WriteByte(1)
+		sb.WriteString(l.Value)
+		sb.WriteByte(2)
+	}
+	return sb.String()
+}
+
+// lookup finds or creates the instrument for (name, labels), enforcing
+// one kind per family. It panics on a kind conflict — mixing types under
+// one name is a programming error no caller can handle.
+func (r *Registry) lookup(name, help string, k kind, labels []Label) *instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, byID: make(map[string]*instrument)}
+		r.families[name] = f
+	} else if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.kind, k))
+	}
+	id := labelID(labels)
+	ins := f.byID[id]
+	if ins == nil {
+		ins = &instrument{labels: append([]Label(nil), labels...)}
+		f.byID[id] = ins
+		f.ord = append(f.ord, ins)
+	}
+	return ins
+}
+
+// Counter returns the counter registered under name with the given
+// labels, creating it on first use. Registration is idempotent: the same
+// (name, labels) always returns the same counter. Nil-registry safe.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	ins := r.lookup(name, help, kindCounter, labels)
+	if ins.c == nil {
+		ins.c = &Counter{}
+	}
+	return ins.c
+}
+
+// Gauge returns the gauge registered under name with the given labels
+// (see Counter).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	ins := r.lookup(name, help, kindGauge, labels)
+	if ins.g == nil {
+		ins.g = &Gauge{}
+	}
+	return ins.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time — occupancy-style metrics read straight from the live structure
+// instead of being maintained on every mutation. The first registration
+// for a (name, labels) pair wins. Nil-registry safe.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	ins := r.lookup(name, help, kindGauge, labels)
+	if ins.g == nil && ins.gf == nil {
+		ins.gf = fn
+	}
+}
+
+// Histogram returns the histogram registered under name with the given
+// labels (see Counter).
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	ins := r.lookup(name, help, kindHistogram, labels)
+	if ins.h == nil {
+		ins.h = &Histogram{}
+	}
+	return ins.h
+}
+
+// escapeHelp escapes a # HELP text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// formatValue renders a sample value the way Prometheus parsers expect.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeLabels renders {k="v",...} (empty string for no labels). extra is
+// appended after the instrument's own labels (the histogram le label).
+func writeLabels(sb *strings.Builder, labels []Label, extra ...Label) {
+	all := labels
+	if len(extra) > 0 {
+		all = append(append([]Label(nil), labels...), extra...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	sb.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+}
+
+// WriteText writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one # HELP
+// and # TYPE header each, histograms as cumulative le buckets plus _sum
+// and _count. Safe to call concurrently with updates — values are read
+// atomically, though one exposition is not a consistent cross-metric
+// snapshot (Prometheus scrapes never are).
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var sb strings.Builder
+	for _, f := range fams {
+		sb.Reset()
+		fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		for _, ins := range f.ord {
+			switch f.kind {
+			case kindCounter:
+				sb.WriteString(f.name)
+				writeLabels(&sb, ins.labels)
+				sb.WriteByte(' ')
+				sb.WriteString(strconv.FormatInt(ins.c.Value(), 10))
+				sb.WriteByte('\n')
+			case kindGauge:
+				v := ins.g.Value()
+				if ins.gf != nil {
+					v = ins.gf()
+				}
+				sb.WriteString(f.name)
+				writeLabels(&sb, ins.labels)
+				sb.WriteByte(' ')
+				sb.WriteString(formatValue(v))
+				sb.WriteByte('\n')
+			case kindHistogram:
+				writeHistogram(&sb, f.name, ins)
+			}
+		}
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram instrument: cumulative le buckets
+// in seconds, the +Inf bucket, _sum (seconds) and _count.
+func writeHistogram(sb *strings.Builder, name string, ins *instrument) {
+	h := ins.h
+	var cum uint64
+	for i := 0; i < numHistBuckets; i++ {
+		cum += h.buckets[i].Load()
+		le := formatValue(float64(int64(1)<<i) / 1e9)
+		sb.WriteString(name)
+		sb.WriteString("_bucket")
+		writeLabels(sb, ins.labels, Label{Key: "le", Value: le})
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatUint(cum, 10))
+		sb.WriteByte('\n')
+	}
+	cum += h.overflow.Load()
+	sb.WriteString(name)
+	sb.WriteString("_bucket")
+	writeLabels(sb, ins.labels, Label{Key: "le", Value: "+Inf"})
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatUint(cum, 10))
+	sb.WriteByte('\n')
+
+	sb.WriteString(name)
+	sb.WriteString("_sum")
+	writeLabels(sb, ins.labels)
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(float64(h.sumNanos.Load()) / 1e9))
+	sb.WriteByte('\n')
+
+	sb.WriteString(name)
+	sb.WriteString("_count")
+	writeLabels(sb, ins.labels)
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatUint(h.count.Load(), 10))
+	sb.WriteByte('\n')
+}

@@ -1,0 +1,254 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter value = %d, want 0", got)
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	g.Add(-1)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("nil gauge value = %v, want 0", got)
+	}
+	var h *Histogram
+	h.Observe(time.Millisecond)
+	if got := h.Count(); got != 0 {
+		t.Fatalf("nil histogram count = %d, want 0", got)
+	}
+	var r *Registry
+	r.Counter("x", "help").Inc()
+	r.Gauge("y", "help").Set(1)
+	r.Histogram("z", "help").Observe(time.Second)
+	r.GaugeFunc("w", "help", func() float64 { return 1 })
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry WriteText: %v", err)
+	}
+}
+
+func TestCounterMonotone(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("messi_test_total", "a counter")
+	c.Add(3)
+	c.Add(-7) // ignored: counters are monotone
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if again := r.Counter("messi_test_total", "a counter"); again != c {
+		t.Fatal("re-registration did not return the same counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("messi_test_gauge", "a gauge")
+	g.Set(10)
+	g.Add(-2.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7.5 {
+		t.Fatalf("gauge = %v, want 7.5", got)
+	}
+}
+
+func TestLabelsDistinguishInstruments(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("messi_q_total", "h", L("mode", "exact"))
+	b := r.Counter("messi_q_total", "h", L("mode", "approx"))
+	if a == b {
+		t.Fatal("different label values returned the same counter")
+	}
+	a.Add(2)
+	b.Add(5)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`messi_q_total{mode="exact"} 2`,
+		`messi_q_total{mode="approx"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One header pair per family, not per label set.
+	if n := strings.Count(out, "# TYPE messi_q_total counter"); n != 1 {
+		t.Errorf("TYPE header appears %d times, want 1", n)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("messi_conflict", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter name did not panic")
+		}
+	}()
+	r.Gauge("messi_conflict", "h")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+
+	r := NewRegistry()
+	h := r.Histogram("messi_lat_seconds", "latency")
+	h.Observe(1 * time.Microsecond) // 1000 ns ≤ 1024 = 2^10
+	h.Observe(100 * time.Microsecond)
+	h.Observe(200 * time.Second) // overflows the largest bound
+	h.Observe(-time.Second)      // clamped to 0
+
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `messi_lat_seconds_bucket{le="+Inf"} 4`) {
+		t.Errorf("+Inf bucket should count every observation:\n%s", out)
+	}
+	if !strings.Contains(out, "messi_lat_seconds_count 4") {
+		t.Errorf("missing _count:\n%s", out)
+	}
+	// Cumulative buckets are monotone non-decreasing.
+	last := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "messi_lat_seconds_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = v
+	}
+}
+
+func TestWriteTextEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("messi_esc_total", "help with \\ and\nnewline", L("path", `a"b\c`)).Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# HELP messi_esc_total help with \\ and\nnewline`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `messi_esc_total{path="a\"b\\c"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 41.0
+	r.GaugeFunc("messi_live_delta", "delta occupancy", func() float64 { return v })
+	v = 42
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "messi_live_delta 42") {
+		t.Errorf("gauge func not evaluated at exposition:\n%s", sb.String())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	if got := formatValue(math.Inf(1)); got != "+Inf" {
+		t.Errorf("formatValue(+Inf) = %q", got)
+	}
+	if got := formatValue(0.5); got != "0.5" {
+		t.Errorf("formatValue(0.5) = %q", got)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines with
+// concurrent expositions — run under -race in CI, this is the lock-free
+// claim's proof. The total count must equal the number of observations.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("messi_hammer_seconds", "hammered", L("mode", "exact"))
+	const goroutines = 16
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g*perG+i) * time.Nanosecond)
+			}
+		}(g)
+	}
+	// Concurrent scrapes while observers run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WriteText(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+	// Buckets plus overflow account for every observation.
+	var sum uint64
+	for i := range h.buckets {
+		sum += h.buckets[i].Load()
+	}
+	sum += h.overflow.Load()
+	if sum != goroutines*perG {
+		t.Fatalf("bucket sum = %d, want %d", sum, goroutines*perG)
+	}
+}
+
+func TestWriteRuntime(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteRuntime(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"go_goroutines ", "go_memstats_alloc_bytes ", "# TYPE go_goroutines gauge"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("runtime exposition missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// WriteRuntime writes a small set of Go runtime metrics in the Prometheus
+// text exposition format, using the conventional go_* names so standard
+// dashboards work unchanged. It reads runtime.MemStats, which briefly
+// stops the world — fine at scrape cadence, not per request.
+func WriteRuntime(w io.Writer) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	_, err := fmt.Fprintf(w,
+		"# HELP go_goroutines Number of goroutines that currently exist.\n"+
+			"# TYPE go_goroutines gauge\n"+
+			"go_goroutines %d\n"+
+			"# HELP go_memstats_alloc_bytes Number of bytes allocated in heap and currently in use.\n"+
+			"# TYPE go_memstats_alloc_bytes gauge\n"+
+			"go_memstats_alloc_bytes %d\n"+
+			"# HELP go_memstats_sys_bytes Number of bytes obtained from system.\n"+
+			"# TYPE go_memstats_sys_bytes gauge\n"+
+			"go_memstats_sys_bytes %d\n"+
+			"# HELP go_memstats_heap_objects Number of currently allocated objects.\n"+
+			"# TYPE go_memstats_heap_objects gauge\n"+
+			"go_memstats_heap_objects %d\n"+
+			"# HELP go_gc_cycles_total Number of completed GC cycles.\n"+
+			"# TYPE go_gc_cycles_total counter\n"+
+			"go_gc_cycles_total %d\n"+
+			"# HELP go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n"+
+			"# TYPE go_gc_pause_seconds_total counter\n"+
+			"go_gc_pause_seconds_total %g\n"+
+			"# HELP go_threads Number of OS threads created.\n"+
+			"# TYPE go_threads gauge\n"+
+			"go_threads %d\n",
+		runtime.NumGoroutine(),
+		ms.HeapAlloc,
+		ms.Sys,
+		ms.HeapObjects,
+		ms.NumGC,
+		float64(ms.PauseTotalNs)/1e9,
+		threadCount(),
+	)
+	return err
+}
+
+// threadCount reports the process's OS thread count.
+func threadCount() int {
+	n, _ := runtime.ThreadCreateProfile(nil)
+	return n
+}

@@ -192,7 +192,7 @@ var dirSaves sync.Map // map[string]*sync.Mutex
 // its intact files; the moment the rename lands, the new snapshot is
 // complete and the superseded shard files are swept (best-effort).
 // In-process saves to the same directory are serialized.
-func WriteShardedDir(dir string, x *shard.Index, normalize bool) error {
+func writeShardedDir(dir string, x *shard.Index, normalize bool) error {
 	if x == nil || x.Len() == 0 {
 		return fmt.Errorf("persist: cannot snapshot an empty sharded index")
 	}
@@ -309,7 +309,7 @@ func sweepStaleShards(dir string, live []string) {
 // leaves the old inode openable). A vanished shard file therefore means
 // "the manifest we read was superseded": re-read the manifest and retry
 // rather than failing a snapshot that was valid when observed.
-func ReadShardedDir(dir string) (*shard.Index, bool, error) {
+func readShardedDir(dir string) (*shard.Index, bool, error) {
 	const retries = 3
 	var err error
 	for attempt := 0; attempt <= retries; attempt++ {

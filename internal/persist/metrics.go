@@ -1,0 +1,135 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+)
+
+// Snapshot I/O telemetry. The persist API is package-level functions, so
+// the hook is a package-level registry installed once at process startup
+// (SetMetrics); the instrumented exported entry points here wrap the
+// unexported implementations. A nil (never-installed) hook costs one
+// atomic pointer load per snapshot operation — nothing on query paths.
+
+// persistInstruments is the registered instrument set.
+type persistInstruments struct {
+	saveSeconds  *metrics.Histogram
+	loadSeconds  *metrics.Histogram
+	saveBytes    *metrics.Counter
+	loadBytes    *metrics.Counter
+	saveFailures *metrics.Counter
+	loadFailures *metrics.Counter
+}
+
+var instruments atomic.Pointer[persistInstruments]
+
+// SetMetrics installs the snapshot I/O telemetry on r: save/load wall
+// time histograms, cumulative bytes written/read, and failure counters.
+// Passing nil uninstalls. Safe for concurrent use with snapshot I/O.
+func SetMetrics(r *metrics.Registry) {
+	if r == nil {
+		instruments.Store(nil)
+		return
+	}
+	instruments.Store(&persistInstruments{
+		saveSeconds: r.Histogram("messi_snapshot_save_seconds",
+			"Wall time of snapshot writes (single files and sharded directories)."),
+		loadSeconds: r.Histogram("messi_snapshot_load_seconds",
+			"Wall time of snapshot loads (single files and sharded directories)."),
+		saveBytes: r.Counter("messi_snapshot_save_bytes_total",
+			"Cumulative bytes written by successful snapshot saves."),
+		loadBytes: r.Counter("messi_snapshot_load_bytes_total",
+			"Cumulative bytes read by successful snapshot loads."),
+		saveFailures: r.Counter("messi_snapshot_save_failures_total",
+			"Snapshot saves that returned an error."),
+		loadFailures: r.Counter("messi_snapshot_load_failures_total",
+			"Snapshot loads that returned an error."),
+	})
+}
+
+// observe records one snapshot operation against the installed hook.
+func observe(dur *metrics.Histogram, bytes, failures *metrics.Counter, path string, elapsed time.Duration, err error) {
+	if err != nil {
+		failures.Inc()
+		return
+	}
+	dur.Observe(elapsed)
+	bytes.Add(pathSize(path))
+}
+
+// pathSize reports the on-disk size of a snapshot: the file's size, or
+// for a sharded directory the sum of the files inside it.
+func pathSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	if !fi.IsDir() {
+		return fi.Size()
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil && !e.IsDir() {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// WriteFile atomically writes the index snapshot to path (see writeFile
+// for the temp-file + rename contract), recording save telemetry when a
+// metrics registry is installed via SetMetrics.
+func WriteFile(path string, ix *core.Index, normalize bool) error {
+	start := time.Now()
+	err := writeFile(path, ix, normalize)
+	if m := instruments.Load(); m != nil {
+		observe(m.saveSeconds, m.saveBytes, m.saveFailures, path, time.Since(start), err)
+	}
+	return err
+}
+
+// ReadFile loads an index snapshot from path (see readFile for the mmap
+// fast path), recording load telemetry when a metrics registry is
+// installed via SetMetrics.
+func ReadFile(path string) (*core.Index, bool, error) {
+	start := time.Now()
+	ix, normalize, err := readFile(path)
+	if m := instruments.Load(); m != nil {
+		observe(m.loadSeconds, m.loadBytes, m.loadFailures, path, time.Since(start), err)
+	}
+	return ix, normalize, err
+}
+
+// WriteShardedDir writes a sharded snapshot directory (see
+// writeShardedDir for the manifest contract), recording save telemetry
+// when a metrics registry is installed via SetMetrics.
+func WriteShardedDir(dir string, x *shard.Index, normalize bool) error {
+	start := time.Now()
+	err := writeShardedDir(dir, x, normalize)
+	if m := instruments.Load(); m != nil {
+		observe(m.saveSeconds, m.saveBytes, m.saveFailures, filepath.Clean(dir), time.Since(start), err)
+	}
+	return err
+}
+
+// ReadShardedDir loads a sharded snapshot directory (see readShardedDir
+// for the retry contract), recording load telemetry when a metrics
+// registry is installed via SetMetrics.
+func ReadShardedDir(dir string) (*shard.Index, bool, error) {
+	start := time.Now()
+	x, normalize, err := readShardedDir(dir)
+	if m := instruments.Load(); m != nil {
+		observe(m.loadSeconds, m.loadBytes, m.loadFailures, filepath.Clean(dir), time.Since(start), err)
+	}
+	return x, normalize, err
+}

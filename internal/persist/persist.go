@@ -604,7 +604,7 @@ func decodeTree(payload []byte, h Header) (*tree.Flat, error) {
 // in a temporary file in the same directory, which is fsynced and renamed
 // over path, so a crash mid-write can never leave a half-written snapshot
 // under the target name.
-func WriteFile(path string, ix *core.Index, normalize bool) error {
+func writeFile(path string, ix *core.Index, normalize bool) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -651,7 +651,7 @@ func WriteFile(path string, ix *core.Index, normalize bool) error {
 // checksum pass instead of a copy, and the mapping stays alive as long
 // as the process does. Elsewhere (or if mapping fails) it falls back to
 // streaming reads; the file format is identical either way.
-func ReadFile(path string) (*core.Index, bool, error) {
+func readFile(path string) (*core.Index, bool, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, false, fmt.Errorf("persist: %w", err)

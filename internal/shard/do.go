@@ -76,6 +76,9 @@ func (x *Index) Do(req core.Request, opt core.SearchOptions) (core.Result, error
 	if req.Counters != nil {
 		opt.Counters = req.Counters
 	}
+	if req.Breakdown != nil {
+		opt.Breakdown = req.Breakdown
+	}
 	qos := req.NewQoS()
 	opt.QoS = qos
 

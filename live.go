@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/engine"
 	"repro/internal/live"
 	"repro/internal/series"
 )
@@ -30,6 +29,11 @@ type LiveOptions struct {
 	// the Close-time snapshot are discarded; call Flush or Save first
 	// when durability must be confirmed.
 	SnapshotPath string
+	// Metrics, when non-nil, receives the live index's telemetry (delta
+	// occupancy, rebuild counts and durations, generation number) and is
+	// inherited by the embedded Engine unless Engine.Metrics is set
+	// separately. Nil disables measurement.
+	Metrics *Metrics
 }
 
 func (o *LiveOptions) toLive(coreOpts core.Options, shards int) live.Options {
@@ -37,13 +41,8 @@ func (o *LiveOptions) toLive(coreOpts core.Options, shards int) live.Options {
 	if o != nil {
 		lo.RebuildThreshold = o.RebuildThreshold
 		lo.ScanWorkers = o.ScanWorkers
-		lo.Engine = engine.Options{
-			PoolWorkers:    o.Engine.PoolWorkers,
-			QueryWorkers:   o.Engine.QueryWorkers,
-			Queues:         o.Engine.Queues,
-			MaxConcurrent:  o.Engine.MaxConcurrent,
-			DegradeEpsilon: o.Engine.DegradeEpsilon,
-		}
+		lo.Engine = o.Engine.toInternal()
+		lo.Metrics = o.Metrics
 	}
 	return lo
 }
@@ -216,6 +215,20 @@ func (ix *LiveIndex) Len() int { return ix.inner.Len() }
 
 // SeriesLen reports the length (points) of each indexed series.
 func (ix *LiveIndex) SeriesLen() int { return ix.inner.SeriesLen() }
+
+// EngineOptions returns the effective (defaulted) options of the
+// embedded query engine — the admission-gate configuration in force.
+func (ix *LiveIndex) EngineOptions() EngineOptions {
+	o := ix.inner.Engine().Options()
+	return EngineOptions{
+		PoolWorkers:    o.PoolWorkers,
+		QueryWorkers:   o.QueryWorkers,
+		Queues:         o.Queues,
+		MaxConcurrent:  o.MaxConcurrent,
+		DegradeEpsilon: o.DegradeEpsilon,
+		Metrics:        o.Metrics,
+	}
+}
 
 // Close stops background rebuilds and the query pool. Appends and
 // queries after Close fail; Close is idempotent. With

@@ -108,6 +108,13 @@ type SearchRequest struct {
 	// Counters, when true, collects per-query operation counts into
 	// Result.Counters (a small amount of atomic-counter overhead).
 	Counters bool
+	// Trace, when true, collects a full per-query execution trace into
+	// Result.Trace: the per-phase wall-time breakdown of Figure 13
+	// accumulated across every worker of the query, the operation
+	// counts of QueryCounters, and the query's wall-clock latency.
+	// Costs two clock reads per worker phase transition plus the
+	// Counters overhead; off (the default) costs nothing.
+	Trace bool
 }
 
 // QueryCounters are per-query operation counts (see SearchRequest.Counters).
@@ -118,6 +125,27 @@ type QueryCounters struct {
 	LeavesInserted int64 // leaves pushed into priority queues
 	LeavesPruned   int64 // queue abandonments on a popped minimum
 	BSFUpdates     int64 // improvements to the pruning bound
+}
+
+// TracePhase is one phase timing in a query trace, labeled with the
+// paper's Figure 13 phase name.
+type TracePhase struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Trace is a per-query execution trace (see SearchRequest.Trace).
+type Trace struct {
+	// Phases holds the accumulated wall time of each Figure 13 phase in
+	// phase order. Phases run concurrently on many workers, so these are
+	// worker-seconds: their sum can exceed Elapsed.
+	Phases []TracePhase
+	// Elapsed is the query's wall-clock latency as observed by Do,
+	// including admission-gate waiting on an Engine.
+	Elapsed time.Duration
+	// Counters are the query's operation counts (always collected when
+	// tracing, regardless of SearchRequest.Counters).
+	Counters QueryCounters
 }
 
 // Result is one Do answer.
@@ -139,6 +167,9 @@ type Result struct {
 	// Counters holds per-query operation counts when the request asked
 	// for them, nil otherwise.
 	Counters *QueryCounters
+	// Trace holds the execution trace when the request asked for one,
+	// nil otherwise.
+	Trace *Trace
 }
 
 // Best returns the first (nearest) match, or a zero Match with
@@ -150,21 +181,32 @@ func (r Result) Best() Match {
 	return r.Matches[0]
 }
 
+// collectors carries the per-query measurement state buildRequest
+// attaches to a request, so publicResult can roll it into the Result.
+type collectors struct {
+	ctrs         *stats.Counters  // non-nil when counting or tracing
+	wantCounters bool             // fill Result.Counters
+	bd           *stats.Breakdown // non-nil when tracing
+	start        time.Time        // Do entry time when tracing
+}
+
 // buildRequest is the one shared request-normalization path under every
 // frontend's Do: it validates the request, applies z-normalization when
-// the index uses it, converts the window fraction to points, and resolves
-// the effective absolute deadline from the request budget and the context.
-func buildRequest(ctx context.Context, req SearchRequest, seriesLen int, normalize bool) (core.Request, *stats.Counters, error) {
+// the index uses it, converts the window fraction to points, resolves
+// the effective absolute deadline from the request budget and the
+// context, and attaches the counter/trace collectors the request asked
+// for.
+func buildRequest(ctx context.Context, req SearchRequest, seriesLen int, normalize bool) (core.Request, collectors, error) {
 	if req.K < 0 {
-		return core.Request{}, nil, fmt.Errorf("%w, got %d", ErrBadK, req.K)
+		return core.Request{}, collectors{}, fmt.Errorf("%w, got %d", ErrBadK, req.K)
 	}
 	if req.DTW && req.K > 1 {
-		return core.Request{}, nil, fmt.Errorf("messi: k-NN under DTW is not supported (k=%d): %w", req.K, ErrBadK)
+		return core.Request{}, collectors{}, fmt.Errorf("messi: k-NN under DTW is not supported (k=%d): %w", req.K, ErrBadK)
 	}
 	window := 0
 	if req.DTW {
 		if err := checkWindowFraction(req.Window); err != nil {
-			return core.Request{}, nil, err
+			return core.Request{}, collectors{}, err
 		}
 		window = dtw.WindowSize(seriesLen, req.Window)
 	}
@@ -184,30 +226,35 @@ func buildRequest(ctx context.Context, req SearchRequest, seriesLen int, normali
 			deadline = d
 		}
 	}
-	var ctrs *stats.Counters
-	if req.Counters {
-		ctrs = &stats.Counters{}
+	col := collectors{wantCounters: req.Counters}
+	if req.Counters || req.Trace {
+		col.ctrs = &stats.Counters{}
+	}
+	if req.Trace {
+		col.bd = &stats.Breakdown{}
+		col.start = time.Now()
 	}
 	creq := core.Request{
-		Query:    query,
-		K:        req.K,
-		DTW:      req.DTW,
-		Window:   window,
-		Mode:     core.Mode(req.Mode),
-		Epsilon:  req.Epsilon,
-		Deadline: deadline,
-		Cancel:   ctx.Done(),
-		Counters: ctrs,
+		Query:     query,
+		K:         req.K,
+		DTW:       req.DTW,
+		Window:    window,
+		Mode:      core.Mode(req.Mode),
+		Epsilon:   req.Epsilon,
+		Deadline:  deadline,
+		Cancel:    ctx.Done(),
+		Counters:  col.ctrs,
+		Breakdown: col.bd,
 	}
 	if err := creq.Validate(); err != nil {
-		return core.Request{}, nil, err
+		return core.Request{}, collectors{}, err
 	}
-	return creq, ctrs, nil
+	return creq, col, nil
 }
 
 // publicResult converts a core result (squared distances) into the public
-// shape (true distances, counters snapshot).
-func publicResult(res core.Result, ctrs *stats.Counters) Result {
+// shape (true distances, counters snapshot, trace).
+func publicResult(res core.Result, col collectors) Result {
 	out := Result{
 		Matches:      make([]Match, 0, len(res.Matches)),
 		Exact:        res.Exact,
@@ -219,9 +266,10 @@ func publicResult(res core.Result, ctrs *stats.Counters) Result {
 		}
 		out.Matches = append(out.Matches, Match{Position: m.Position, Distance: math.Sqrt(m.Dist)})
 	}
-	if ctrs != nil {
-		s := ctrs.Snapshot()
-		out.Counters = &QueryCounters{
+	var qc QueryCounters
+	if col.ctrs != nil {
+		s := col.ctrs.Snapshot()
+		qc = QueryCounters{
 			NodesVisited:   s.NodesVisited,
 			LowerBounds:    s.LowerBoundCalcs,
 			RealDistances:  s.RealDistCalcs,
@@ -229,6 +277,21 @@ func publicResult(res core.Result, ctrs *stats.Counters) Result {
 			LeavesPruned:   s.LeavesPruned,
 			BSFUpdates:     s.BSFUpdates,
 		}
+		if col.wantCounters {
+			c := qc
+			out.Counters = &c
+		}
+	}
+	if col.bd != nil {
+		tr := &Trace{
+			Phases:   make([]TracePhase, 0, int(stats.NumPhases)),
+			Elapsed:  time.Since(col.start),
+			Counters: qc,
+		}
+		for p := stats.Phase(0); p < stats.NumPhases; p++ {
+			tr.Phases = append(tr.Phases, TracePhase{Name: p.String(), Duration: col.bd.Get(p)})
+		}
+		out.Trace = tr
 	}
 	return out
 }
@@ -239,7 +302,7 @@ func publicResult(res core.Result, ctrs *stats.Counters) Result {
 // at leaf-scan granularity and returns the best answer so far flagged
 // Exact=false.
 func (ix *Index) Do(ctx context.Context, req SearchRequest) (Result, error) {
-	creq, ctrs, err := buildRequest(ctx, req, ix.inner.SeriesLen(), ix.normalize)
+	creq, col, err := buildRequest(ctx, req, ix.inner.SeriesLen(), ix.normalize)
 	if err != nil {
 		return Result{}, err
 	}
@@ -247,14 +310,14 @@ func (ix *Index) Do(ctx context.Context, req SearchRequest) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return publicResult(res, ctrs), nil
+	return publicResult(res, col), nil
 }
 
 // Do serves one query over the union of the immutable generation and the
 // delta buffer (see Index.Do). The delta is always answered exactly; the
 // quality mode governs the tree search it seeds.
 func (ix *LiveIndex) Do(ctx context.Context, req SearchRequest) (Result, error) {
-	creq, ctrs, err := buildRequest(ctx, req, ix.inner.SeriesLen(), ix.normalize)
+	creq, col, err := buildRequest(ctx, req, ix.inner.SeriesLen(), ix.normalize)
 	if err != nil {
 		return Result{}, err
 	}
@@ -262,7 +325,7 @@ func (ix *LiveIndex) Do(ctx context.Context, req SearchRequest) (Result, error) 
 	if err != nil {
 		return Result{}, err
 	}
-	return publicResult(res, ctrs), nil
+	return publicResult(res, col), nil
 }
 
 // Do serves one query through the persistent engine: the pool answers it
@@ -271,7 +334,7 @@ func (ix *LiveIndex) Do(ctx context.Context, req SearchRequest) (Result, error) 
 // instead of paying queueing latency (the Result reports what was actually
 // proven).
 func (e *Engine) Do(ctx context.Context, req SearchRequest) (Result, error) {
-	creq, ctrs, err := buildRequest(ctx, req, e.ix.SeriesLen(), e.ix.normalize)
+	creq, col, err := buildRequest(ctx, req, e.ix.SeriesLen(), e.ix.normalize)
 	if err != nil {
 		return Result{}, err
 	}
@@ -279,5 +342,5 @@ func (e *Engine) Do(ctx context.Context, req SearchRequest) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return publicResult(res, ctrs), nil
+	return publicResult(res, col), nil
 }
