@@ -13,6 +13,14 @@
 //	go test -run='^$' -bench=. -benchtime=1x ./... > head.txt
 //	git checkout $BASE && go test -run='^$' -bench=. -benchtime=1x ./... > base.txt
 //	benchdiff -base base.txt -head head.txt -match 'BenchmarkEngineThroughput' -threshold 0.30
+//
+// It also gates answer quality: given two cmd/messi-workload JSON reports
+// it compares recall@k and mean pruning ratio per (tier, mode) cell and
+// fails when head drops below base by more than -recall-drop or
+// -pruning-drop. The workload gate can run alongside the bench gate or on
+// its own:
+//
+//	benchdiff -workload-base base.json -workload-head head.json
 package main
 
 import (
@@ -26,6 +34,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/workload"
 )
 
 func main() {
@@ -45,30 +55,71 @@ func main() {
 func run(args []string, stdout io.Writer) (int, error) {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	var (
-		basePath  = fs.String("base", "", "base `go test -bench` output file (required)")
-		headPath  = fs.String("head", "", "head `go test -bench` output file (required)")
+		basePath  = fs.String("base", "", "base `go test -bench` output file")
+		headPath  = fs.String("head", "", "head `go test -bench` output file")
 		match     = fs.String("match", ".", "regexp of benchmark names the gate applies to")
 		threshold = fs.Float64("threshold", 0.30, "fail when head ns/op exceeds base by more than this fraction")
+
+		wlBase      = fs.String("workload-base", "", "base cmd/messi-workload JSON report")
+		wlHead      = fs.String("workload-head", "", "head cmd/messi-workload JSON report")
+		recallDrop  = fs.Float64("recall-drop", 0.05, "fail when a cell's recall@k drops below base by more than this")
+		pruningDrop = fs.Float64("pruning-drop", 0.10, "fail when a cell's mean pruning ratio drops below base by more than this")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
-	if *basePath == "" || *headPath == "" {
-		return 0, errors.New("-base and -head are required")
+	haveBench := *basePath != "" || *headPath != ""
+	haveWorkload := *wlBase != "" || *wlHead != ""
+	if !haveBench && !haveWorkload {
+		return 0, errors.New("-base/-head or -workload-base/-workload-head are required")
 	}
-	re, err := regexp.Compile(*match)
+	if haveBench && (*basePath == "" || *headPath == "") {
+		return 0, errors.New("-base and -head must be given together")
+	}
+	if haveWorkload && (*wlBase == "" || *wlHead == "") {
+		return 0, errors.New("-workload-base and -workload-head must be given together")
+	}
+
+	failed := 0
+	if haveBench {
+		n, err := runBench(*basePath, *headPath, *match, *threshold, stdout)
+		if err != nil {
+			return 0, err
+		}
+		failed += n
+	}
+	if haveWorkload {
+		if haveBench {
+			fmt.Fprintln(stdout)
+		}
+		n, err := runWorkload(*wlBase, *wlHead, *recallDrop, *pruningDrop, stdout)
+		if err != nil {
+			return 0, err
+		}
+		failed += n
+	}
+	if failed > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// runBench compares two `go test -bench` outputs, returning how many gated
+// benchmarks regressed.
+func runBench(basePath, headPath, match string, threshold float64, stdout io.Writer) (int, error) {
+	re, err := regexp.Compile(match)
 	if err != nil {
 		return 0, fmt.Errorf("bad -match: %w", err)
 	}
-	if *threshold <= 0 {
-		return 0, fmt.Errorf("threshold must be positive, got %v", *threshold)
+	if threshold <= 0 {
+		return 0, fmt.Errorf("threshold must be positive, got %v", threshold)
 	}
 
-	base, err := parseFile(*basePath)
+	base, err := parseFile(basePath)
 	if err != nil {
 		return 0, err
 	}
-	head, err := parseFile(*headPath)
+	head, err := parseFile(headPath)
 	if err != nil {
 		return 0, err
 	}
@@ -81,28 +132,113 @@ func run(args []string, stdout io.Writer) (int, error) {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		return 0, fmt.Errorf("no benchmarks matched %q in both files", *match)
+		return 0, fmt.Errorf("no benchmarks matched %q in both files", match)
 	}
 
-	fmt.Fprintf(stdout, "| benchmark | base ns/op | head ns/op | delta | gate (>%+.0f%%) |\n", *threshold*100)
+	fmt.Fprintf(stdout, "| benchmark | base ns/op | head ns/op | delta | gate (>%+.0f%%) |\n", threshold*100)
 	fmt.Fprintln(stdout, "| --- | ---: | ---: | ---: | --- |")
 	failed := 0
 	for _, name := range names {
 		b, h := base[name], head[name]
 		delta := h/b - 1
 		verdict := "ok"
-		if delta > *threshold {
+		if delta > threshold {
 			verdict = "REGRESSION"
 			failed++
 		}
 		fmt.Fprintf(stdout, "| %s | %.0f | %.0f | %+.1f%% | %s |\n", name, b, h, delta*100, verdict)
 	}
 	if failed > 0 {
-		fmt.Fprintf(stdout, "\n%d benchmark(s) regressed by more than %.0f%%\n", failed, *threshold*100)
-		return 1, nil
+		fmt.Fprintf(stdout, "\n%d benchmark(s) regressed by more than %.0f%%\n", failed, threshold*100)
+	} else {
+		fmt.Fprintf(stdout, "\nno regressions beyond %.0f%% across %d benchmark(s)\n", threshold*100, len(names))
 	}
-	fmt.Fprintf(stdout, "\nno regressions beyond %.0f%% across %d benchmark(s)\n", *threshold*100, len(names))
-	return 0, nil
+	return failed, nil
+}
+
+// runWorkload compares two messi-workload reports per (tier, mode) cell,
+// returning how many cells regressed on recall or pruning.
+func runWorkload(basePath, headPath string, recallDrop, pruningDrop float64, stdout io.Writer) (int, error) {
+	if recallDrop < 0 || pruningDrop < 0 {
+		return 0, errors.New("-recall-drop and -pruning-drop must be non-negative")
+	}
+	base, err := readWorkloadFile(basePath)
+	if err != nil {
+		return 0, err
+	}
+	head, err := readWorkloadFile(headPath)
+	if err != nil {
+		return 0, err
+	}
+
+	type cell struct{ recall, pruning float64 }
+	index := func(rep *workload.Report) (map[string]cell, map[string]string) {
+		cells := map[string]cell{}
+		digests := map[string]string{}
+		for _, tr := range rep.Tiers {
+			digests[tr.Tier] = tr.QueriesSHA256
+			for _, mr := range tr.Modes {
+				cells[tr.Tier+"/"+mr.Mode] = cell{mr.RecallAtK, mr.PruningRatioMean}
+			}
+		}
+		return cells, digests
+	}
+	baseCells, baseDigests := index(base)
+	headCells, headDigests := index(head)
+
+	keys := make([]string, 0, len(headCells))
+	for key := range headCells {
+		if _, ok := baseCells[key]; ok {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return 0, errors.New("no (tier, mode) cells present in both workload reports")
+	}
+
+	for tier, d := range headDigests {
+		if bd, ok := baseDigests[tier]; ok && bd != d {
+			fmt.Fprintf(stdout, "note: tier %s query sets differ between base and head (seed or generator changed)\n", tier)
+		}
+	}
+
+	fmt.Fprintf(stdout, "| tier/mode | recall base | recall head | pruning base | pruning head | gate (drop >%.2f / >%.2f) |\n",
+		recallDrop, pruningDrop)
+	fmt.Fprintln(stdout, "| --- | ---: | ---: | ---: | ---: | --- |")
+	failed := 0
+	for _, key := range keys {
+		b, h := baseCells[key], headCells[key]
+		verdict := "ok"
+		if b.recall-h.recall > recallDrop {
+			verdict = "RECALL DROP"
+			failed++
+		} else if b.pruning-h.pruning > pruningDrop {
+			verdict = "PRUNING DROP"
+			failed++
+		}
+		fmt.Fprintf(stdout, "| %s | %.4f | %.4f | %.4f | %.4f | %s |\n",
+			key, b.recall, h.recall, b.pruning, h.pruning, verdict)
+	}
+	if failed > 0 {
+		fmt.Fprintf(stdout, "\n%d workload cell(s) regressed beyond the recall/pruning budgets\n", failed)
+	} else {
+		fmt.Fprintf(stdout, "\nno workload regressions across %d cell(s)\n", len(keys))
+	}
+	return failed, nil
+}
+
+func readWorkloadFile(path string) (*workload.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := workload.ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
 }
 
 func parseFile(path string) (map[string]float64, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -102,5 +103,122 @@ func TestErrors(t *testing.T) {
 	headP := writeFile(t, "head.txt", baseBench)
 	if _, err := run([]string{"-base", base, "-head", headP, "-match", "NoSuchBenchmark"}, &out); err == nil {
 		t.Error("zero matched benchmarks did not error")
+	}
+}
+
+// workloadJSON renders a minimal messi-workload report with the given
+// recall and pruning for a single exact-mode member-tier cell.
+func workloadJSON(recall, pruning float64, digest string) string {
+	return fmt.Sprintf(`{
+  "schema": "messi-workload/v1",
+  "seed": 42, "series": 100, "length": 32, "k": 5, "shards": 1,
+  "epsilon": 0.05, "deadline_ms": 1000,
+  "tiers": [{
+    "tier": "member", "queries": 4, "queries_sha256": %q,
+    "modes": [{
+      "mode": "exact", "recall_at_k": %v, "exact_fraction": 1,
+      "mean_epsilon_bound": -1, "pruning_ratio_mean": %v,
+      "pruning_ratio_curve": [%v]
+    }]
+  }]
+}`, digest, recall, pruning, pruning)
+}
+
+func TestWorkloadGatePasses(t *testing.T) {
+	base := writeFile(t, "base.json", workloadJSON(1, 0.9, "aa"))
+	head := writeFile(t, "head.json", workloadJSON(0.98, 0.85, "aa"))
+	var out strings.Builder
+	code, err := run([]string{"-workload-base", base, "-workload-head", head}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d for within-budget drops, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no workload regressions") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestWorkloadRecallDropFails(t *testing.T) {
+	base := writeFile(t, "base.json", workloadJSON(1, 0.9, "aa"))
+	head := writeFile(t, "head.json", workloadJSON(0.90, 0.9, "aa")) // -0.10 > 0.05 budget
+	var out strings.Builder
+	code, err := run([]string{"-workload-base", base, "-workload-head", head}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d for a recall drop, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "RECALL DROP") {
+		t.Fatalf("output does not flag the drop: %s", out.String())
+	}
+}
+
+func TestWorkloadPruningDropFails(t *testing.T) {
+	base := writeFile(t, "base.json", workloadJSON(1, 0.9, "aa"))
+	head := writeFile(t, "head.json", workloadJSON(1, 0.7, "aa")) // -0.20 > 0.10 budget
+	var out strings.Builder
+	code, err := run([]string{"-workload-base", base, "-workload-head", head}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d for a pruning drop, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "PRUNING DROP") {
+		t.Fatalf("output does not flag the drop: %s", out.String())
+	}
+}
+
+func TestWorkloadDigestMismatchNoted(t *testing.T) {
+	base := writeFile(t, "base.json", workloadJSON(1, 0.9, "aa"))
+	head := writeFile(t, "head.json", workloadJSON(1, 0.9, "bb"))
+	var out strings.Builder
+	code, err := run([]string{"-workload-base", base, "-workload-head", head}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code %d err %v", code, err)
+	}
+	if !strings.Contains(out.String(), "query sets differ") {
+		t.Fatalf("digest mismatch not surfaced: %s", out.String())
+	}
+}
+
+// TestBothGatesCombine: bench and workload gates run in one invocation and
+// either can fail the exit code.
+func TestBothGatesCombine(t *testing.T) {
+	benchBase := writeFile(t, "base.txt", baseBench)
+	benchHead := writeFile(t, "head.txt", baseBench) // unchanged: bench gate passes
+	wlBase := writeFile(t, "base.json", workloadJSON(1, 0.9, "aa"))
+	wlHead := writeFile(t, "head.json", workloadJSON(0.5, 0.9, "aa")) // recall collapses
+	var out strings.Builder
+	code, err := run([]string{
+		"-base", benchBase, "-head", benchHead,
+		"-workload-base", wlBase, "-workload-head", wlHead,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (workload gate failed)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") || !strings.Contains(out.String(), "RECALL DROP") {
+		t.Fatalf("combined output missing a section: %s", out.String())
+	}
+}
+
+func TestWorkloadErrors(t *testing.T) {
+	var out strings.Builder
+	if _, err := run([]string{"-workload-base", "only.json"}, &out); err == nil {
+		t.Error("missing -workload-head did not error")
+	}
+	if _, err := run(nil, &out); err == nil {
+		t.Error("no inputs at all did not error")
+	}
+	bad := writeFile(t, "bad.json", `{"schema":"other/v9"}`)
+	good := writeFile(t, "good.json", workloadJSON(1, 0.9, "aa"))
+	if _, err := run([]string{"-workload-base", bad, "-workload-head", good}, &out); err == nil {
+		t.Error("wrong schema did not error")
 	}
 }

@@ -9,6 +9,7 @@
 //	messi-bench -fig spectrum          # quality/latency spectrum of the Do API
 //	messi-bench -fig spectrum -mode epsilon -epsilon 0.1
 //	messi-bench -fig spectrum -deadline 500us
+//	messi-bench -fig hardness          # quality/pruning across query-hardness tiers
 //
 // Absolute times depend on the host; the comparisons (which algorithm
 // wins, by what factor, where the curves bend) are the reproduction
@@ -40,7 +41,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("messi-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig       = fs.String("fig", "all", "figure number (5-19), 'spectrum', or 'all'")
+		fig       = fs.String("fig", "all", "figure number (5-19), 'spectrum', 'hardness', or 'all'")
 		seriesN   = fs.Int("series", 0, "base collection size in series (default 100000)")
 		length    = fs.Int("length", 0, "series length in points (default 256)")
 		queries   = fs.Int("queries", 0, "queries per measurement (default 10)")
@@ -80,9 +81,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		_, err = table.WriteTo(stdout)
 		return err
 	}
+	if *fig == "hardness" {
+		table, err := experiments.Hardness(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = table.WriteTo(stdout)
+		return err
+	}
 	n, err := strconv.Atoi(*fig)
 	if err != nil {
-		return fmt.Errorf("-fig must be a number, 'spectrum', or 'all', got %q", *fig)
+		return fmt.Errorf("-fig must be a number, 'spectrum', 'hardness', or 'all', got %q", *fig)
 	}
 	table, err := experiments.Run(n, cfg)
 	if err != nil {

@@ -31,3 +31,16 @@ func TestRunFlagValidation(t *testing.T) {
 		t.Fatal("unknown flag accepted")
 	}
 }
+
+// TestRunHardness: -fig hardness produces the hardness table at smoke
+// scale.
+func TestRunHardness(t *testing.T) {
+	var out, errw strings.Builder
+	args := []string{"-fig", "hardness", "-series", "800", "-length", "32", "-queries", "2"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("run(%v): %v (stderr: %s)", args, err, errw.String())
+	}
+	if !strings.Contains(out.String(), "Hardness") || !strings.Contains(out.String(), "adversarial") {
+		t.Fatalf("output missing hardness table:\n%s", out.String())
+	}
+}

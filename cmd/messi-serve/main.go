@@ -746,6 +746,27 @@ func newHandler(b backend, defaultSnapshotPath string) http.Handler {
 	return s
 }
 
+// servedRoutes returns every route pattern the server registers, in
+// documentation order — the single source of truth the README's endpoint
+// table is checked against (TestREADMEDocumentsServedRoutes). routes()
+// panics if this list and the handler map ever disagree, so a route
+// cannot be added in one place only.
+func servedRoutes() []string {
+	return []string{
+		"GET /healthz",
+		"GET /readyz",
+		"GET /metrics",
+		"GET /v1/stats",
+		"POST /v1/search",
+		"POST /v1/knn",
+		"POST /v1/query",
+		"POST /v1/dtw",
+		"POST /v1/query/batch",
+		"POST /v1/series",
+		"POST /v1/snapshot",
+	}
+}
+
 func (s *server) routes() {
 	health := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -756,25 +777,38 @@ func (s *server) routes() {
 		}
 		fmt.Fprintln(w, "ok")
 	}
-	s.route("GET /healthz", health)
-	s.route("GET /readyz", health) // alias for readiness probes
-	s.route("GET /metrics", s.handleMetrics)
-	s.route("GET /v1/stats", s.handleStats)
-	s.route("POST /v1/search", s.searchHandler(nil))
-	s.route("POST /v1/query", s.searchHandler(nil)) // legacy alias
-	s.route("POST /v1/knn", s.searchHandler(func(sr *searchRequest) error {
-		if sr.K < 1 {
-			return fmt.Errorf("k must be at least 1, got %d", sr.K)
+	handlers := map[string]http.HandlerFunc{
+		"GET /healthz":    health,
+		"GET /readyz":     health, // alias for readiness probes
+		"GET /metrics":    s.handleMetrics,
+		"GET /v1/stats":   s.handleStats,
+		"POST /v1/search": s.searchHandler(nil),
+		"POST /v1/query":  s.searchHandler(nil), // legacy alias of /v1/search
+		"POST /v1/knn": s.searchHandler(func(sr *searchRequest) error {
+			if sr.K < 1 {
+				return fmt.Errorf("k must be at least 1, got %d", sr.K)
+			}
+			return nil
+		}),
+		"POST /v1/dtw": s.searchHandler(func(sr *searchRequest) error {
+			sr.DTW = true
+			return nil
+		}),
+		"POST /v1/query/batch": s.handleBatch,
+		"POST /v1/snapshot":    s.handleSnapshot,
+		"POST /v1/series":      s.handleAppend,
+	}
+	served := servedRoutes()
+	if len(handlers) != len(served) {
+		panic(fmt.Sprintf("servedRoutes lists %d routes, handlers map has %d", len(served), len(handlers)))
+	}
+	for _, pattern := range served {
+		h, ok := handlers[pattern]
+		if !ok {
+			panic("servedRoutes lists " + pattern + " but no handler is registered for it")
 		}
-		return nil
-	}))
-	s.route("POST /v1/dtw", s.searchHandler(func(sr *searchRequest) error {
-		sr.DTW = true
-		return nil
-	}))
-	s.route("POST /v1/query/batch", s.handleBatch)
-	s.route("POST /v1/snapshot", s.handleSnapshot)
-	s.route("POST /v1/series", s.handleAppend)
+		s.route(pattern, h)
+	}
 }
 
 // route registers one endpoint wrapped with per-route telemetry: a

@@ -1,0 +1,195 @@
+// Command messi-workload is the hardness-aware workload harness: it
+// generates seeded query tiers of increasing difficulty (member, near-dup,
+// noise, ood, adversarial), runs each tier through the unified Do API
+// across the quality modes, scores the answers against a brute-force
+// ground-truth scan, and emits a JSON report of per-tier recall@k, pruning
+// ratios, and (optionally) latency percentiles.
+//
+// The defaults are fully deterministic: the index builds and queries
+// single-worker, latency measurement is off, and every random choice flows
+// from -seed. Two runs with the same flags produce byte-identical query
+// sets and reports — the property cmd/benchdiff's workload gate relies on.
+//
+// Usage:
+//
+//	messi-workload -seed 42 -out workload.json
+//	messi-workload -series 50000 -kind seismic -queries 50 -measure-latency
+//	messi-workload -mode exact,epsilon -epsilon 0.1
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	messi "repro"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "messi-workload:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the harness; factored out of main so tests can drive the
+// exact CLI surface, byte-compare reports, and inspect errors.
+func run(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("messi-workload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed       = fs.Int64("seed", 42, "master seed for data and query generation")
+		nSeries    = fs.Int("series", 5000, "collection size (number of series)")
+		length     = fs.Int("length", 128, "series length in points")
+		kind       = fs.String("kind", "random", "dataset family: random, seismic, or sald")
+		queries    = fs.Int("queries", 20, "queries per hardness tier")
+		k          = fs.Int("k", 10, "neighbors per query scored by recall@k")
+		leaf       = fs.Int("leaf", 0, "leaf capacity (0 = series/200 clamped to [16, 2000])")
+		shards     = fs.Int("shards", 1, "index shard count")
+		epsilon    = fs.Float64("epsilon", 0.05, "relative-error budget for the epsilon-mode row")
+		deadline   = fs.Duration("deadline", time.Second, "per-query budget for the deadline-mode row")
+		noiseSNR   = fs.Float64("snr", 10, "signal-to-noise ratio (dB) of the noise tier")
+		nearDupSNR = fs.Float64("neardup-snr", 40, "signal-to-noise ratio (dB) of the near-dup tier")
+		modes      = fs.String("mode", "exact,approx,epsilon,deadline", "comma-separated quality modes to run")
+		latency    = fs.Bool("measure-latency", false, "add latency percentiles (makes reports run-dependent)")
+		parallel   = fs.Bool("parallel", false, "build and query with default worker counts (counters become run-dependent)")
+		out        = fs.String("out", "", "report output path (default stdout)")
+		verbose    = fs.Bool("v", false, "log progress to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if fs.NArg() > 0 {
+		return 0, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	modeList, err := parseModes(*modes)
+	if err != nil {
+		return 0, err
+	}
+	dsKind := dataset.Kind(*kind)
+	switch dsKind {
+	case dataset.RandomWalk, dataset.SeismicLike, dataset.SALDLike:
+	default:
+		return 0, fmt.Errorf("unknown -kind %q (want random, seismic, or sald)", *kind)
+	}
+
+	progress := func(format string, args ...any) {
+		if *verbose {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+
+	progress("generating %d %s series of length %d (seed %d)", *nSeries, dsKind, *length, *seed)
+	data, err := dataset.Generate(dsKind, *nSeries, *length, *seed)
+	if err != nil {
+		return 0, err
+	}
+
+	opts := &messi.Options{
+		LeafCapacity: *leaf,
+		Shards:       *shards,
+	}
+	if *leaf <= 0 {
+		opts.LeafCapacity = clamp(*nSeries/200, 16, 2000)
+	}
+	if !*parallel {
+		// Single-worker build and query makes operation counters — and
+		// therefore pruning ratios and the whole report — reproducible.
+		opts.IndexWorkers = 1
+		opts.SearchWorkers = 1
+		opts.QueueCount = 1
+	}
+	progress("building index (leaf %d, shards %d, parallel %v)", opts.LeafCapacity, opts.Shards, *parallel)
+	ix, err := messi.BuildFlat(data.Data, data.Length, opts)
+	if err != nil {
+		return 0, err
+	}
+
+	genOpts := &workload.GenOptions{NoiseSNR: *noiseSNR, NearDupSNR: *nearDupSNR}
+	sets, err := workload.GenerateAll(data, *queries, *seed, genOpts)
+	if err != nil {
+		return 0, err
+	}
+	for _, set := range sets {
+		progress("tier %-12s %d queries sha256=%s", set.Tier, set.Queries.Count(), set.SHA256()[:12])
+	}
+
+	cfg := workload.Config{
+		K:              *k,
+		Epsilon:        *epsilon,
+		Deadline:       *deadline,
+		Modes:          modeList,
+		MeasureLatency: *latency,
+	}
+	progress("running %d tiers × %d modes", len(sets), len(modeList))
+	rep, err := workload.Run(ix, data, sets, cfg)
+	if err != nil {
+		return 0, err
+	}
+	rep.Seed = *seed
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		return 0, err
+	}
+	if *out != "" {
+		progress("report written to %s", *out)
+	}
+	return 0, nil
+}
+
+// parseModes splits a comma-separated mode list into messi.Mode values,
+// rejecting duplicates so a report never carries two rows for one mode.
+func parseModes(s string) ([]messi.Mode, error) {
+	var out []messi.Mode
+	seen := map[messi.Mode]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m, err := messi.ParseMode(part)
+		if err != nil {
+			return nil, err
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("duplicate mode %q", m)
+		}
+		seen[m] = true
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-mode selects no modes")
+	}
+	return out, nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

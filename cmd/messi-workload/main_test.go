@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// tiny keeps test runs fast: a small collection still exercises every tier
+// and mode.
+var tiny = []string{"-series", "400", "-length", "32", "-queries", "4", "-k", "3"}
+
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out bytes.Buffer
+	code, err := run(args, &out, io.Discard)
+	if err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String(), code
+}
+
+// TestDeterministicBytes pins the headline acceptance criterion: two runs
+// with the same seed produce byte-identical reports (and therefore
+// byte-identical query-set digests).
+func TestDeterministicBytes(t *testing.T) {
+	args := append([]string{"-seed", "42"}, tiny...)
+	a, codeA := runCLI(t, args...)
+	b, codeB := runCLI(t, args...)
+	if codeA != 0 || codeB != 0 {
+		t.Fatalf("exit codes %d, %d", codeA, codeB)
+	}
+	if a != b {
+		t.Fatal("same seed produced different report bytes")
+	}
+	c, _ := runCLI(t, append([]string{"-seed", "7"}, tiny...)...)
+	if a == c {
+		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	out, code := runCLI(t, append([]string{"-seed", "1"}, tiny...)...)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	rep, err := workload.ReadReport(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seed != 1 || rep.Series != 400 || rep.Length != 32 || rep.K != 3 {
+		t.Errorf("report header %+v does not echo the flags", rep)
+	}
+	if len(rep.Tiers) != len(workload.Tiers()) {
+		t.Fatalf("%d tiers, want %d", len(rep.Tiers), len(workload.Tiers()))
+	}
+	for _, tr := range rep.Tiers {
+		if len(tr.Modes) != 4 {
+			t.Errorf("tier %s: %d modes, want 4", tr.Tier, len(tr.Modes))
+		}
+		if len(tr.QueriesSHA256) != 64 {
+			t.Errorf("tier %s: bad digest %q", tr.Tier, tr.QueriesSHA256)
+		}
+		for _, mr := range tr.Modes {
+			if mr.Mode == "exact" && mr.RecallAtK != 1 {
+				t.Errorf("tier %s exact recall = %v, want 1", tr.Tier, mr.RecallAtK)
+			}
+			if mr.Latency != nil {
+				t.Errorf("tier %s mode %s: latency present without -measure-latency", tr.Tier, mr.Mode)
+			}
+		}
+	}
+}
+
+func TestModeSubsetAndLatency(t *testing.T) {
+	args := append([]string{"-mode", "exact,epsilon", "-measure-latency"}, tiny...)
+	out, _ := runCLI(t, args...)
+	rep, err := workload.ReadReport(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range rep.Tiers {
+		if len(tr.Modes) != 2 {
+			t.Fatalf("tier %s: %d modes, want 2", tr.Tier, len(tr.Modes))
+		}
+		for _, mr := range tr.Modes {
+			if mr.Latency == nil {
+				t.Errorf("tier %s mode %s: no latency with -measure-latency", tr.Tier, mr.Mode)
+			}
+		}
+	}
+}
+
+func TestOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	stdout, code := runCLI(t, append([]string{"-out", path}, tiny...)...)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if stdout != "" {
+		t.Errorf("stdout not empty with -out: %q", stdout)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := workload.ReadReport(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "nope"},
+		{"-mode", "warp"},
+		{"-mode", "exact,exact"},
+		{"-mode", ","},
+		{"positional"},
+		{"-series", "0"},
+	}
+	for _, args := range cases {
+		if _, err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("run(%v) did not error", args)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package messi_test
+
+import (
+	"fmt"
+
+	messi "repro"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// The hardness-aware workload harness scores the index across query
+// tiers of increasing difficulty. Exact mode keeps perfect recall on
+// every tier — hardness shows up as lost pruning, not lost answers.
+// examples/workload-tuning and docs/COOKBOOK.md build on this flow.
+func Example_workloadHarness() {
+	col, err := dataset.Generate(dataset.RandomWalk, 2000, 64, 7)
+	if err != nil {
+		panic(err)
+	}
+	// Single-worker build and query make the report reproducible.
+	ix, err := messi.BuildFlat(col.Data, col.Length, &messi.Options{
+		LeafCapacity:  64,
+		IndexWorkers:  1,
+		SearchWorkers: 1,
+		QueueCount:    1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sets, err := workload.GenerateAll(col, 5, 42, nil)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := workload.Run(ix, col, sets, workload.Config{
+		K:     3,
+		Modes: []messi.Mode{messi.ModeExact},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	pruning := map[string]float64{}
+	perfect := true
+	for _, tr := range rep.Tiers {
+		for _, mr := range tr.Modes {
+			if mr.RecallAtK != 1 {
+				perfect = false
+			}
+			pruning[tr.Tier] = mr.PruningRatioMean
+		}
+	}
+	fmt.Println("tiers:", len(rep.Tiers))
+	fmt.Println("exact recall 1.0 on every tier:", perfect)
+	fmt.Println("adversarial prunes worse than member:",
+		pruning["adversarial"] < pruning["member"])
+	// Output:
+	// tiers: 5
+	// exact recall 1.0 on every tier: true
+	// adversarial prunes worse than member: true
+}

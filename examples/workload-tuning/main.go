@@ -1,0 +1,73 @@
+// Workload tuning: generate a hardness-tiered query workload, run it
+// through the quality modes, and read the report to choose serving knobs.
+//
+// The harness answers three operator questions the benchmarks cannot:
+// how does answer quality degrade as queries drift off the indexed data
+// (member → near-dup → noise → ood → adversarial), which quality mode
+// buys how much pruning on the hard tiers, and what ε budget keeps
+// recall acceptable when exact search is too slow. docs/COOKBOOK.md
+// walks through this program line by line.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	messi "repro"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. A collection and an index. Single-worker build and query keep
+	//    the operation counters — and so the whole report — reproducible;
+	//    drop those options when you care about speed instead.
+	col, err := dataset.Generate(dataset.RandomWalk, 5000, 128, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := messi.BuildFlat(col.Data, col.Length, &messi.Options{
+		LeafCapacity:  64,
+		IndexWorkers:  1,
+		SearchWorkers: 1,
+		QueueCount:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Five query tiers, ten queries each, all derived from seed 42.
+	//    The same seed always produces byte-identical queries.
+	sets, err := workload.GenerateAll(col, 10, 42, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run every tier through every quality mode, scoring against a
+	//    brute-force ground-truth scan.
+	rep, err := workload.Run(ix, col, sets, workload.Config{
+		K:       5,
+		Epsilon: 0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Read the matrix. Exact mode is the correctness floor (recall
+	//    must be 1.0 everywhere); the pruning mean is the tuning signal:
+	//    tiers where it collapses are where approx/epsilon modes pay.
+	fmt.Printf("%-12s %-9s %9s %9s %9s\n", "tier", "mode", "recall@5", "exact", "pruning")
+	for _, tr := range rep.Tiers {
+		for _, mr := range tr.Modes {
+			fmt.Printf("%-12s %-9s %9.4f %9.2f %9.4f\n",
+				tr.Tier, mr.Mode, mr.RecallAtK, mr.ExactFraction, mr.PruningRatioMean)
+		}
+	}
+
+	// 5. The full JSON report (what cmd/messi-workload emits, and what
+	//    cmd/benchdiff's workload gate compares across commits).
+	if err := rep.WriteJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

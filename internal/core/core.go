@@ -1,8 +1,3 @@
-// Package core implements the paper's primary contribution: the MESSI
-// in-memory data series index. It contains the parallel index-construction
-// pipeline of §III-A (Algorithms 1-4) and the parallel exact query
-// answering of §III-B (Algorithms 5-9), plus the DTW mode (Figure 19) and
-// a k-NN extension of the same machinery.
 package core
 
 import (

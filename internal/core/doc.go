@@ -1,0 +1,43 @@
+// Package core implements the paper's primary contribution: the MESSI
+// in-memory data series index. It contains the parallel index-construction
+// pipeline of §III-A (Algorithms 1-4) and the parallel exact query
+// answering of §III-B (Algorithms 5-9), plus the DTW mode (Figure 19) and
+// a k-NN extension of the same machinery.
+//
+// # Contracts
+//
+// An *Index is immutable once Build returns: every search method is safe
+// for unlimited concurrent use, and nothing in the package mutates the
+// tree, the series block, or the iSAX summaries after construction. All
+// distances handled internally are squared Euclidean (or squared
+// LB_Keogh/DTW); public Match values carry the square root.
+//
+// Request/Result and the QoS type extend the paper's exact search into a
+// quality spectrum: exact, approximate (leaf-only), epsilon (prune at
+// lb·(1+ε)², answer proven within 1+ε of optimal), and deadline (stop at
+// a time budget, report the proven bound). Validation failures are the
+// sentinel errors ErrBadK, ErrBadWindow, ErrWrongLength, and ErrBadEpsilon
+// so callers can map them to API responses without string matching.
+//
+// # Concurrency invariants
+//
+//   - The best-so-far bound (stats.BSF) is updated lock-free: the (dist,
+//     pos) pair is published as an immutable record behind an atomic
+//     pointer, with a separate monotone bits cache for cheap Load. A
+//     stale Load only admits extra candidates — it never wrongly prunes —
+//     so readers may lag writers safely.
+//   - Query workers share pqueue.Set priority queues; a worker that finds
+//     a queue empty steals from the others before exiting (Algorithm 6's
+//     termination), so no leaf is dropped when workers finish unevenly.
+//   - SearchOptions.Shared threads an external BSF through the search so
+//     several index shards (or the delta scan of a live index) tighten
+//     one another's pruning; SearchOptions.GlobalPos remaps local leaf
+//     positions into the caller's global position space before they are
+//     published to the shared bound.
+//   - Per-query scratch (PAA buffer, iSAX word, distance table, queues)
+//     is confined to the query that allocated it; the sync.Pool reuse in
+//     internal/engine relies on queries never retaining scratch past
+//     return.
+//   - Operation counters (stats.Counters) are atomic adds; a nil counter
+//     set disables collection at zero cost.
+package core

@@ -1,25 +1,3 @@
-// Package engine provides a persistent query engine on top of a built
-// MESSI index: a long-lived pool of worker goroutines that answers many
-// queries over the index's lifetime, amortizing the goroutine spawns and
-// the priority-queue/PAA-buffer allocations that the per-query execution
-// mode (core.Index.Search) pays on every call.
-//
-// The paper (and its VLDBJ journal extension) evaluates one query at a
-// time with Ns freshly spawned workers; a serving system instead sees a
-// sustained stream of concurrent queries. The engine keeps the paper's
-// algorithm intact — each query still runs Algorithm 6's two phases
-// against its own bound and queue set — but executes the phases as work
-// units dispatched onto the shared pool:
-//
-//   - admission: at most MaxConcurrent queries execute at once; each
-//     dispatches QueryWorkers insert units, waits for all of them (the
-//     all-inserted barrier), then dispatches QueryWorkers drain units.
-//   - pool goroutines never block on query-level barriers (the caller
-//     does), so any mix of in-flight queries is deadlock-free: one query
-//     may own every pool worker, or K queries interleave their units.
-//   - per-query scratch (PAA buffer, iSAX word buffer, queue set) comes
-//     from a sync.Pool of core.QueryState and is returned after each
-//     query.
 package engine
 
 import (

@@ -149,3 +149,56 @@ func TestTableRendering(t *testing.T) {
 		t.Errorf("expected 6 lines, got %d:\n%s", len(lines), out)
 	}
 }
+
+// TestHardnessTable: the hardness experiment produces one row per
+// (tier, mode) cell, exact rows score recall 1.0, and the adversarial
+// tier prunes worse than the member tier.
+func TestHardnessTable(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Queries = 3
+	table, err := Hardness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 5*4 {
+		t.Fatalf("%d rows, want 20 (5 tiers × 4 modes)", len(table.Rows))
+	}
+	pruning := map[string]string{}
+	for _, row := range table.Rows {
+		if len(row) != len(table.Columns) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(table.Columns))
+		}
+		tier, mode, recall := row[0], row[1], row[2]
+		if mode == "exact" {
+			if recall != "1.0000" {
+				t.Errorf("tier %s exact recall = %s, want 1.0000", tier, recall)
+			}
+			pruning[tier] = row[4]
+		}
+		if row[5] == "-" {
+			t.Errorf("tier %s mode %s: missing p99 latency", tier, mode)
+		}
+	}
+	if pruning["adversarial"] >= pruning["member"] {
+		t.Errorf("adversarial pruning %s not below member pruning %s",
+			pruning["adversarial"], pruning["member"])
+	}
+}
+
+// TestHardnessModeFilter: -mode restricts the sweep to one row per tier.
+func TestHardnessModeFilter(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Queries = 2
+	cfg.Mode = "approx"
+	table, err := Hardness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 5 {
+		t.Fatalf("%d rows, want 5 (one approx row per tier)", len(table.Rows))
+	}
+	cfg.Mode = "warp"
+	if _, err := Hardness(cfg); err == nil {
+		t.Error("unknown mode did not error")
+	}
+}

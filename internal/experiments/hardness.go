@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	messi "repro"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// Hardness is not a paper figure: it runs the hardness-aware workload
+// harness (internal/workload) over one collection and tabulates how answer
+// quality and pruning degrade as queries move off the indexed data — from
+// members through noisy perturbations to out-of-distribution and
+// adversarial anti-correlated queries. It is the human-readable companion
+// to cmd/messi-workload's JSON report.
+func Hardness(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	data, _, err := cfg.data(dataset.RandomWalk, cfg.Series)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := messi.BuildFlat(data.Data, data.Length, &messi.Options{LeafCapacity: cfg.leafCapacity()})
+	if err != nil {
+		return nil, err
+	}
+	sets, err := workload.GenerateAll(data, cfg.Queries, cfg.Seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	wcfg := workload.Config{
+		Epsilon:        cfg.Epsilon,
+		Deadline:       cfg.Deadline,
+		MeasureLatency: true,
+	}
+	if cfg.Mode != "" {
+		mode, err := messi.ParseMode(cfg.Mode)
+		if err != nil {
+			return nil, err
+		}
+		wcfg.Modes = []messi.Mode{mode}
+	}
+	rep, err := workload.Run(ix, data, sets, wcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Figure:  "Hardness",
+		Title:   "Answer quality and pruning across query-hardness tiers",
+		Columns: []string{"tier", "mode", "recall_at_k", "exact_frac", "pruning_mean", "p99_ms"},
+	}
+	for _, tr := range rep.Tiers {
+		for _, mr := range tr.Modes {
+			p99 := "-"
+			if mr.Latency != nil {
+				p99 = fmt.Sprintf("%.3f", mr.Latency.P99)
+			}
+			cfg.logf("hardness %s/%s: recall=%.4f pruning=%.4f", tr.Tier, mr.Mode, mr.RecallAtK, mr.PruningRatioMean)
+			t.AddRow(tr.Tier, mr.Mode,
+				fmt.Sprintf("%.4f", mr.RecallAtK),
+				fmt.Sprintf("%.2f", mr.ExactFraction),
+				fmt.Sprintf("%.4f", mr.PruningRatioMean),
+				p99)
+		}
+	}
+	t.AddNote("tiers ordered easy → hard; pruning_mean = 1 − real-distance computations / N, so lower means the index worked harder (k=%d)", rep.K)
+	return t, nil
+}

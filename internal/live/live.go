@@ -1,26 +1,3 @@
-// Package live implements a mutable MESSI index as a layered system over
-// the immutable core: freshly appended series land in a concurrent delta
-// buffer (internal/delta) and are answered by exact brute-force scan
-// (internal/scan), while the bulk of the data lives in an immutable
-// core.Index generation queried through the persistent engine
-// (internal/engine). A query fuses the two paths by scanning the delta
-// first and seeding the tree search's pruning bound with the delta's best
-// matches — the delta answer both participates in the result and tightens
-// tree pruning.
-//
-// When the delta exceeds a configurable threshold, a background rebuild
-// merges it with the current generation into a new core.Index using the
-// paper's parallel construction, then atomically swaps the generation in
-// (RCU-style: the view — generation + frozen delta + active delta — is an
-// immutable value behind an atomic pointer). In-flight queries finish on
-// the view they loaded; appends arriving during the rebuild go to a fresh
-// active delta and become part of the next generation. Neither queries
-// nor appends ever block on a rebuild.
-//
-// Positions are stable across rebuilds: series are numbered in append
-// order (the initial collection first), and the merge preserves that
-// order, so a position handed out by Append refers to the same series
-// forever.
 package live
 
 import (

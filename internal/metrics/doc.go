@@ -1,0 +1,37 @@
+// Package metrics is a dependency-free production metrics layer: atomic
+// counters, gauges, and lock-free log2-bucketed latency histograms behind
+// a named registry with Prometheus text-format exposition.
+//
+// The registry is the serving-side complement of the paper-reproduction
+// collectors in internal/stats: stats measures one query (Figure 13's
+// phase breakdown, Figure 17's operation counts), metrics accumulates the
+// fleet view across every query a process answers — admission pressure,
+// per-mode latency distributions, cumulative pruning work, rebuild and
+// snapshot activity.
+//
+// # Nil-Registry behavior
+//
+// Like internal/stats, every hot-path method is nil-receiver safe: a nil
+// *Registry hands out nil instruments, and Add/Set/Observe on a nil
+// instrument is a no-op — library users and benchmarks that never enable
+// metrics pay nothing beyond a nil check. Code instrumented against this
+// package therefore never guards a metrics call; it just calls.
+//
+// # Concurrency invariants
+//
+//   - Counters are monotone (negative Add is ignored) and atomic;
+//     gauges are atomic float64 bit-casts; both are safe from any number
+//     of goroutines.
+//   - Histograms are lock-free: Observe is one atomic add into a log2
+//     bucket (plus count/sum), so concurrent observers never contend on
+//     a mutex. Exposition reads buckets without stopping writers; a
+//     scrape is a consistent-enough snapshot (counts may trail sums by
+//     in-flight observations) and never blocks the hot path.
+//   - Instrument registration is idempotent: re-registering the same
+//     (name, labels) returns the existing instrument, and registering
+//     the same name under a different kind panics at startup rather
+//     than corrupting the exposition.
+//   - Quantile estimates interpolate inside the matching log2 bucket, so
+//     they carry bucket-resolution error (at most 2× at the bucket
+//     boundary) — good enough for p50/p99 dashboards, not for SLO math.
+package metrics

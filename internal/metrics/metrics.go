@@ -1,18 +1,3 @@
-// Package metrics is a dependency-free production metrics layer: atomic
-// counters, gauges, and lock-free log2-bucketed latency histograms behind
-// a named registry with Prometheus text-format exposition.
-//
-// Like internal/stats, every hot-path method is nil-receiver safe: a nil
-// *Registry hands out nil instruments, and Add/Set/Observe on a nil
-// instrument is a no-op — library users and benchmarks that never enable
-// metrics pay nothing beyond a nil check.
-//
-// The registry is the serving-side complement of the paper-reproduction
-// collectors in internal/stats: stats measures one query (Figure 13's
-// phase breakdown, Figure 17's operation counts), metrics accumulates the
-// fleet view across every query a process answers — admission pressure,
-// per-mode latency distributions, cumulative pruning work, rebuild and
-// snapshot activity.
 package metrics
 
 import (
@@ -158,6 +143,52 @@ func (h *Histogram) Sum() time.Duration {
 		return 0
 	}
 	return time.Duration(h.sumNanos.Load())
+}
+
+// Quantile estimates the q-th latency quantile (q in [0,1]) from the log2
+// buckets: the bucket holding the q·count-th observation is located and
+// the position inside it interpolated linearly between the bucket's
+// bounds, so the estimate is within one power-of-two bucket of the true
+// value. Observations that landed in the overflow bucket report the
+// largest tracked bound. Returns 0 on a nil or empty histogram and clamps
+// q outside [0,1]. Safe to call concurrently with Observe, though a
+// concurrent reading is not a consistent snapshot (like WriteText).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := 0; i < numHistBuckets; i++ {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo := int64(0)
+			if i > 0 {
+				lo = int64(1) << (i - 1)
+			}
+			hi := int64(1) << i
+			frac := (target - cum) / n
+			if frac < 0 {
+				frac = 0
+			}
+			return time.Duration(lo + int64(frac*float64(hi-lo)))
+		}
+		cum += n
+	}
+	return time.Duration(int64(1) << (numHistBuckets - 1))
 }
 
 // kind is the exposition type of a metric family.

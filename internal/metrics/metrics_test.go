@@ -156,6 +156,60 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %v, want 0", got)
+	}
+	h := &Histogram{}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+
+	// 100 observations of exactly 1ms: every quantile lands inside the
+	// bucket containing 1ms, whose bounds are (2^19, 2^20] ns.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < time.Duration(1<<19) || got > time.Duration(1<<20) {
+			t.Errorf("Quantile(%v) = %v outside the 1ms bucket", q, got)
+		}
+	}
+
+	// A bimodal population separates: p50 stays near the low mode, p99
+	// reaches the high mode.
+	h2 := &Histogram{}
+	for i := 0; i < 90; i++ {
+		h2.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(time.Second)
+	}
+	if p50 := h2.Quantile(0.5); p50 > 10*time.Microsecond {
+		t.Errorf("p50 = %v, want near 1µs", p50)
+	}
+	if p99 := h2.Quantile(0.99); p99 < 100*time.Millisecond {
+		t.Errorf("p99 = %v, want near 1s", p99)
+	}
+	if h2.Quantile(0.99) < h2.Quantile(0.5) {
+		t.Error("quantiles not monotone")
+	}
+
+	// Out-of-range q clamps instead of misbehaving.
+	if h2.Quantile(-1) > h2.Quantile(0) || h2.Quantile(2) < h2.Quantile(1) {
+		t.Error("q outside [0,1] not clamped")
+	}
+
+	// Overflow-only observations report the largest tracked bound.
+	h3 := &Histogram{}
+	h3.Observe(200 * time.Second)
+	if got := h3.Quantile(0.5); got != time.Duration(int64(1)<<(numHistBuckets-1)) {
+		t.Errorf("overflow quantile = %v, want max bound", got)
+	}
+}
+
 func TestWriteTextEscaping(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("messi_esc_total", "help with \\ and\nnewline", L("path", `a"b\c`)).Inc()

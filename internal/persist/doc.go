@@ -1,0 +1,62 @@
+// Package persist defines the MESSI index snapshot: a versioned,
+// checksummed binary format holding everything needed to serve queries
+// without re-running the O(n) construction pipeline — the index options
+// and iSAX schema parameters, the raw series block, and the index tree
+// flattened with its leaf payloads. Loading a snapshot skips PAA
+// transforms, quantization and splits entirely, so a server restarts in
+// the time it takes to read the file.
+//
+// # Layout (version 1, all integers little-endian)
+//
+//	[0,8)    magic "MESSIIX1"
+//	[8,12)   format version (uint32)
+//	[12,16)  flags (uint32; bit 0: data and queries are z-normalized)
+//	[16,20)  segments (uint32)
+//	[20,24)  cardinality bits (uint32)
+//	[24,28)  leaf capacity (uint32)
+//	[28,32)  series length in points (uint32)
+//	[32,40)  series count (uint64)
+//	[40,48)  tree section payload length in bytes (uint64)
+//	[48,56)  series block offset from file start (uint64; 64 in v1)
+//	[56,60)  reserved (zero)
+//	[60,64)  CRC-32C of bytes [0,60)
+//
+// The series block starts at the 64-byte-aligned offset recorded in the
+// header: count*length raw little-endian float32 values, row-major,
+// followed by their CRC-32C (uint32). Because the block is contiguous,
+// aligned, and exactly the in-memory representation of
+// series.Collection.Data, a loader can bring it in with one bulk read
+// into a single flat allocation — no per-series allocation — and an
+// mmap-based loader on a little-endian host could use the region in
+// place.
+//
+// The tree section follows: the flattened iSAX tree (preorder nodes with
+// leaf payloads) and its CRC-32C (uint32).
+//
+// # Versioning policy
+//
+// The version field is bumped on any incompatible layout change; readers
+// reject versions they do not know (ErrVersion) rather than guessing.
+// Unknown flag bits are rejected the same way, so a file written by a
+// newer minor revision with extra semantics cannot be silently
+// misinterpreted.
+//
+// Version 2 changed the leaf word layout inside the tree section from
+// entry-major (one w-byte word per entry) to segment-major (w contiguous
+// symbol columns per leaf) — the layout the query kernels scan, so a
+// mapped load aliases leaf payloads with no conversion. Version 1 files
+// remain readable: the decoder transposes their leaf words on load.
+//
+// # Contracts
+//
+// Write is atomic at the file level: writers should emit to a temp file
+// and rename (cmd/messi-serve's snapshot endpoint does), so a crashed
+// writer never leaves a half-written snapshot under the published name.
+// Every section is independently checksummed; Load verifies header,
+// series block, and tree section CRCs before returning an index, and a
+// corrupt file fails with a sentinel error naming the damaged section
+// rather than producing a silently wrong index. Sharded indexes snapshot
+// as one file per shard plus a manifest binding the shard files to their
+// routing (round-robin, shard count) so a load cannot mix files from
+// different snapshots.
+package persist

@@ -1,0 +1,81 @@
+package scan
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/series"
+)
+
+// GroundTruth caches brute-force exact k-NN answers over one collection.
+// A workload harness evaluates the same query set under many (tier, mode)
+// combinations; the O(n) scan that establishes each query's true nearest
+// neighbors is paid once per query and memoized, not once per combination.
+//
+// Queries are keyed by a caller-chosen index: callers must use a stable
+// index per distinct query (the query's position in its query set). The
+// cache keeps the largest k computed so far per query and serves smaller
+// k values by slicing, recomputing only when a larger k is requested.
+// Safe for concurrent use.
+type GroundTruth struct {
+	data    *series.Collection
+	workers int
+
+	mu    sync.Mutex
+	cache map[int]gtEntry
+}
+
+// gtEntry is one memoized answer: the k it was computed for and the
+// matches in ascending distance order (squared distances, like Match).
+type gtEntry struct {
+	k       int
+	matches []core.Match
+}
+
+// NewGroundTruth returns an empty cache over data. workers sets the scan
+// parallelism of cache misses (values < 1 mean 1).
+func NewGroundTruth(data *series.Collection, workers int) *GroundTruth {
+	if workers < 1 {
+		workers = 1
+	}
+	return &GroundTruth{data: data, workers: workers, cache: make(map[int]gtEntry)}
+}
+
+// KNN returns the exact k nearest neighbors of query under squared
+// Euclidean distance, in ascending distance order. qi is the query's
+// stable cache key; passing different queries under the same qi returns
+// the first query's answer.
+func (g *GroundTruth) KNN(qi int, query []float32, k int) ([]core.Match, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("scan: ground-truth k must be positive, got %d", k)
+	}
+	g.mu.Lock()
+	e, ok := g.cache[qi]
+	g.mu.Unlock()
+	if ok && e.k >= k {
+		if len(e.matches) > k {
+			return e.matches[:k], nil
+		}
+		return e.matches, nil
+	}
+	matches, err := SearchKNN(g.data, query, k, g.workers, nil)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	// A concurrent miss for a larger k may have landed first; keep the
+	// larger answer.
+	if cur, ok := g.cache[qi]; !ok || cur.k < k {
+		g.cache[qi] = gtEntry{k: k, matches: matches}
+	}
+	g.mu.Unlock()
+	return matches, nil
+}
+
+// Len reports the number of cached queries.
+func (g *GroundTruth) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.cache)
+}

@@ -1,0 +1,116 @@
+package scan
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestGroundTruthMatchesScan(t *testing.T) {
+	col, err := dataset.Generate(dataset.RandomWalk, 300, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := dataset.Queries(dataset.RandomWalk, 4, 32, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := NewGroundTruth(col, 2)
+	for qi := 0; qi < queries.Count(); qi++ {
+		q := queries.At(qi)
+		want, err := SearchKNN(col, q, 5, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ { // second pass must hit the cache
+			got, err := gt.KNN(qi, q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("query %d pass %d: %d matches, want %d", qi, pass, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("query %d pass %d match %d = %+v, want %+v", qi, pass, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	if gt.Len() != queries.Count() {
+		t.Errorf("cache holds %d queries, want %d", gt.Len(), queries.Count())
+	}
+}
+
+func TestGroundTruthServesSmallerKFromCache(t *testing.T) {
+	col, err := dataset.Generate(dataset.RandomWalk, 100, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := col.At(3)
+	gt := NewGroundTruth(col, 1)
+	big, err := gt.KNN(0, q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := gt.KNN(0, q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) != 3 {
+		t.Fatalf("k=3 returned %d matches", len(small))
+	}
+	for i := range small {
+		if small[i] != big[i] {
+			t.Errorf("sliced answer diverges at %d", i)
+		}
+	}
+	if gt.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", gt.Len())
+	}
+	// A larger k than cached recomputes.
+	bigger, err := gt.KNN(0, q, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bigger) != 20 {
+		t.Fatalf("k=20 returned %d matches", len(bigger))
+	}
+}
+
+func TestGroundTruthConcurrent(t *testing.T) {
+	col, err := dataset.Generate(dataset.RandomWalk, 200, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := NewGroundTruth(col, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := 0; qi < 10; qi++ {
+				if _, err := gt.KNN(qi, col.At(qi), 4); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if gt.Len() != 10 {
+		t.Errorf("cache holds %d entries, want 10", gt.Len())
+	}
+}
+
+func TestGroundTruthBadK(t *testing.T) {
+	col, err := dataset.Generate(dataset.RandomWalk, 10, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := NewGroundTruth(col, 1)
+	if _, err := gt.KNN(0, col.At(0), 0); err == nil {
+		t.Error("k=0 did not error")
+	}
+}

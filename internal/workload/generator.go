@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/series"
+)
+
+// Tier identifies one query-hardness tier.
+type Tier string
+
+// The hardness tiers, from easiest (member) to hardest (adversarial).
+const (
+	TierMember      Tier = "member"
+	TierNearDup     Tier = "near-dup"
+	TierNoise       Tier = "noise"
+	TierOOD         Tier = "ood"
+	TierAdversarial Tier = "adversarial"
+)
+
+// Tiers returns every tier in canonical (easy → hard) order.
+func Tiers() []Tier {
+	return []Tier{TierMember, TierNearDup, TierNoise, TierOOD, TierAdversarial}
+}
+
+// tierOrdinal gives each tier a fixed sub-seed offset so a tier's queries
+// depend only on (seed, tier), never on which other tiers are generated.
+func tierOrdinal(t Tier) (int64, error) {
+	for i, tier := range Tiers() {
+		if tier == t {
+			return int64(i), nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown tier %q", t)
+}
+
+// GenOptions tunes the perturbation tiers. The zero value (or nil) selects
+// the defaults.
+type GenOptions struct {
+	// NoiseSNR is the signal-to-noise ratio in dB of TierNoise queries
+	// (default 10): Gaussian noise with standard deviation
+	// std(member)·10^(-SNR/20) is added to a sampled member.
+	NoiseSNR float64
+	// NearDupSNR is the SNR in dB of TierNearDup queries (default 40).
+	NearDupSNR float64
+}
+
+func (o *GenOptions) noiseSNR() float64 {
+	if o == nil || o.NoiseSNR == 0 {
+		return 10
+	}
+	return o.NoiseSNR
+}
+
+func (o *GenOptions) nearDupSNR() float64 {
+	if o == nil || o.NearDupSNR == 0 {
+		return 40
+	}
+	return o.NearDupSNR
+}
+
+// QuerySet is one tier's generated queries.
+type QuerySet struct {
+	Tier    Tier
+	Queries *series.Collection
+}
+
+// SHA256 returns the hex digest of the query set's raw little-endian
+// float32 bytes — the report's proof that two runs generated identical
+// queries.
+func (qs *QuerySet) SHA256() string {
+	h := sha256.New()
+	var buf [4]byte
+	for _, v := range qs.Queries.Data {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// Generate produces n queries of the given tier over data,
+// deterministically from seed (the same seed produces byte-identical
+// queries regardless of which other tiers are generated). All queries are
+// z-normalized, matching the generated collections' convention.
+func Generate(data *series.Collection, tier Tier, n int, seed int64, opts *GenOptions) (*QuerySet, error) {
+	ord, err := tierOrdinal(tier)
+	if err != nil {
+		return nil, err
+	}
+	if data == nil || data.Count() == 0 {
+		return nil, fmt.Errorf("workload: empty collection")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: non-positive query count %d", n)
+	}
+	queries, err := series.NewEmptyCollection(n, data.Length)
+	if err != nil {
+		return nil, err
+	}
+	// Mix the ordinal into the seed with a large odd stride so adjacent
+	// base seeds do not alias adjacent tiers.
+	rng := rand.New(rand.NewSource(seed + ord*0x9E3779B9))
+	for i := 0; i < n; i++ {
+		dst := queries.At(i)
+		member := data.At(rng.Intn(data.Count()))
+		switch tier {
+		case TierMember:
+			copy(dst, member)
+		case TierNearDup:
+			perturb(rng, dst, member, opts.nearDupSNR())
+		case TierNoise:
+			perturb(rng, dst, member, opts.noiseSNR())
+		case TierOOD:
+			// White Gaussian noise: z-normalized it has maximal
+			// high-frequency content, far off the manifold of smooth
+			// random-walk / seismic / MRI-like series.
+			for j := range dst {
+				dst[j] = float32(rng.NormFloat64())
+			}
+		case TierAdversarial:
+			// Anti-correlated at lag 1: the member with alternating
+			// signs. Flipping every other point turns a smooth series
+			// into a high-frequency one whose per-segment means — the
+			// PAA summary the index prunes with — collapse toward
+			// zero, so every node's lower bound looks equally close,
+			// the best-so-far stays loose, and pruning collapses.
+			// (Plain negation is not adversarial: for symmetric data
+			// like random walks, −x is just another member.)
+			for j, v := range member {
+				if j%2 == 1 {
+					v = -v
+				}
+				dst[j] = v
+			}
+		}
+		series.ZNormalize(dst)
+	}
+	return &QuerySet{Tier: tier, Queries: queries}, nil
+}
+
+// perturb writes member plus Gaussian noise at the given SNR (dB) into
+// dst. Noise power is relative to the member's own power, so the knob
+// means the same thing for non-normalized collections.
+func perturb(rng *rand.Rand, dst, member []float32, snrDB float64) {
+	sigma := series.Std(member) * math.Pow(10, -snrDB/20)
+	for j, v := range member {
+		dst[j] = v + float32(rng.NormFloat64()*sigma)
+	}
+}
+
+// GenerateAll produces every tier's query set (n queries each) in
+// canonical order.
+func GenerateAll(data *series.Collection, n int, seed int64, opts *GenOptions) ([]*QuerySet, error) {
+	sets := make([]*QuerySet, 0, len(Tiers()))
+	for _, tier := range Tiers() {
+		qs, err := Generate(data, tier, n, seed, opts)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, qs)
+	}
+	return sets, nil
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Schema identifies the report format; cmd/benchdiff rejects reports whose
+// schema it does not understand instead of mis-parsing them.
+const Schema = "messi-workload/v1"
+
+// Report is the JSON document the harness emits: per-tier, per-mode answer
+// quality and pruning behavior, plus everything needed to reproduce the
+// run (seed, shape, knobs) and to verify two runs used identical queries
+// (per-tier SHA-256 of the generated query bytes).
+type Report struct {
+	Schema  string  `json:"schema"`
+	Seed    int64   `json:"seed"`
+	Series  int     `json:"series"`
+	Length  int     `json:"length"`
+	K       int     `json:"k"`
+	Shards  int     `json:"shards"`
+	Epsilon float64 `json:"epsilon"`
+	// DeadlineMS is the deadline-mode latency budget in milliseconds.
+	DeadlineMS float64      `json:"deadline_ms"`
+	Tiers      []TierReport `json:"tiers"`
+}
+
+// TierReport is one hardness tier's results across the quality modes.
+type TierReport struct {
+	Tier    string `json:"tier"`
+	Queries int    `json:"queries"`
+	// QueriesSHA256 digests the tier's generated query bytes: equal
+	// digests prove two runs measured identical workloads.
+	QueriesSHA256 string       `json:"queries_sha256"`
+	Modes         []ModeReport `json:"modes"`
+}
+
+// ModeReport is one (tier, mode) cell of the harness matrix.
+type ModeReport struct {
+	Mode string `json:"mode"`
+	// RecallAtK is the mean fraction of each query's true k nearest
+	// neighbors present in the returned answer (distance-tolerant, so
+	// exact search scores 1.0 even under floating-point ties).
+	RecallAtK float64 `json:"recall_at_k"`
+	// ExactFraction is the fraction of answers the search proved exact.
+	ExactFraction float64 `json:"exact_fraction"`
+	// MeanEpsilonBound averages the finite proven relative-error bounds
+	// (-1 when no answer proved a finite bound).
+	MeanEpsilonBound float64 `json:"mean_epsilon_bound"`
+	// PruningRatioMean is the mean over queries of 1 − RealDistances/N:
+	// the fraction of the collection never fully compared. Easy tiers
+	// approach 1; adversarial tiers fall toward 0.
+	PruningRatioMean float64 `json:"pruning_ratio_mean"`
+	// PruningRatioCurve is the per-query pruning ratio sorted ascending —
+	// an empirical CDF of pruning behavior across the tier.
+	PruningRatioCurve []float64 `json:"pruning_ratio_curve"`
+	// Latency summarizes per-query wall time; present only when the run
+	// measured latency (Config.MeasureLatency), since timings make the
+	// report run-dependent.
+	Latency *LatencySummary `json:"latency_ms,omitempty"`
+}
+
+// LatencySummary holds latency percentiles in milliseconds, estimated
+// from an internal/metrics log2-bucket histogram.
+type LatencySummary struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+}
+
+// WriteJSON writes the report as indented JSON with a trailing newline.
+// Output is byte-stable for identical report values.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadReport parses and validates a report.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("workload: bad report: %w", err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("workload: unsupported report schema %q (want %q)", rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// round6 rounds to 6 decimals: enough resolution for recall and pruning
+// ratios, small enough to keep report diffs readable.
+func round6(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return v
+	}
+	return math.Round(v*1e6) / 1e6
+}

@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	messi "repro"
+	"repro/internal/metrics"
+	"repro/internal/scan"
+	"repro/internal/series"
+)
+
+// Config tunes one harness run.
+type Config struct {
+	// K is the neighbors per query scored by recall@k (default 10,
+	// clamped to the collection size).
+	K int
+	// Epsilon is the relative-error budget of the epsilon-mode row
+	// (default 0.05).
+	Epsilon float64
+	// Deadline is the per-query budget of the deadline-mode row (default
+	// 1s — generous, so the row degenerates to exact on small workloads
+	// instead of injecting wall-clock nondeterminism).
+	Deadline time.Duration
+	// Workers is the brute-force ground-truth scan parallelism (default
+	// 1; the scan result is identical at any value).
+	Workers int
+	// Modes restricts the run to a subset of quality modes (default all
+	// four, in exact/approx/epsilon/deadline order).
+	Modes []messi.Mode
+	// MeasureLatency adds latency percentiles to the report. Timings are
+	// run-dependent, so reports are only byte-comparable across runs when
+	// this is off.
+	MeasureLatency bool
+}
+
+func (c Config) withDefaults(collectionSize int) Config {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.K > collectionSize {
+		c.K = collectionSize
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.05
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = time.Second
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if len(c.Modes) == 0 {
+		c.Modes = []messi.Mode{messi.ModeExact, messi.ModeApprox, messi.ModeEpsilon, messi.ModeDeadline}
+	}
+	return c
+}
+
+// Run executes every query set against ix across the configured quality
+// modes, scoring recall against the brute-force ground truth over data
+// (the collection ix was built from) and deriving pruning ratios from the
+// per-query operation counters. The returned report carries one ModeReport
+// per (tier, mode) cell.
+func Run(ix *messi.Index, data *series.Collection, sets []*QuerySet, cfg Config) (*Report, error) {
+	if ix == nil || data == nil {
+		return nil, fmt.Errorf("workload: nil index or collection")
+	}
+	cfg = cfg.withDefaults(data.Count())
+	gt := scan.NewGroundTruth(data, cfg.Workers)
+	rep := &Report{
+		Schema:     Schema,
+		Series:     ix.Len(),
+		Length:     ix.SeriesLen(),
+		K:          cfg.K,
+		Shards:     ix.Shards(),
+		Epsilon:    cfg.Epsilon,
+		DeadlineMS: float64(cfg.Deadline) / float64(time.Millisecond),
+	}
+	for _, set := range sets {
+		tr := TierReport{
+			Tier:          string(set.Tier),
+			Queries:       set.Queries.Count(),
+			QueriesSHA256: set.SHA256(),
+		}
+		// Ground truth is cached per query across modes but not across
+		// tiers: each tier gets its own cache keyspace.
+		tierGT := func(qi int, q []float32) ([]float64, error) {
+			truth, err := gt.KNN(tierKey(set.Tier, qi), q, cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			dists := make([]float64, len(truth))
+			for i, m := range truth {
+				dists[i] = m.Dist
+			}
+			return dists, nil
+		}
+		for _, mode := range cfg.Modes {
+			mr, err := runCell(ix, set, mode, cfg, tierGT)
+			if err != nil {
+				return nil, fmt.Errorf("tier %s mode %s: %w", set.Tier, mode, err)
+			}
+			tr.Modes = append(tr.Modes, mr)
+		}
+		rep.Tiers = append(rep.Tiers, tr)
+	}
+	return rep, nil
+}
+
+// tierKey maps (tier, query index) onto the shared ground-truth cache's
+// flat keyspace.
+func tierKey(tier Tier, qi int) int {
+	for i, t := range Tiers() {
+		if t == tier {
+			return i*1_000_000 + qi
+		}
+	}
+	return -1_000_000 - qi
+}
+
+// runCell measures one (tier, mode) cell.
+func runCell(ix *messi.Index, set *QuerySet, mode messi.Mode, cfg Config,
+	groundTruth func(int, []float32) ([]float64, error)) (ModeReport, error) {
+
+	n := set.Queries.Count()
+	collectionN := ix.Len()
+	var recallSum, pruneSum, boundSum float64
+	exactN, boundN := 0, 0
+	curve := make([]float64, 0, n)
+	hist := &metrics.Histogram{}
+	for qi := 0; qi < n; qi++ {
+		q := set.Queries.At(qi)
+		req := messi.SearchRequest{Query: q, K: cfg.K, Mode: mode, Counters: true}
+		switch mode {
+		case messi.ModeEpsilon:
+			req.Epsilon = cfg.Epsilon
+		case messi.ModeDeadline:
+			req.Deadline = cfg.Deadline
+		}
+		start := time.Now()
+		res, err := ix.Do(context.Background(), req)
+		hist.Observe(time.Since(start))
+		if err != nil {
+			return ModeReport{}, fmt.Errorf("query %d: %w", qi, err)
+		}
+		truth, err := groundTruth(qi, q)
+		if err != nil {
+			return ModeReport{}, fmt.Errorf("query %d ground truth: %w", qi, err)
+		}
+		recallSum += recallAtK(res.Matches, truth)
+		pr := pruningRatio(res.Counters, collectionN)
+		pruneSum += pr
+		curve = append(curve, round6(pr))
+		if res.Exact {
+			exactN++
+		}
+		if !math.IsInf(res.EpsilonBound, 1) {
+			boundSum += res.EpsilonBound
+			boundN++
+		}
+	}
+	sort.Float64s(curve)
+	mr := ModeReport{
+		Mode:              mode.String(),
+		RecallAtK:         round6(recallSum / float64(n)),
+		ExactFraction:     round6(float64(exactN) / float64(n)),
+		MeanEpsilonBound:  -1,
+		PruningRatioMean:  round6(pruneSum / float64(n)),
+		PruningRatioCurve: curve,
+	}
+	if boundN > 0 {
+		mr.MeanEpsilonBound = round6(boundSum / float64(boundN))
+	}
+	if cfg.MeasureLatency {
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		mean := time.Duration(0)
+		if c := hist.Count(); c > 0 {
+			mean = hist.Sum() / time.Duration(c)
+		}
+		mr.Latency = &LatencySummary{
+			P50:  ms(hist.Quantile(0.50)),
+			P90:  ms(hist.Quantile(0.90)),
+			P99:  ms(hist.Quantile(0.99)),
+			Mean: ms(mean),
+		}
+	}
+	return mr, nil
+}
+
+// recallAtK scores returned matches (true, non-squared distances) against
+// the true k-NN squared distances. A match counts when its distance does
+// not exceed the k-th true distance, with a relative tolerance so exact
+// answers score 1.0 even when floating-point ties reorder equal-distance
+// candidates.
+func recallAtK(matches []messi.Match, truthSq []float64) float64 {
+	if len(truthSq) == 0 {
+		return 0
+	}
+	kth := truthSq[len(truthSq)-1]
+	limit := kth*(1+1e-9) + 1e-12
+	hits := 0
+	for _, m := range matches {
+		if m.Distance*m.Distance <= limit {
+			hits++
+		}
+	}
+	if hits > len(truthSq) {
+		hits = len(truthSq)
+	}
+	return float64(hits) / float64(len(truthSq))
+}
+
+// pruningRatio derives the fraction of the collection a query never fully
+// compared: 1 − RealDistances/N, clamped to [0,1] (a k-NN drain can
+// re-examine candidates, so the raw count may exceed N on hard queries).
+func pruningRatio(ctrs *messi.QueryCounters, collectionN int) float64 {
+	if ctrs == nil || collectionN <= 0 {
+		return 0
+	}
+	r := 1 - float64(ctrs.RealDistances)/float64(collectionN)
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}

@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	messi "repro"
+	"repro/internal/dataset"
+	"repro/internal/series"
+)
+
+// testCollection builds a small deterministic random-walk collection.
+func testCollection(t *testing.T, n, length int) *series.Collection {
+	t.Helper()
+	col, err := dataset.Generate(dataset.RandomWalk, n, length, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+// deterministicIndex builds ix single-worker so query counters (and
+// therefore pruning ratios) are reproducible run to run.
+func deterministicIndex(t *testing.T, col *series.Collection) *messi.Index {
+	t.Helper()
+	ix, err := messi.BuildFlat(col.Data, col.Length, &messi.Options{
+		LeafCapacity:  64,
+		IndexWorkers:  1,
+		SearchWorkers: 1,
+		QueueCount:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	col := testCollection(t, 500, 64)
+	for _, tier := range Tiers() {
+		a, err := Generate(col, tier, 10, 42, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(col, tier, 10, 42, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.SHA256() != b.SHA256() {
+			t.Errorf("tier %s: same seed produced different query bytes", tier)
+		}
+		c, err := Generate(col, tier, 10, 43, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.SHA256() == c.SHA256() {
+			t.Errorf("tier %s: different seeds produced identical query bytes", tier)
+		}
+	}
+}
+
+func TestGeneratorTiersIndependentOfOrder(t *testing.T) {
+	col := testCollection(t, 200, 64)
+	all, err := GenerateAll(col, 5, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generating one tier alone must produce the same queries as
+	// generating it as part of the full sweep.
+	solo, err := Generate(col, TierOOD, 5, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, set := range all {
+		if set.Tier == TierOOD && set.SHA256() != solo.SHA256() {
+			t.Error("TierOOD queries depend on generation order")
+		}
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	col := testCollection(t, 10, 32)
+	if _, err := Generate(col, Tier("nope"), 3, 1, nil); err == nil {
+		t.Error("unknown tier did not error")
+	}
+	if _, err := Generate(col, TierMember, 0, 1, nil); err == nil {
+		t.Error("zero queries did not error")
+	}
+	if _, err := Generate(nil, TierMember, 3, 1, nil); err == nil {
+		t.Error("nil collection did not error")
+	}
+}
+
+func TestMemberQueriesAreMembers(t *testing.T) {
+	col := testCollection(t, 100, 32)
+	qs, err := Generate(col, TierMember, 20, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < qs.Queries.Count(); qi++ {
+		q := qs.Queries.At(qi)
+		found := false
+		for i := 0; i < col.Count() && !found; i++ {
+			s := col.At(i)
+			same := true
+			for j := range q {
+				// Generated collections are already z-normalized, so the
+				// member copy re-normalizes to (almost) itself.
+				if d := float64(q[j] - s[j]); d > 1e-5 || d < -1e-5 {
+					same = false
+					break
+				}
+			}
+			found = same
+		}
+		if !found {
+			t.Fatalf("member query %d matches no collection series", qi)
+		}
+	}
+}
+
+// TestRun pins the ISSUE's acceptance contracts on one deterministic run:
+// exact-mode recall@k is 1.0 on every tier, the adversarial tier prunes
+// strictly worse than the member tier, and the whole report is
+// reproducible (same seed → byte-identical JSON).
+func TestRun(t *testing.T) {
+	col := testCollection(t, 2000, 64)
+	ix := deterministicIndex(t, col)
+	runOnce := func() *Report {
+		sets, err := GenerateAll(col, 6, 42, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(ix, col, sets, Config{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := runOnce()
+
+	if len(rep.Tiers) != len(Tiers()) {
+		t.Fatalf("report has %d tiers, want %d", len(rep.Tiers), len(Tiers()))
+	}
+	perTier := map[string]map[string]ModeReport{}
+	for _, tr := range rep.Tiers {
+		if len(tr.Modes) != 4 {
+			t.Fatalf("tier %s has %d modes, want 4", tr.Tier, len(tr.Modes))
+		}
+		perTier[tr.Tier] = map[string]ModeReport{}
+		for _, mr := range tr.Modes {
+			perTier[tr.Tier][mr.Mode] = mr
+		}
+	}
+
+	// Exact mode: recall@k = 1.0 and proven exact on every tier.
+	for tier, modes := range perTier {
+		ex := modes["exact"]
+		if ex.RecallAtK != 1.0 {
+			t.Errorf("tier %s exact recall@%d = %v, want 1.0", tier, rep.K, ex.RecallAtK)
+		}
+		if ex.ExactFraction != 1.0 {
+			t.Errorf("tier %s exact fraction = %v, want 1.0", tier, ex.ExactFraction)
+		}
+		if mr := modes["epsilon"]; mr.RecallAtK == 0 {
+			t.Errorf("tier %s epsilon recall is 0 — the mode did not run", tier)
+		}
+	}
+
+	// Tier separation: adversarial queries must prune strictly worse
+	// than member queries under exact search.
+	member := perTier[string(TierMember)]["exact"].PruningRatioMean
+	adversarial := perTier[string(TierAdversarial)]["exact"].PruningRatioMean
+	if !(adversarial < member) {
+		t.Errorf("adversarial pruning %v not strictly below member pruning %v", adversarial, member)
+	}
+
+	// Curves are sorted per-query ratios, one per query.
+	for _, tr := range rep.Tiers {
+		for _, mr := range tr.Modes {
+			if len(mr.PruningRatioCurve) != tr.Queries {
+				t.Errorf("tier %s mode %s curve has %d points, want %d",
+					tr.Tier, mr.Mode, len(mr.PruningRatioCurve), tr.Queries)
+			}
+			for i := 1; i < len(mr.PruningRatioCurve); i++ {
+				if mr.PruningRatioCurve[i] < mr.PruningRatioCurve[i-1] {
+					t.Errorf("tier %s mode %s curve not sorted", tr.Tier, mr.Mode)
+					break
+				}
+			}
+			if mr.Latency != nil {
+				t.Errorf("tier %s mode %s has latency without MeasureLatency", tr.Tier, mr.Mode)
+			}
+		}
+	}
+
+	// Determinism: a second full run serializes byte-identically.
+	var a, b bytes.Buffer
+	if err := rep.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOnce().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two runs with the same seed produced different reports")
+	}
+}
+
+func TestRunMeasuresLatencyWhenAsked(t *testing.T) {
+	col := testCollection(t, 300, 32)
+	ix := deterministicIndex(t, col)
+	sets, err := GenerateAll(col, 3, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(ix, col, sets, Config{K: 3, MeasureLatency: true, Modes: []messi.Mode{messi.ModeExact}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range rep.Tiers {
+		for _, mr := range tr.Modes {
+			if mr.Latency == nil {
+				t.Fatalf("tier %s: no latency summary", tr.Tier)
+			}
+			if mr.Latency.P99 < mr.Latency.P50 {
+				t.Errorf("tier %s: p99 %v below p50 %v", tr.Tier, mr.Latency.P99, mr.Latency.P50)
+			}
+		}
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := &Report{
+		Schema: Schema, Seed: 9, Series: 10, Length: 8, K: 3, Shards: 1,
+		Epsilon: 0.05, DeadlineMS: 1000,
+		Tiers: []TierReport{{
+			Tier: "member", Queries: 2, QueriesSHA256: "ab",
+			Modes: []ModeReport{{
+				Mode: "exact", RecallAtK: 1, ExactFraction: 1,
+				MeanEpsilonBound: -1, PruningRatioMean: 0.9,
+				PruningRatioCurve: []float64{0.8, 1},
+			}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Errorf("round trip mismatch:\n%s\n%s", a, b)
+	}
+
+	bad := bytes.NewBufferString(`{"schema":"other/v9"}`)
+	if _, err := ReadReport(bad); err == nil {
+		t.Error("wrong schema did not error")
+	}
+}
