@@ -55,6 +55,16 @@
 // crosses -rebuild-threshold. Without -live the index is immutable and
 // /v1/series is not registered.
 //
+// With -wal DIR (live mode only) every acked append is journaled to a
+// write-ahead log in DIR before it becomes searchable, and a restart
+// replays the log tail on top of the boot snapshot — acked series
+// survive a crash even when they never made it into a snapshot.
+// -wal-sync selects the durability policy ("always" fsyncs per append
+// and survives power loss; "interval" batches fsyncs; "none" relies on
+// the OS page cache) and -wal-segment the rotation size. Snapshots
+// written on flush, shutdown, or POST /v1/snapshot truncate the log's
+// covered prefix, keeping replay time bounded.
+//
 // With -shards the index is partitioned across S independent shards built
 // concurrently and queried by a fan-out with a shared pruning bound;
 // /v1/stats then reports a per_shard breakdown. Answers are identical to
@@ -103,6 +113,7 @@ import (
 
 	messi "repro"
 	"repro/internal/metrics"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -131,6 +142,9 @@ func run(args []string) error {
 		liveMode  = fs.Bool("live", false, "serve a mutable live index accepting appends on POST /v1/series")
 		shards    = fs.Int("shards", 0, "partition the index across this many shards (default 1)")
 		threshold = fs.Int("rebuild-threshold", 0, "live mode: delta series triggering a background rebuild (default 100000)")
+		walDir    = fs.String("wal", "", "live mode: write-ahead log directory — acked appends are journaled and replayed on restart")
+		walSync   = fs.String("wal-sync", "always", "WAL durability policy: always (fsync per append), interval, or none")
+		walSeg    = fs.Int64("wal-segment", 0, "WAL segment size in bytes before rotation (default 64 MiB)")
 		slowQuery = fs.Duration("slow-query", 0, "log the full execution trace of queries slower than this (e.g. 250ms; 0 disables)")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); keep it loopback-only, the listener is unauthenticated")
 	)
@@ -139,6 +153,14 @@ func run(args []string) error {
 	}
 	if *dataPath == "" && *snapPath == "" {
 		return errors.New("one of -data or -snapshot is required")
+	}
+	if *walDir != "" && !*liveMode {
+		return errors.New("-wal requires -live (only a live index journals appends)")
+	}
+	// A typo'd durability policy must fail at startup, not after a long
+	// dataset load.
+	if _, err := wal.ParseSyncPolicy(*walSync); err != nil {
+		return err
 	}
 	if *pprofAddr != "" {
 		// Profiling runs on its own listener so the debug surface never
@@ -203,15 +225,24 @@ func run(args []string) error {
 			SnapshotPath:     *snapPath,
 			Engine:           engOpts,
 			Metrics:          reg,
+			WALDir:           *walDir,
+			WALSync:          *walSync,
+			WALSegmentBytes:  *walSeg,
 		})
 		if err != nil {
 			srv.Close()
 			return err
 		}
-		defer lix.Close()
+		defer func() {
+			// A failed close-time snapshot (or WAL close) is a durability
+			// gap worth a log line even on the way out.
+			if err := lix.Close(); err != nil {
+				slog.Error("live index close failed", "err", err)
+			}
+		}()
 		warnShardMismatch(*shards, lix.Stats().Shards)
 		slog.Info("index ready", "source", source, "series", lix.Len(),
-			"series_len", lix.SeriesLen(), "rebuild_threshold", *threshold)
+			"series_len", lix.SeriesLen(), "rebuild_threshold", *threshold, "wal", *walDir)
 		s.install(&liveBackend{lix: lix})
 		if *snapPath != "" {
 			persistOnShutdown = func() {

@@ -63,7 +63,7 @@ func newLiveTestHandler(t *testing.T) (http.Handler, *messi.LiveIndex) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(lix.Close)
+	t.Cleanup(func() { lix.Close() })
 	return newHandler(&liveBackend{lix: lix}, ""), lix
 }
 
@@ -180,6 +180,45 @@ func TestLiveAppendAndQuery(t *testing.T) {
 	qr = decode[queryResponse](t, rr)
 	if len(qr.Matches) != 1 || qr.Matches[0].Position != 800 || qr.Matches[0].Distance != 0 {
 		t.Fatalf("appended series lost across rebuild: %+v", qr.Matches)
+	}
+}
+
+// TestLiveWALRestartRecoversAppends: series appended over HTTP into a
+// WAL-backed live index survive a crash (no flush, no snapshot) and are
+// searchable again after the reboot.
+func TestLiveWALRestartRecoversAppends(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	lopts := &messi.LiveOptions{RebuildThreshold: 1 << 30, ScanWorkers: 2, WALDir: walDir}
+	lix, err := messi.NewLive(64, &messi.Options{LeafCapacity: 64, SearchWorkers: 2}, lopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHandler(&liveBackend{lix: lix}, "")
+	novel := make([]float32, 64)
+	for i := range novel {
+		novel[i] = 100 + float32(i)
+	}
+	if rr := postJSON(t, h, "/v1/series", appendRequest{Series: [][]float32{novel}}); rr.Code != http.StatusOK {
+		t.Fatalf("append: status %d, body %s", rr.Code, rr.Body)
+	}
+	lix.Close() // crash: nothing was ever flushed or snapshotted
+
+	rec, err := messi.NewLive(64, &messi.Options{LeafCapacity: 64, SearchWorkers: 2}, lopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rec.Close() })
+	if rec.Len() != 1 {
+		t.Fatalf("recovered %d series, want 1", rec.Len())
+	}
+	h = newHandler(&liveBackend{lix: rec}, "")
+	rr := postJSON(t, h, "/v1/query", queryRequest{Query: novel})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("query after reboot: status %d, body %s", rr.Code, rr.Body)
+	}
+	qr := decode[queryResponse](t, rr)
+	if len(qr.Matches) != 1 || qr.Matches[0].Position != 0 || qr.Matches[0].Distance != 0 {
+		t.Fatalf("journaled series not recovered: %+v", qr.Matches)
 	}
 }
 
@@ -337,6 +376,15 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-addr", "127.0.0.1:0", "-data", "/nonexistent/file.bin"}); err == nil {
 		t.Fatal("run with missing dataset file did not error")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-data", "x.bin", "-wal", "wal"}); err == nil ||
+		!strings.Contains(err.Error(), "-live") {
+		t.Fatalf("run with -wal but no -live: err = %v, want a -live hint", err)
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-data", "/nonexistent/file.bin",
+		"-live", "-wal", "wal", "-wal-sync", "sometimes"}); err == nil ||
+		!strings.Contains(err.Error(), "sync policy") {
+		t.Fatalf("run with bad -wal-sync: err = %v, want a sync policy error", err)
 	}
 }
 

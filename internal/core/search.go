@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/isax"
 	"repro/internal/paa"
 	"repro/internal/pqueue"
@@ -13,6 +14,14 @@ import (
 	"repro/internal/tree"
 	"repro/internal/vector"
 )
+
+// fpScanLeaf is the failpoint inside the leaf-scan kernel — the
+// deepest point of query execution, where a panic exercises the whole
+// recovery chain (pool worker → per-query recorder → ErrQueryPanicked).
+// An Error spec panics too: scanLeaf has no error return, and the
+// engine's recovery is exactly what turns worker failures into typed
+// per-query errors.
+var fpScanLeaf = fault.Register("core.scanleaf")
 
 // SearchOptions configures one query. Zero fields inherit the index
 // options (which themselves default to the paper's values).
@@ -503,6 +512,12 @@ func (r *SearchRun) processQueue(q *pqueue.Queue[*tree.Node], scratch *leafScrat
 func (ix *Index) scanLeaf(leaf *tree.Node, query []float32, tab *isax.DistTable,
 	scratch *leafScratch, bnd bound, qos *QoS, escale float64, ctrs *stats.Counters) {
 
+	// Worker-panic tests poison one leaf scan here to prove the engine
+	// confines the blast radius to a single query. Disarmed, this is
+	// one atomic load per leaf — invisible next to the scan itself.
+	if err := fpScanLeaf.Hit(); err != nil {
+		panic(err)
+	}
 	n := leaf.LeafLen()
 	if n == 0 {
 		return

@@ -1,12 +1,16 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/shard"
 	"repro/internal/stats"
@@ -14,6 +18,18 @@ import (
 
 // ErrClosed is returned by queries submitted after Close.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrQueryPanicked is returned (wrapped) by a query whose execution
+// panicked on a pool worker. The panic is confined to that one query:
+// the worker recovers, the stack goes to slog and the
+// messi_query_panics_total counter, and the pool keeps serving every
+// other query.
+var ErrQueryPanicked = errors.New("engine: query panicked")
+
+// fpUnit fires inside a dispatched query work unit, where the
+// worker-panic tests inject a poisoned task to prove one bad query
+// cannot take the pool down.
+var fpUnit = fault.Register("engine.unit")
 
 // ErrNoIndex is returned by queries while the engine has no index yet (an
 // engine may be started before its first generation is built and receive
@@ -143,11 +159,65 @@ func NewSharded(sx *shard.Index, opts Options) *Engine {
 		go func(pid int) {
 			defer e.wg.Done()
 			for t := range e.tasks {
-				t(pid)
+				e.runTask(t, pid)
 			}
 		}(pid)
 	}
 	return e
+}
+
+// runTask executes one task with a backstop recover: every query task
+// carries its own per-query recovery, so a panic reaching here means a
+// task escaped it — log and count it rather than killing the process
+// (a panicking worker goroutine would otherwise strand every query
+// whose units it still owed).
+func (e *Engine) runTask(t task, pid int) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicErr(r)
+		}
+	}()
+	t(pid)
+}
+
+// panicErr converts a recovered panic value into an ErrQueryPanicked
+// error. The stack is captured to slog and the panic counted in
+// messi_query_panics_total; the returned error carries only the panic
+// value, so API consumers see a clean sentinel.
+func (e *Engine) panicErr(r any) error {
+	e.met.recordPanic()
+	level := slog.LevelError
+	if fault.IsInjectedPanic(r) {
+		level = slog.LevelInfo // chaos tests inject these on purpose
+	}
+	slog.Default().Log(context.Background(), level, "query worker panicked",
+		"panic", fmt.Sprint(r),
+		"stack", string(debug.Stack()))
+	// panic(err) keeps its chain matchable through the sentinel.
+	if perr, ok := r.(error); ok {
+		return fmt.Errorf("%w: %w", ErrQueryPanicked, perr)
+	}
+	return fmt.Errorf("%w: %v", ErrQueryPanicked, r)
+}
+
+// panicBox collects the first panic of one query's work units.
+type panicBox struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (b *panicBox) note(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+}
+
+func (b *panicBox) load() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
 }
 
 // Options returns the engine's effective (defaulted) options.
@@ -227,7 +297,14 @@ func (e *Engine) SearchSeeded(query []float32, seeds []core.Match) (core.Match, 
 // per-query extras (QoS, Counters); worker shape, seeds, and the sharded
 // fan-out plumbing are filled in here — the one shared path under both the
 // deprecated entry points and Do.
-func (e *Engine) run1NN(sx *shard.Index, query []float32, seeds []core.Match, base core.SearchOptions) (core.Match, error) {
+func (e *Engine) run1NN(sx *shard.Index, query []float32, seeds []core.Match, base core.SearchOptions) (m core.Match, err error) {
+	// Inline preparation (below) runs on the caller's goroutine; a
+	// panic there must fail this query alone, like one on a pool unit.
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = core.Match{}, e.panicErr(r)
+		}
+	}()
 	base.Workers = e.opts.QueryWorkers
 	base.Queues = e.opts.Queues
 	if single := sx.Single(); single != nil {
@@ -238,7 +315,13 @@ func (e *Engine) run1NN(sx *shard.Index, query []float32, seeds []core.Match, ba
 			e.states.Put(st)
 			return core.Match{}, err
 		}
-		e.execute(run)
+		rec := &panicBox{}
+		e.execute(run, rec)
+		if perr := rec.load(); perr != nil {
+			// The panicking unit may have left st inconsistent; drop
+			// it rather than returning it to the pool.
+			return core.Match{}, perr
+		}
 		m := run.Best()
 		e.states.Put(st)
 		return m, nil
@@ -260,7 +343,13 @@ func (e *Engine) run1NN(sx *shard.Index, query []float32, seeds []core.Match, ba
 	if err != nil {
 		return core.Match{}, err
 	}
-	e.executeAll(runs)
+	rec := &panicBox{}
+	e.executeAll(runs, rec)
+	if perr := rec.load(); perr != nil {
+		// Any of the fanned-out states may be the poisoned one;
+		// discard them all (sync.Pool refills on demand).
+		return core.Match{}, perr
+	}
 	e.putStates(sts)
 	d, pos := shared.Best()
 	return core.Match{Position: int(pos), Dist: d}, nil
@@ -291,6 +380,12 @@ func (e *Engine) shardRuns(sx *shard.Index,
 		wg.Add(1)
 		e.tasks <- func(pid int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					sts[s] = nil // poisoned; never back to the pool
+					errs[s] = e.panicErr(r)
+				}
+			}()
 			runs[s], errs[s] = mk(sh, s, st)
 		}
 	}
@@ -354,7 +449,12 @@ func (e *Engine) SearchKNNSeeded(query []float32, k int, seeds []core.Match) ([]
 }
 
 // runKNN executes an already-admitted k-NN query on the pool (see run1NN).
-func (e *Engine) runKNN(sx *shard.Index, query []float32, k int, seeds []core.Match, base core.SearchOptions) ([]core.Match, error) {
+func (e *Engine) runKNN(sx *shard.Index, query []float32, k int, seeds []core.Match, base core.SearchOptions) (ms []core.Match, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ms, err = nil, e.panicErr(r)
+		}
+	}()
 	base.Workers = e.opts.QueryWorkers
 	base.Queues = e.opts.Queues
 	if single := sx.Single(); single != nil {
@@ -365,7 +465,11 @@ func (e *Engine) runKNN(sx *shard.Index, query []float32, k int, seeds []core.Ma
 			e.states.Put(st)
 			return nil, err
 		}
-		e.execute(run)
+		rec := &panicBox{}
+		e.execute(run, rec)
+		if perr := rec.load(); perr != nil {
+			return nil, perr
+		}
 		ms := run.Matches()
 		e.states.Put(st)
 		return ms, nil
@@ -384,7 +488,11 @@ func (e *Engine) runKNN(sx *shard.Index, query []float32, k int, seeds []core.Ma
 	if err != nil {
 		return nil, err
 	}
-	e.executeAll(runs)
+	rec := &panicBox{}
+	e.executeAll(runs, rec)
+	if perr := rec.load(); perr != nil {
+		return nil, perr
+	}
 	lists := make([][]core.Match, len(runs))
 	for i, run := range runs {
 		lists[i] = run.Matches()
@@ -460,10 +568,15 @@ func (e *Engine) SearchBatch(queries [][]float32) ([]core.Match, error) {
 
 // execute runs one prepared query through the pool: QueryWorkers insert
 // units, the all-inserted barrier (awaited here, never inside a pool
-// goroutine), then QueryWorkers drain units.
-func (e *Engine) execute(run *core.SearchRun) {
-	e.dispatch(run.InsertPhase)
-	e.dispatch(run.DrainPhase)
+// goroutine), then QueryWorkers drain units. A unit panic is recorded
+// in rec and the drain phase skipped — the run's answer is discarded
+// anyway, and its partially-filled queues are not worth walking.
+func (e *Engine) execute(run *core.SearchRun, rec *panicBox) {
+	e.dispatch(run.InsertPhase, rec)
+	if rec.load() != nil {
+		return
+	}
+	e.dispatch(run.DrainPhase, rec)
 }
 
 // executeAll runs several sibling runs (one per shard) through the pool:
@@ -471,14 +584,17 @@ func (e *Engine) execute(run *core.SearchRun) {
 // drain unit starts — a single all-inserted barrier across the whole
 // fan-out, so a shard finishing its tree pass early keeps its bound
 // improvements visible to the shards still traversing.
-func (e *Engine) executeAll(runs []*core.SearchRun) {
-	e.dispatchAll(runs, (*core.SearchRun).InsertPhase)
-	e.dispatchAll(runs, (*core.SearchRun).DrainPhase)
+func (e *Engine) executeAll(runs []*core.SearchRun, rec *panicBox) {
+	e.dispatchAll(runs, (*core.SearchRun).InsertPhase, rec)
+	if rec.load() != nil {
+		return
+	}
+	e.dispatchAll(runs, (*core.SearchRun).DrainPhase, rec)
 }
 
 // dispatchAll enqueues QueryWorkers units of phase for every run and
 // waits for all of them.
-func (e *Engine) dispatchAll(runs []*core.SearchRun, phase func(*core.SearchRun, int)) {
+func (e *Engine) dispatchAll(runs []*core.SearchRun, phase func(*core.SearchRun, int), rec *panicBox) {
 	var wg sync.WaitGroup
 	wg.Add(len(runs) * e.opts.QueryWorkers)
 	for _, run := range runs {
@@ -486,6 +602,15 @@ func (e *Engine) dispatchAll(runs []*core.SearchRun, phase func(*core.SearchRun,
 		for i := 0; i < e.opts.QueryWorkers; i++ {
 			e.tasks <- func(pid int) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						rec.note(e.panicErr(r))
+					}
+				}()
+				if err := fpUnit.Hit(); err != nil {
+					rec.note(err)
+					return
+				}
 				phase(run, pid)
 			}
 		}
@@ -494,13 +619,23 @@ func (e *Engine) dispatchAll(runs []*core.SearchRun, phase func(*core.SearchRun,
 }
 
 // dispatch enqueues QueryWorkers calls of phase and waits for all of them
-// to finish.
-func (e *Engine) dispatch(phase func(pid int)) {
+// to finish. Panics in a unit are recovered on the pool worker (before
+// its wg.Done fires, so the barrier never deadlocks) and recorded.
+func (e *Engine) dispatch(phase func(pid int), rec *panicBox) {
 	var wg sync.WaitGroup
 	wg.Add(e.opts.QueryWorkers)
 	for i := 0; i < e.opts.QueryWorkers; i++ {
 		e.tasks <- func(pid int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					rec.note(e.panicErr(r))
+				}
+			}()
+			if err := fpUnit.Hit(); err != nil {
+				rec.note(err)
+				return
+			}
 			phase(pid)
 		}
 	}

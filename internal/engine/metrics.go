@@ -23,6 +23,7 @@ type engMetrics struct {
 	exact    *metrics.Counter      // answers proven exact
 	inexact  *metrics.Counter      // answers returned without an exactness proof
 	fanout   *metrics.Counter      // queries fanned out across a sharded generation
+	panics   *metrics.Counter      // query panics recovered on pool workers
 
 	// Cumulative rollups of the per-query stats.Counters — the fleet view
 	// of Figure 17's pruning-efficiency measurements.
@@ -60,6 +61,8 @@ func newEngMetrics(r *metrics.Registry, opts Options) *engMetrics {
 			"Answers served, by exactness of the proof.", metrics.L("exact", "false")),
 		fanout: r.Counter("messi_shard_fanout_queries_total",
 			"Queries fanned out across a sharded generation with a shared best-so-far."),
+		panics: r.Counter("messi_query_panics_total",
+			"Query panics recovered on pool workers (each failed only its own query)."),
 		lowerBounds: r.Counter("messi_lower_bound_calcs_total",
 			"Cumulative summary lower-bound computations across all queries."),
 		realDists: r.Counter("messi_real_dist_calcs_total",
@@ -133,6 +136,14 @@ func (m *engMetrics) recordCounters(s stats.Snapshot) {
 	m.leavesIns.Add(s.LeavesInserted)
 	m.leavesPrune.Add(s.LeavesPruned)
 	m.bsfUpdates.Add(s.BSFUpdates)
+}
+
+// recordPanic counts one recovered query panic.
+func (m *engMetrics) recordPanic() {
+	if m == nil {
+		return
+	}
+	m.panics.Inc()
 }
 
 // recordFanout counts one sharded fan-out query.

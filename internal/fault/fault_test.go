@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	p := Register("test.disarmed")
+	t.Cleanup(DisarmAll)
+	for i := 0; i < 3; i++ {
+		if err := p.Hit(); err != nil {
+			t.Fatalf("disarmed Hit returned %v", err)
+		}
+	}
+	if n, err := p.BeforeWrite(128); n != 128 || err != nil {
+		t.Fatalf("disarmed BeforeWrite = (%d, %v), want (128, nil)", n, err)
+	}
+}
+
+func TestErrorFiresOnNthHitOnce(t *testing.T) {
+	p := Register("test.nth")
+	t.Cleanup(DisarmAll)
+	if err := Arm("test.nth", Spec{Action: Error, After: 2}); err != nil {
+		t.Fatal(err)
+	}
+	before := Fired("test.nth")
+	for i := 1; i <= 2; i++ {
+		if err := p.Hit(); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	err := p.Hit()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 3 = %v, want ErrInjected", err)
+	}
+	// One-shot by default: the point auto-disarms after firing.
+	if err := p.Hit(); err != nil {
+		t.Fatalf("hit after fire = %v, want nil (auto-disarm)", err)
+	}
+	if got := Fired("test.nth") - before; got != 1 {
+		t.Fatalf("fired %d times, want 1", got)
+	}
+}
+
+func TestRepeatKeepsFiring(t *testing.T) {
+	p := Register("test.repeat")
+	t.Cleanup(DisarmAll)
+	custom := errors.New("boom")
+	if err := Arm("test.repeat", Spec{Action: Error, Repeat: true, Err: custom}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		err := p.Hit()
+		if !errors.Is(err, ErrInjected) || !errors.Is(err, custom) {
+			t.Fatalf("hit %d = %v, want wrapped custom error", i, err)
+		}
+	}
+	Disarm("test.repeat")
+	if err := p.Hit(); err != nil {
+		t.Fatalf("after Disarm: %v", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	p := Register("test.panic")
+	t.Cleanup(DisarmAll)
+	if err := Arm("test.panic", Spec{Action: Panic}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if !IsInjectedPanic(r) {
+			t.Fatalf("recovered %v (%T), want injected panic value", r, r)
+		}
+	}()
+	_ = p.Hit()
+}
+
+func TestPartialWrite(t *testing.T) {
+	p := Register("test.partial")
+	t.Cleanup(DisarmAll)
+	if err := Arm("test.partial", Spec{Action: PartialWrite, Keep: 5}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.BeforeWrite(100)
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("BeforeWrite = (%d, %v), want (5, ErrInjected)", n, err)
+	}
+	// Keep larger than the buffer writes the whole buffer but still
+	// returns the error.
+	if err := Arm("test.partial", Spec{Action: PartialWrite, Keep: 500}); err != nil {
+		t.Fatal(err)
+	}
+	n, err = p.BeforeWrite(100)
+	if n != 100 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("BeforeWrite big-keep = (%d, %v), want (100, ErrInjected)", n, err)
+	}
+}
+
+func TestArmUnknownPointErrors(t *testing.T) {
+	if err := Arm("test.never-registered", Spec{}); err == nil {
+		t.Fatal("arming an unregistered point must fail")
+	}
+	Disarm("test.never-registered") // must not panic
+}
+
+func TestOneShotFiresExactlyOnceUnderConcurrency(t *testing.T) {
+	p := Register("test.concurrent")
+	t.Cleanup(DisarmAll)
+	if err := Arm("test.concurrent", Spec{Action: Error}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var fires sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := p.Hit(); err != nil {
+					fires.Store(fmt.Sprintf("%d/%d", g, i), err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	n := 0
+	fires.Range(func(_, _ any) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("one-shot fired %d times across goroutines, want 1", n)
+	}
+}
+
+func TestNamesSortedAndRegisterIdempotent(t *testing.T) {
+	a := Register("test.names.b")
+	b := Register("test.names.b")
+	if a != b {
+		t.Fatal("Register must return the same *Point for the same name")
+	}
+	Register("test.names.a")
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}

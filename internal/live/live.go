@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/delta"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/isax"
 	"repro/internal/metrics"
 	"repro/internal/scan"
@@ -19,7 +20,13 @@ import (
 	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/tree"
+	"repro/internal/wal"
 )
+
+// fpRebuild fires inside the background generation merge, where crash
+// tests inject rebuild failures (and panics) to exercise the frozen
+// delta staying searchable and the bounded retry path.
+var fpRebuild = fault.Register("live.rebuild")
 
 // DefaultRebuildThreshold is the default number of active-delta series
 // that triggers a background generation rebuild.
@@ -30,6 +37,14 @@ const DefaultRebuildThreshold = 100_000
 // the scan off the query's critical path without stealing cores from the
 // tree search.
 const DefaultScanWorkers = 8
+
+// Default bounds of the rebuild retry backoff: a failed background
+// rebuild is retried after DefaultRebuildRetryBase, doubling per
+// consecutive failure up to DefaultRebuildRetryMax.
+const (
+	DefaultRebuildRetryBase = 100 * time.Millisecond
+	DefaultRebuildRetryMax  = 10 * time.Second
+)
 
 // ErrClosed is returned by operations on a closed live index.
 var ErrClosed = errors.New("live: index closed")
@@ -65,6 +80,18 @@ type Options struct {
 	// handed to the query engine (unless Engine.Metrics is already set).
 	// Nil disables all measurement.
 	Metrics *metrics.Registry
+	// WAL, when non-nil, journals every acked Append/AppendBatch to the
+	// write-ahead log before it reaches the delta buffer, and replays
+	// the log's uncovered tail into the delta at boot. The index USES
+	// the log but does not own it: the caller opens it (positioned
+	// after any snapshot it loads), truncates it when snapshots land,
+	// and closes it after Close.
+	WAL *wal.Log
+	// RebuildRetryBase/RebuildRetryMax bound the exponential backoff
+	// applied to failed background rebuilds. Defaults
+	// DefaultRebuildRetryBase/DefaultRebuildRetryMax.
+	RebuildRetryBase time.Duration
+	RebuildRetryMax  time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +103,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Shards <= 0 {
 		o.Shards = 1
+	}
+	if o.RebuildRetryBase <= 0 {
+		o.RebuildRetryBase = DefaultRebuildRetryBase
+	}
+	if o.RebuildRetryMax <= 0 {
+		o.RebuildRetryMax = DefaultRebuildRetryMax
+	}
+	if o.RebuildRetryMax < o.RebuildRetryBase {
+		o.RebuildRetryMax = o.RebuildRetryBase
 	}
 	return o
 }
@@ -117,6 +153,7 @@ type Index struct {
 	// Rebuild telemetry (nil instruments when Options.Metrics is nil).
 	rebuilds        *metrics.Counter
 	rebuildFailures *metrics.Counter
+	rebuildRetries  *metrics.Counter
 	rebuildDur      *metrics.Histogram
 
 	mu         sync.Mutex // serializes appends and view transitions
@@ -124,6 +161,12 @@ type Index struct {
 	rebuilding bool
 	closed     bool
 	rebuildErr error // last rebuild failure (sticky until a rebuild succeeds)
+
+	// Bounded-backoff retry of failed rebuilds (guarded by mu).
+	retryAttempt int         // consecutive failures so far
+	retryTimer   *time.Timer // pending scheduled retry, nil when none
+
+	walRow [1][]float32 // scratch for journaling single appends (under mu)
 }
 
 // New creates a live index for series of the given length. initial may be
@@ -144,7 +187,7 @@ func New(seriesLen int, initial *series.Collection, opts Options) (*Index, error
 			return nil, err
 		}
 	}
-	return ix.start(base), nil
+	return ix.boot(base)
 }
 
 // NewFromIndex boots a live index from an already-built (typically
@@ -168,7 +211,20 @@ func NewFromIndex(base *shard.Index, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ix.start(base), nil
+	return ix.boot(base)
+}
+
+// boot publishes the initial view, replays the WAL tail (when one is
+// configured) into the delta, and hands the index back ready to serve.
+// A replay failure shuts the engine down and surfaces the error — a
+// live index must not come up silently missing acked appends.
+func (ix *Index) boot(base *shard.Index) (*Index, error) {
+	ix.start(base)
+	if err := ix.replayWAL(); err != nil {
+		ix.eng.Close()
+		return nil, err
+	}
+	return ix, nil
 }
 
 // prepare validates options and builds the not-yet-started index shell.
@@ -220,6 +276,8 @@ func (ix *Index) start(base *shard.Index) *Index {
 			"Completed background generation rebuilds.")
 		ix.rebuildFailures = r.Counter("messi_live_rebuild_failures_total",
 			"Background generation rebuilds that failed (the frozen delta stays searchable and is retried).")
+		ix.rebuildRetries = r.Counter("messi_rebuild_retries_total",
+			"Background rebuilds relaunched by the bounded-backoff retry after a failure.")
 		ix.rebuildDur = r.Histogram("messi_live_rebuild_seconds",
 			"Wall time of background generation rebuilds (merge plus swap).")
 		r.GaugeFunc("messi_live_delta_series",
@@ -237,6 +295,49 @@ func (ix *Index) start(base *shard.Index) *Index {
 			})
 	}
 	return ix
+}
+
+// replayWAL replays the configured WAL's uncovered tail into the
+// active delta. Positions below the base (already covered by the
+// loaded snapshot) are skipped; the remainder must form a contiguous
+// run starting exactly at the base length, or recovery refuses — a gap
+// means the snapshot predates the log's truncation point and acked
+// series would be silently lost.
+func (ix *Index) replayWAL() error {
+	w := ix.opts.WAL
+	if w == nil {
+		return nil
+	}
+	v := ix.view.Load()
+	base := int64(v.baseLen)
+	if s := w.Start(); s > base {
+		return fmt.Errorf("live: wal starts at position %d but the loaded snapshot covers only %d series (snapshot older than the wal's truncation point)", s, base)
+	}
+	if end := w.End(); end >= 0 && end < base {
+		// The snapshot covers the whole log (it was saved after the
+		// last logged append): drop the stale records and realign the
+		// log to continue at the snapshot boundary.
+		return w.Truncate(base)
+	}
+	expect := base
+	err := w.Replay(base, func(pos int64, s []float32) error {
+		if pos != expect {
+			return fmt.Errorf("live: wal replay gap: got position %d, want %d", pos, expect)
+		}
+		if _, err := v.active.Append(s); err != nil {
+			return err
+		}
+		expect++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// The replayed tail may already exceed the rebuild threshold.
+	ix.mu.Lock()
+	ix.maybeRebuildLocked()
+	ix.mu.Unlock()
+	return nil
 }
 
 // SeriesLen reports the length (points) of each indexed series.
@@ -276,6 +377,17 @@ func (ix *Index) Append(s []float32) (int, error) {
 		return 0, ErrClosed
 	}
 	v := ix.view.Load()
+	if w := ix.opts.WAL; w != nil {
+		// Journal before the in-memory append: an ack implies the
+		// series is recoverable. The WAL refusing (disk failure,
+		// injected fault) fails the append with the delta untouched.
+		ix.walRow[0] = s
+		err := w.Append(int64(v.activeStart()+v.active.Len()), ix.walRow[:])
+		ix.walRow[0] = nil
+		if err != nil {
+			return 0, fmt.Errorf("live: wal append: %w", err)
+		}
+	}
 	idx, err := v.active.Append(s)
 	if err != nil {
 		return 0, err
@@ -298,6 +410,12 @@ func (ix *Index) AppendBatch(rows [][]float32) (int, error) {
 		return 0, ErrClosed
 	}
 	v := ix.view.Load()
+	if w := ix.opts.WAL; w != nil && len(rows) > 0 {
+		// One record per batch, so replay preserves batch atomicity.
+		if err := w.Append(int64(v.activeStart()+v.active.Len()), rows); err != nil {
+			return 0, fmt.Errorf("live: wal append: %w", err)
+		}
+	}
 	idx, err := v.active.AppendBatch(rows)
 	if err != nil {
 		return 0, err
@@ -311,6 +429,13 @@ func (ix *Index) AppendBatch(rows [][]float32) (int, error) {
 // behind) and none is in flight. Caller holds mu.
 func (ix *Index) maybeRebuildLocked() {
 	if ix.rebuilding || ix.closed {
+		return
+	}
+	if ix.rebuildErr != nil {
+		// The last rebuild failed; relaunching on every append (or from
+		// rebuild's own tail) would retry a failing O(n) merge in a hot
+		// loop. The backoff timer armed by scheduleRetryLocked is the
+		// only relaunch path until a retry succeeds.
 		return
 	}
 	v := ix.view.Load()
@@ -352,7 +477,7 @@ func (ix *Index) startRebuildLocked() {
 func (ix *Index) rebuild(v *view) {
 	start := time.Now()
 	total := v.baseLen + v.frozen.Len()
-	newIx, err := ix.mergeGeneration(v, total)
+	newIx, err := ix.mergeRecovered(v, total)
 	ix.rebuildDur.Observe(time.Since(start))
 	if err != nil {
 		ix.rebuildFailures.Inc()
@@ -362,9 +487,11 @@ func (ix *Index) rebuild(v *view) {
 
 	ix.mu.Lock()
 	if err != nil {
-		// Keep the frozen snapshot in the view: it stays searchable, and
-		// the next Append/Flush retries the merge.
+		// Keep the frozen snapshot in the view: it stays searchable,
+		// and the merge is retried by the backoff timer scheduled here
+		// (and only by it — see maybeRebuildLocked).
 		ix.rebuildErr = err
+		ix.scheduleRetryLocked()
 	} else {
 		cur := ix.view.Load() // only rebuilds store the view after freeze, and only one runs
 		// Swap the engine BEFORE publishing the new view. A query that
@@ -377,12 +504,72 @@ func (ix *Index) rebuild(v *view) {
 		ix.view.Store(&view{base: newIx, baseLen: total, active: cur.active})
 		ix.gen.Add(1)
 		ix.rebuildErr = nil
+		ix.retryAttempt = 0
+		if ix.retryTimer != nil {
+			ix.retryTimer.Stop()
+			ix.retryTimer = nil
+		}
 	}
 	ix.rebuilding = false
 	ix.cond.Broadcast()
 	// Appends during the rebuild may already have crossed the threshold.
 	ix.maybeRebuildLocked()
 	ix.mu.Unlock()
+}
+
+// mergeRecovered is mergeGeneration with a panic containment wall: a
+// panicking rebuild (a bug, or an injected fault) must degrade into an
+// ordinary rebuild failure — frozen delta still searchable, retry
+// scheduled — never kill the process.
+func (ix *Index) mergeRecovered(v *view, total int) (newIx *shard.Index, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			newIx, err = nil, fmt.Errorf("live: rebuild panicked: %v", r)
+		}
+	}()
+	if err := fpRebuild.Hit(); err != nil {
+		return nil, err
+	}
+	return ix.mergeGeneration(v, total)
+}
+
+// scheduleRetryLocked arms the backoff timer after a rebuild failure:
+// RebuildRetryBase doubling per consecutive failure, capped at
+// RebuildRetryMax. Caller holds mu.
+func (ix *Index) scheduleRetryLocked() {
+	if ix.closed {
+		return
+	}
+	shift := ix.retryAttempt
+	if shift > 16 { // avoid Duration overflow; 2^16×base is past any sane cap
+		shift = 16
+	}
+	delay := ix.opts.RebuildRetryBase << shift
+	if delay <= 0 || delay > ix.opts.RebuildRetryMax {
+		delay = ix.opts.RebuildRetryMax
+	}
+	ix.retryAttempt++
+	if ix.retryTimer != nil {
+		ix.retryTimer.Stop()
+	}
+	ix.retryTimer = time.AfterFunc(delay, ix.retryRebuild)
+}
+
+// retryRebuild is the backoff timer's callback: relaunch the merge if
+// it is still needed and nothing else already has.
+func (ix *Index) retryRebuild() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.retryTimer = nil
+	if ix.closed || ix.rebuilding {
+		return
+	}
+	v := ix.view.Load()
+	if v.frozen == nil && v.active.Len() < ix.opts.RebuildThreshold {
+		return
+	}
+	ix.rebuildRetries.Inc()
+	ix.startRebuildLocked()
 }
 
 // mergeGeneration builds the next generation: every shard's new slice is
@@ -449,6 +636,10 @@ func (ix *Index) Close() {
 		return
 	}
 	ix.closed = true
+	if ix.retryTimer != nil {
+		ix.retryTimer.Stop()
+		ix.retryTimer = nil
+	}
 	for ix.rebuilding {
 		ix.cond.Wait()
 	}

@@ -15,8 +15,15 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/shard"
 )
+
+// fpManifest fires where a crash or disk failure would interrupt a
+// sharded save after its shard files are written but before the
+// manifest lands — the instant that must leave the previous snapshot
+// intact.
+var fpManifest = fault.Register("persist.manifest.write")
 
 // This file defines the multi-shard snapshot layout: a DIRECTORY (not a
 // new snapshot format version) holding one ordinary single-index snapshot
@@ -232,12 +239,20 @@ func writeShardedDir(dir string, x *shard.Index, normalize bool) error {
 	wg.Wait()
 	for s, err := range errs {
 		if err != nil {
+			// Abort: remove this save's already-written shard files so
+			// a failed save never leaves strays for the next sweep.
+			removeSaveFiles(dir, m.Files)
 			return fmt.Errorf("persist: shard %d: %w", s, err)
 		}
+	}
+	if err := fpManifest.Hit(); err != nil {
+		removeSaveFiles(dir, m.Files)
+		return fmt.Errorf("persist: write manifest: %w", err)
 	}
 
 	enc, err := EncodeManifest(m)
 	if err != nil {
+		removeSaveFiles(dir, m.Files)
 		return err
 	}
 	tmp, err := os.CreateTemp(dir, ManifestName+".tmp*")
@@ -259,10 +274,22 @@ func writeShardedDir(dir string, x *shard.Index, normalize bool) error {
 	}
 	if err != nil {
 		os.Remove(name)
+		removeSaveFiles(dir, m.Files)
 		return fmt.Errorf("persist: write manifest: %w", err)
 	}
 	sweepStaleShards(dir, m.Files)
 	return nil
+}
+
+// removeSaveFiles deletes the shard files of an aborted save
+// (best-effort): the save failed, so nothing references them, and
+// leaving them would accumulate one dataset copy per failed save.
+func removeSaveFiles(dir string, files []string) {
+	for _, name := range files {
+		if name != "" {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
 }
 
 // sweepStaleShards removes shard snapshot files not named by the
@@ -290,6 +317,11 @@ func sweepStaleShards(dir string, live []string) {
 		if strings.HasPrefix(name, "shard-") && strings.HasSuffix(name, ".snap") {
 			_, ok := keep[name]
 			stale = !ok
+		}
+		// WriteFile temp files (shard-....snap.tmp*) orphaned by a
+		// crash mid-save are strays too.
+		if strings.HasPrefix(name, "shard-") && strings.Contains(name, ".snap.tmp") {
+			stale = true
 		}
 		if stale {
 			os.Remove(filepath.Join(dir, name))

@@ -14,9 +14,20 @@ import (
 	"unsafe"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/isax"
 	"repro/internal/series"
 	"repro/internal/tree"
+)
+
+// Failpoints in the snapshot write path, armed only by crash tests.
+// They fire at the instants where a real disk failure (ENOSPC, a dying
+// device) or a kill would interrupt a save: mid-write, at fsync, and
+// at the final rename.
+var (
+	fpWrite  = fault.Register("persist.writefile.write")
+	fpSync   = fault.Register("persist.writefile.sync")
+	fpRename = fault.Register("persist.writefile.rename")
 )
 
 // Magic identifies a MESSI index snapshot file (distinct from the
@@ -572,8 +583,14 @@ func writeFile(path string, ix *core.Index, normalize bool) error {
 	if err := Write(bw, ix, normalize); err != nil {
 		return err
 	}
+	if err := fpWrite.Hit(); err != nil {
+		return fmt.Errorf("persist: write %s: %w", path, err)
+	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("persist: flush %s: %w", path, err)
+	}
+	if err := fpSync.Hit(); err != nil {
+		return fmt.Errorf("persist: sync %s: %w", path, err)
 	}
 	if err := tmp.Sync(); err != nil {
 		return fmt.Errorf("persist: sync %s: %w", path, err)
@@ -590,9 +607,16 @@ func writeFile(path string, ix *core.Index, normalize bool) error {
 		return fmt.Errorf("persist: close %s: %w", path, err)
 	}
 	tmp = nil
-	if err := os.Rename(name, path); err != nil {
+	if err := fpRename.Hit(); err != nil {
 		os.Remove(name)
-		return fmt.Errorf("persist: %w", err)
+		return fmt.Errorf("persist: rename %s: %w", path, err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		// The rename failing (read-only target, ENOSPC on some
+		// filesystems) must not leave the temp file behind, and the
+		// caller must see the underlying cause.
+		os.Remove(name)
+		return fmt.Errorf("persist: rename %s: %w", path, err)
 	}
 	return nil
 }

@@ -2,12 +2,15 @@ package messi
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"log/slog"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/live"
 	"repro/internal/series"
+	"repro/internal/wal"
 )
 
 // LiveOptions configures streaming ingestion for a LiveIndex. The zero
@@ -34,6 +37,23 @@ type LiveOptions struct {
 	// inherited by the embedded Engine unless Engine.Metrics is set
 	// separately. Nil disables measurement.
 	Metrics *Metrics
+	// WALDir, when non-empty, enables a write-ahead log in that
+	// directory: every acked Append/AppendBatch is journaled before it
+	// becomes searchable, and a restarted process replays the log tail
+	// on boot (via NewLive/LoadLive with the same WALDir) so acked
+	// series survive a crash even when they never made it into a
+	// snapshot. Snapshots written by Flush, Save, or Close truncate the
+	// log's covered prefix. Empty (the default) disables journaling.
+	WALDir string
+	// WALSync selects the WAL durability policy: "always" (fsync every
+	// append — an acked append survives power loss; the default),
+	// "interval" (fsync on a background timer — bounded loss window,
+	// much higher throughput), or "none" (rely on the OS page cache —
+	// survives process crashes but not power loss).
+	WALSync string
+	// WALSegmentBytes caps a WAL segment before rotating to a fresh
+	// file (truncation drops whole covered segments). 0 means 64 MiB.
+	WALSegmentBytes int64
 }
 
 func (o *LiveOptions) toLive(coreOpts core.Options, shards int) live.Options {
@@ -63,7 +83,25 @@ func (o *LiveOptions) toLive(coreOpts core.Options, shards int) live.Options {
 type LiveIndex struct {
 	inner        *live.Index
 	normalize    bool
-	snapshotPath string // from LiveOptions.SnapshotPath; "" disables
+	snapshotPath string   // from LiveOptions.SnapshotPath; "" disables
+	wal          *wal.Log // from LiveOptions.WALDir; nil disables
+}
+
+// openWAL opens the write-ahead log configured by lopts (nil when
+// journaling is disabled). The LiveIndex owns the returned log: the
+// internal live index only appends to and replays from it.
+func openWAL(lopts *LiveOptions, seriesLen int) (*wal.Log, error) {
+	if lopts == nil || lopts.WALDir == "" {
+		return nil, nil
+	}
+	policy, err := wal.ParseSyncPolicy(lopts.WALSync)
+	if err != nil {
+		return nil, err
+	}
+	return wal.Open(lopts.WALDir, seriesLen, &wal.Options{
+		SegmentBytes: lopts.WALSegmentBytes,
+		Sync:         policy,
+	})
 }
 
 // NewLive creates an empty live index for series of the given length.
@@ -111,11 +149,20 @@ func newLive(seriesLen int, col *series.Collection, opts *Options, lopts *LiveOp
 	if normalize && col != nil {
 		col.ZNormalizeAll()
 	}
-	inner, err := live.New(seriesLen, col, lopts.toLive(coreOpts, opts.shards()))
+	w, err := openWAL(lopts, seriesLen)
 	if err != nil {
 		return nil, err
 	}
-	return &LiveIndex{inner: inner, normalize: normalize, snapshotPath: snapshotPath(lopts)}, nil
+	lo := lopts.toLive(coreOpts, opts.shards())
+	lo.WAL = w
+	inner, err := live.New(seriesLen, col, lo)
+	if err != nil {
+		if w != nil {
+			w.Close()
+		}
+		return nil, err
+	}
+	return &LiveIndex{inner: inner, normalize: normalize, snapshotPath: snapshotPath(lopts), wal: w}, nil
 }
 
 // prepareQuery applies normalization when the index was built with it.
@@ -230,17 +277,32 @@ func (ix *LiveIndex) EngineOptions() EngineOptions {
 	}
 }
 
-// Close stops background rebuilds and the query pool. Appends and
-// queries after Close fail; Close is idempotent. With
-// LiveOptions.SnapshotPath set, Close writes a best-effort snapshot of
-// the current generation (series still in the delta are not included —
-// call Flush first for a complete one; its error, unlike Close's
-// snapshot error, is reported).
-func (ix *LiveIndex) Close() {
+// Close stops background rebuilds and the query pool, then closes the
+// WAL (when one is configured). Appends and queries after Close fail;
+// Close is idempotent. With LiveOptions.SnapshotPath set, Close first
+// writes a snapshot of the current generation (series still in the
+// delta are not included — call Flush first for a complete one); a
+// snapshot failure is returned AND logged, and counts against
+// messi_snapshot_save_failures_total when snapshot metrics are
+// installed, so an operator sees the durability gap either way. With a
+// WAL the gap is bounded anyway: journaled appends replay on the next
+// boot even when the Close-time snapshot never landed.
+func (ix *LiveIndex) Close() error {
 	ix.inner.Close()
+	var err error
 	if ix.snapshotPath != "" && ix.inner.Base() != nil {
-		_ = ix.saveBase(ix.snapshotPath) // best-effort by contract
+		if serr := ix.saveBase(ix.snapshotPath); serr != nil {
+			err = fmt.Errorf("messi: close-time snapshot: %w", serr)
+			slog.Warn("live index close-time snapshot failed",
+				"path", ix.snapshotPath, "err", serr)
+		}
 	}
+	if ix.wal != nil {
+		if werr := ix.wal.Close(); werr != nil && !errors.Is(werr, wal.ErrClosed) && err == nil {
+			err = fmt.Errorf("messi: wal close: %w", werr)
+		}
+	}
+	return err
 }
 
 // LiveStats describes a live index's current shape.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dtw"
+	"repro/internal/engine"
 	"repro/internal/series"
 	"repro/internal/stats"
 )
@@ -36,6 +37,11 @@ var (
 	ErrWrongLength = core.ErrWrongLength
 	// ErrBadEpsilon reports a negative or non-finite Epsilon.
 	ErrBadEpsilon = core.ErrBadEpsilon
+	// ErrQueryPanicked reports a query that panicked inside the engine.
+	// The panic is recovered on the worker, fails only the offending
+	// query, and leaves the pool serving; the wrapped error carries the
+	// panic value and the stack is logged via slog.
+	ErrQueryPanicked = engine.ErrQueryPanicked
 )
 
 // Mode selects the quality-of-service level of a query: how much answer

@@ -2,12 +2,14 @@ package messi
 
 import (
 	"errors"
+	"fmt"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/live"
 	"repro/internal/persist"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 // This file is the public face of the snapshot subsystem
@@ -103,6 +105,9 @@ func ReadSnapshot(r io.Reader) (*Index, error) {
 // re-snapshots on Flush and Close).
 // A sharded snapshot directory boots a sharded live index: the base's
 // shard count carries over, so appends keep the same round-robin routing.
+// With LiveOptions.WALDir set, the log tail beyond the snapshot is
+// replayed into the delta before LoadLive returns, so a crashed server
+// restarts with every acked append searchable again.
 func LoadLive(path string, opts *Options, lopts *LiveOptions) (*LiveIndex, error) {
 	var (
 		base      *shard.Index
@@ -123,11 +128,20 @@ func LoadLive(path string, opts *Options, lopts *LiveOptions) (*LiveIndex, error
 	if err != nil {
 		return nil, err
 	}
-	inner, err := live.NewFromIndex(base, lopts.toLive(coreOpts, opts.shards()))
+	w, err := openWAL(lopts, base.SeriesLen())
 	if err != nil {
 		return nil, err
 	}
-	return &LiveIndex{inner: inner, normalize: normalize, snapshotPath: snapshotPath(lopts)}, nil
+	lo := lopts.toLive(coreOpts, opts.shards())
+	lo.WAL = w
+	inner, err := live.NewFromIndex(base, lo)
+	if err != nil {
+		if w != nil {
+			w.Close()
+		}
+		return nil, err
+	}
+	return &LiveIndex{inner: inner, normalize: normalize, snapshotPath: snapshotPath(lopts), wal: w}, nil
 }
 
 // Save snapshots the live index to path: it first Flushes (merging all
@@ -143,16 +157,31 @@ func (ix *LiveIndex) Save(path string) error {
 
 // saveBase persists the current immutable generation as-is (no flush):
 // a single snapshot file for an unsharded index, a snapshot directory
-// for a sharded one.
+// for a sharded one. With a WAL configured, a successful save truncates
+// the log's covered prefix — every journaled position below the saved
+// generation's length is now durable in the snapshot, so replay never
+// needs it again.
 func (ix *LiveIndex) saveBase(path string) error {
 	base := ix.inner.Base()
 	if base == nil {
 		return ErrNoGeneration
 	}
+	covered := int64(base.Len())
+	var err error
 	if single := base.Single(); single != nil {
-		return persist.WriteFile(path, single, ix.normalize)
+		err = persist.WriteFile(path, single, ix.normalize)
+	} else {
+		err = persist.WriteShardedDir(path, base, ix.normalize)
 	}
-	return persist.WriteShardedDir(path, base, ix.normalize)
+	if err != nil {
+		return err
+	}
+	if ix.wal != nil {
+		if terr := ix.wal.Truncate(covered); terr != nil && !errors.Is(terr, wal.ErrClosed) {
+			return fmt.Errorf("messi: wal truncate after snapshot: %w", terr)
+		}
+	}
+	return nil
 }
 
 func snapshotPath(lopts *LiveOptions) string {
