@@ -1,0 +1,72 @@
+package analyze_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/analyze/analyzetest"
+)
+
+func td(parts ...string) string {
+	return filepath.Join(append([]string{"testdata"}, parts...)...)
+}
+
+func TestAtomicPair(t *testing.T) {
+	analyzetest.Run(t, analyze.AtomicPair,
+		analyzetest.Pkg{Dir: td("atomicpair", "flagged"), Path: "example.com/atomicpair"},
+	)
+}
+
+func TestAtomicPairStatsExempt(t *testing.T) {
+	// The same hand-rolled cell inside the owning package is legal: the
+	// testdata package is loaded under the internal/stats import path
+	// and must produce no diagnostics.
+	analyzetest.Run(t, analyze.AtomicPair,
+		analyzetest.Pkg{Dir: td("atomicpair", "stats"), Path: "repro/internal/stats"},
+	)
+}
+
+func TestRCUPublish(t *testing.T) {
+	analyzetest.Run(t, analyze.RCUPublish,
+		analyzetest.Pkg{Dir: td("rcupublish", "flagged"), Path: "example.com/rcupublish"},
+	)
+}
+
+func TestErrWrap(t *testing.T) {
+	analyzetest.Run(t, analyze.ErrWrap,
+		analyzetest.Pkg{Dir: td("errwrap", "flagged"), Path: "example.com/errwrap"},
+	)
+}
+
+func TestFaultSite(t *testing.T) {
+	analyzetest.Run(t, analyze.FaultSite,
+		analyzetest.Pkg{Dir: td("faultsite", "single"), Path: "example.com/faultsite/single"},
+	)
+}
+
+func TestFaultSiteCoverage(t *testing.T) {
+	// matrix declares an import edge to covered but not to orphan: the
+	// orphan's failpoint can never be armed by the crash matrix.
+	analyzetest.Run(t, analyze.FaultSite,
+		analyzetest.Pkg{Dir: td("faultsite", "matrix"), Path: "example.com/faultsite/matrix",
+			Imports: []string{"repro/internal/fault", "example.com/faultsite/covered"}},
+		analyzetest.Pkg{Dir: td("faultsite", "covered"), Path: "example.com/faultsite/covered",
+			Imports: []string{"repro/internal/fault"}},
+		analyzetest.Pkg{Dir: td("faultsite", "orphan"), Path: "example.com/faultsite/orphan",
+			Imports: []string{"repro/internal/fault"}},
+	)
+}
+
+func TestMetricName(t *testing.T) {
+	analyzetest.Run(t, analyze.MetricName,
+		analyzetest.Pkg{Dir: td("metricname", "flagged"), Path: "example.com/metricname"},
+	)
+}
+
+func TestMetricNameKindConflict(t *testing.T) {
+	analyzetest.Run(t, analyze.MetricName,
+		analyzetest.Pkg{Dir: td("metricname", "kinda"), Path: "example.com/metricname/kinda"},
+		analyzetest.Pkg{Dir: td("metricname", "kindb"), Path: "example.com/metricname/kindb"},
+	)
+}

@@ -1,0 +1,129 @@
+// Package analyzetest runs a messi-vet analyzer over testdata packages
+// and checks its diagnostics against expectations written in the
+// sources, mirroring x/tools' analysistest:
+//
+//	bad() // want `regexp matching the diagnostic`
+//
+// A want comment holds one or more backquoted or double-quoted regular
+// expressions; each must match a distinct diagnostic reported on that
+// comment's line, and every diagnostic must be claimed by a want.
+// Multi-package suites exercise Finish rules: each Pkg declares its
+// import-graph edges explicitly (testdata packages cannot actually
+// import each other), which is exactly what reachability rules consume.
+package analyzetest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+)
+
+// Pkg describes one testdata package of a test run.
+type Pkg struct {
+	// Dir holds the package's Go files.
+	Dir string
+	// Path is the import path the package pretends to have. Analyzer
+	// exemptions key on it (e.g. "repro/internal/stats").
+	Path string
+	// Imports declares the package's edges in the suite import graph,
+	// for Finish rules that walk reachability.
+	Imports []string
+}
+
+// Run loads every package, applies the analyzer (including its Finish
+// hook and ignore-comment filtering) and diffs diagnostics against the
+// want comments in all loaded files.
+func Run(t *testing.T, a *analyze.Analyzer, pkgs ...Pkg) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := analyze.NewImporter(fset)
+	var loaded []*analyze.Package
+	for _, p := range pkgs {
+		lp, err := analyze.LoadDir(fset, imp, p.Dir, p.Path, p.Imports)
+		if err != nil {
+			t.Fatalf("loading %s: %v", p.Dir, err)
+		}
+		loaded = append(loaded, lp)
+	}
+	diags, err := analyze.Run(fset, loaded, []*analyze.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, loaded)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if !claimWant(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.claimed {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re.String())
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	claimed bool
+}
+
+func claimWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.claimed && w.re.MatchString(msg) {
+			w.claimed = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE extracts the expectation strings of a want comment: backquoted
+// or double-quoted segments after the marker.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analyze.Package) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, q := range wantRE.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+						pattern := q
+						if q[0] == '"' {
+							var err error
+							pattern, err = strconv.Unquote(q)
+							if err != nil {
+								t.Fatalf("%s: bad want string %s: %v", key, q, err)
+							}
+						} else {
+							pattern = strings.Trim(q, "`")
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, pattern, err)
+						}
+						wants[key] = append(wants[key], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,208 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces the error-chain discipline the durability stack
+// depends on: callers match failures with errors.Is(err, persist.
+// ErrCorrupt), errors.Is(err, fault.ErrInjected) and friends, which
+// only works if every layer wraps with %w and nobody compares sentinels
+// with ==.
+//
+// Rules:
+//
+//  1. fmt.Errorf must format error values with %w, not %v/%s: a non-%w
+//     verb stringifies the cause and silently breaks every errors.Is /
+//     errors.As above it.
+//  2. Sentinel errors (package-level `var Err...` of error type) must
+//     be matched with errors.Is, never == or != (or switch cases): a
+//     sentinel that arrives wrapped compares unequal and the guard
+//     silently stops firing.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "flags fmt.Errorf calls that format an error without %w and ==/!= comparisons against Err* sentinels (use errors.Is)",
+	Run:  runErrWrap,
+}
+
+// formatVerb is one conversion in a format string, mapped to the
+// argument it consumes.
+type formatVerb struct {
+	verb rune
+	arg  int // index into the variadic args, -1 if out of range/unknown
+}
+
+// parseFormatVerbs maps each conversion verb in format to the argument
+// index it consumes, following fmt's rules for '*' width/precision and
+// explicit [n] argument indexes. The bool result is false if the format
+// uses constructs the scanner does not model (it then abstains rather
+// than guess).
+func parseFormatVerbs(format string) ([]formatVerb, bool) {
+	var verbs []formatVerb
+	arg := 0
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// Flags.
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// Width.
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			i++
+		}
+		if i < len(format) && format[i] == '*' {
+			arg++
+			i++
+		}
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+			if i < len(format) && format[i] == '*' {
+				arg++
+				i++
+			}
+		}
+		// Explicit argument index: %[n]v.
+		if i < len(format) && format[i] == '[' {
+			j := strings.IndexByte(format[i:], ']')
+			if j < 0 {
+				return nil, false
+			}
+			n := 0
+			for _, c := range format[i+1 : i+j] {
+				if c < '0' || c > '9' {
+					return nil, false
+				}
+				n = n*10 + int(c-'0')
+			}
+			if n == 0 {
+				return nil, false
+			}
+			arg = n - 1
+			i += j + 1
+		}
+		if i >= len(format) {
+			break
+		}
+		verbs = append(verbs, formatVerb{verb: rune(format[i]), arg: arg})
+		arg++
+		i++
+	}
+	return verbs, true
+}
+
+// isErrSentinel reports whether e refers to a package-level variable of
+// error type whose name starts with "Err" — the repository's sentinel
+// convention (persist.ErrCorrupt, fault.ErrInjected, core.ErrBadK...).
+func isErrSentinel(info *types.Info, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || !isErrorType(v.Type()) {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+func runErrWrap(pass *Pass) (any, error) {
+	info := pass.TypesInfo
+
+	checkErrorf := func(call *ast.CallExpr) {
+		if !isPkgFunc(calleeFunc(info, call), "fmt", "Errorf") || len(call.Args) < 2 {
+			return
+		}
+		format, ok := constString(info, call.Args[0])
+		if !ok {
+			return
+		}
+		if call.Ellipsis.IsValid() {
+			return // fmt.Errorf(format, args...) — args unknowable here
+		}
+		verbs, ok := parseFormatVerbs(format)
+		if !ok {
+			return
+		}
+		for _, v := range verbs {
+			argIdx := v.arg + 1 // args[0] is the format string
+			if argIdx < 1 || argIdx >= len(call.Args) {
+				continue
+			}
+			tv, ok := info.Types[call.Args[argIdx]]
+			if !ok || !isErrorType(tv.Type) {
+				continue
+			}
+			if v.verb != 'w' {
+				pass.Reportf(call.Args[argIdx].Pos(), "fmt.Errorf formats an error with %%%c: use %%w so the cause stays matchable with errors.Is", v.verb)
+			}
+		}
+	}
+
+	checkCompare := func(x, y ast.Expr, pos token.Pos, op string) {
+		name, ok := isErrSentinel(info, x)
+		if !ok {
+			return
+		}
+		tv, ok := info.Types[y]
+		if !ok || !isErrorType(tv.Type) {
+			return
+		}
+		pass.Reportf(pos, "%s compared with %s: a wrapped %s never compares equal; use errors.Is", name, op, name)
+	}
+
+	Preorder(pass.Files, func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			checkErrorf(s)
+		case *ast.BinaryExpr:
+			if s.Op == token.EQL || s.Op == token.NEQ {
+				checkCompare(s.X, s.Y, s.Pos(), s.Op.String())
+				checkCompare(s.Y, s.X, s.Pos(), s.Op.String())
+			}
+		case *ast.SwitchStmt:
+			if s.Tag == nil {
+				return
+			}
+			tv, ok := info.Types[s.Tag]
+			if !ok || !isErrorType(tv.Type) {
+				return
+			}
+			for _, clause := range s.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if name, ok := isErrSentinel(info, e); ok {
+						pass.Reportf(e.Pos(), "%s matched in a switch case: a wrapped %s never compares equal; use errors.Is", name, name)
+					}
+				}
+			}
+		}
+	})
+	return nil, nil
+}

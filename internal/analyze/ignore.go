@@ -1,0 +1,80 @@
+package analyze
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix starts a suppression comment:
+//
+//	//messi-vet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is for reviewers; the driver only parses the analyzer list.
+const ignorePrefix = "messi-vet:ignore"
+
+// ignoreIndex maps filename -> line -> analyzer names suppressed there.
+type ignoreIndex map[string]map[int][]string
+
+func buildIgnoreIndex(fset *token.FileSet, pkgs []*Package) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+					if len(fields) == 0 {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					lines := idx[pos.Filename]
+					if lines == nil {
+						lines = map[int][]string{}
+						idx[pos.Filename] = lines
+					}
+					names := strings.Split(fields[0], ",")
+					lines[pos.Line] = append(lines[pos.Line], names...)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx ignoreIndex) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	if !d.Pos.IsValid() {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	lines := idx[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func filterIgnored(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	idx := buildIgnoreIndex(fset, pkgs)
+	if len(idx) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !idx.suppressed(fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

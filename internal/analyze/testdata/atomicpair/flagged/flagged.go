@@ -1,0 +1,110 @@
+// Package flagged exercises the atomicpair analyzer outside the
+// internal/stats carve-out: every split (dist,pos)-style publication —
+// float bits plus a second atomic word — and every double BSF.Load
+// must be reported. Lone atomic float cells (thresholds, gauges) are
+// legal and appear as negative cases.
+package flagged
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+type splitCell struct {
+	distBits atomic.Uint64
+	pos      atomic.Int64
+}
+
+// publishSplit reimplements the pre-PR5 bug: distance and position go
+// through two separate atomic words.
+func publishSplit(c *splitCell, dist float64, pos int64) {
+	c.distBits.Store(math.Float64bits(dist)) // want `atomic publication of float bits alongside a second atomic word`
+	c.pos.Store(pos)
+}
+
+// publishViaLocal hides the bit pattern in a local first.
+func publishViaLocal(c *splitCell, dist float64, pos int64) {
+	bits := math.Float64bits(dist)
+	c.distBits.Store(bits) // want `atomic publication of float bits alongside a second atomic word`
+	c.pos.Store(pos)
+}
+
+// publishPkgLevel uses the package-level atomic functions.
+func publishPkgLevel(word *uint64, posWord *int64, dist float64, pos int64) {
+	atomic.StoreUint64(word, math.Float64bits(dist)) // want `atomic publication of float bits alongside a second atomic word`
+	atomic.StoreInt64(posWord, pos)
+}
+
+// publishPkgCAS publishes the float half through a CAS loop.
+func publishPkgCAS(word *uint64, posWord *int64, dist float64, pos int64) {
+	for !atomic.CompareAndSwapUint64(word, atomic.LoadUint64(word), math.Float64bits(dist)) { // want `atomic publication of float bits alongside a second atomic word`
+	}
+	atomic.StoreInt64(posWord, pos)
+}
+
+// readSplit decodes the distance half of a split pair next to the
+// position half.
+func readSplit(c *splitCell) (float64, int64) {
+	return math.Float64frombits(c.distBits.Load()), c.pos.Load() // want `decoding float bits from an atomic load alongside a second atomic load`
+}
+
+// readViaLocal decodes through locals.
+func readViaLocal(c *splitCell) (float64, int64) {
+	bits := c.distBits.Load()
+	pos := c.pos.Load()
+	return math.Float64frombits(bits), pos // want `decoding float bits from an atomic load alongside a second atomic load`
+}
+
+// doubleLoad prunes with two reads of the same BSF in one condition —
+// the two loads can disagree (PR 4's leaf-scan bug).
+func doubleLoad(b *stats.BSF, d, lb float64) bool {
+	if d < b.Load() && lb < b.Load() { // want `BSF.Load called 2 times in one expression`
+		return true
+	}
+	return false
+}
+
+// singleLoad is the fixed form: load once, reuse.
+func singleLoad(b *stats.BSF, d, lb float64) bool {
+	bound := b.Load()
+	return d < bound && lb < bound
+}
+
+// distinctReceivers may each be loaded once in one expression.
+func distinctReceivers(a, b *stats.BSF) bool {
+	return a.Load() < b.Load()
+}
+
+// storeInt is unrelated to float bits and must not be flagged.
+func storeInt(word *uint64, v uint64) {
+	atomic.StoreUint64(word, v)
+}
+
+// monotoneCell publishes a lone float threshold — a single independent
+// value, not half of a pair (core's top-k bound, metrics gauges). One
+// atomic word in the whole function: legal.
+func monotoneCell(word *atomic.Uint64, v float64) {
+	for {
+		old := word.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if word.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// gaugeRead decodes a lone float cell: legal.
+func gaugeRead(word *atomic.Uint64) float64 {
+	return math.Float64frombits(word.Load())
+}
+
+// suppressed shows the escape hatch for a reviewed exception.
+func suppressed(c *splitCell, dist float64, pos int64) {
+	//messi-vet:ignore atomicpair testdata exercises the suppression comment
+	c.distBits.Store(math.Float64bits(dist))
+	c.pos.Store(pos)
+}

@@ -1,0 +1,22 @@
+// Package stats is loaded under the import path "repro/internal/stats"
+// by the analyzer test: the package that owns the BSF is allowed to
+// build its packed atomic float cell by hand, so none of these lines
+// may be reported.
+package stats
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+type cell struct {
+	bits atomic.Uint64
+}
+
+func (c *cell) publish(dist float64) {
+	c.bits.Store(math.Float64bits(dist))
+}
+
+func (c *cell) read() float64 {
+	return math.Float64frombits(c.bits.Load())
+}

@@ -1,0 +1,77 @@
+// Package flagged exercises the errwrap analyzer: error chains must be
+// wrapped with %w and sentinels matched with errors.Is.
+package flagged
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCorrupt stands in for the repository's typed sentinels
+// (persist.ErrCorrupt, fault.ErrInjected, core.ErrBadK...).
+var ErrCorrupt = errors.New("corrupt")
+
+// ErrOther is a second sentinel for switch coverage.
+var ErrOther = errors.New("other")
+
+func wrapWrong(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want `formats an error with %v`
+}
+
+func wrapString(err error) error {
+	return fmt.Errorf("load %s failed: %s", "x", err) // want `formats an error with %s`
+}
+
+func wrapMixed(path string, err error) error {
+	return fmt.Errorf("snapshot %q: %d bytes: %v", path, 7, err) // want `formats an error with %v`
+}
+
+func wrapRight(err error) error {
+	return fmt.Errorf("load failed: %w", err)
+}
+
+func wrapTwo(a, b error) error {
+	return fmt.Errorf("both failed: %w and %w", a, b)
+}
+
+func noErrorArgs(path string, n int) error {
+	return fmt.Errorf("bad header in %s: %d sections", path, n)
+}
+
+func compareEq(err error) bool {
+	return err == ErrCorrupt // want `ErrCorrupt compared with ==`
+}
+
+func compareNeq(err error) bool {
+	return ErrCorrupt != err // want `ErrCorrupt compared with !=`
+}
+
+func compareSwitch(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case ErrCorrupt, ErrOther: // want `ErrCorrupt matched in a switch case` `ErrOther matched in a switch case`
+		return "known"
+	}
+	return "unknown"
+}
+
+func compareRight(err error) bool {
+	return errors.Is(err, ErrCorrupt)
+}
+
+// compareEOF: io.EOF is a stdlib sentinel returned bare by Read
+// contracts; the Err* naming convention deliberately leaves it alone.
+func compareEOF(err error) bool {
+	return err == io.EOF
+}
+
+func compareNil(err error) bool {
+	return err != nil
+}
+
+func suppressed(err error) error {
+	//messi-vet:ignore errwrap testdata exercises the suppression comment
+	return fmt.Errorf("terminal: %v", err)
+}

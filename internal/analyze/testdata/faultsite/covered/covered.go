@@ -1,0 +1,10 @@
+// Package covered registers a failpoint and is reachable from the
+// matrix package through a declared import edge, so the coverage rule
+// stays quiet.
+package covered
+
+import "repro/internal/fault"
+
+var fpCovered = fault.Register("covered.write")
+
+var _ = fpCovered

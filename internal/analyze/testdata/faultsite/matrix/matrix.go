@@ -1,0 +1,12 @@
+// Package matrix stands in for crash_test.go: it enumerates
+// fault.Names(), which makes every package it (transitively) imports
+// crash-matrix covered. The analyzer test declares its import edges.
+package matrix
+
+import "repro/internal/fault"
+
+func points() []string {
+	return fault.Names()
+}
+
+var _ = points

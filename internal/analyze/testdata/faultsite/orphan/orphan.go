@@ -1,0 +1,11 @@
+// Package orphan registers a failpoint but is not imported (directly
+// or transitively) by any package that calls fault.Names(): the crash
+// matrix can never arm it. The analyzer test pairs this package with
+// testdata/faultsite/matrix, declaring no edge between them.
+package orphan
+
+import "repro/internal/fault"
+
+var fpOrphan = fault.Register("orphan.write") // want `registered in a package not imported by any crash matrix`
+
+var _ = fpOrphan

@@ -1,0 +1,45 @@
+// Package single exercises the faultsite analyzer's per-package rules
+// in one self-covered package: it registers points, arms them, and
+// enumerates fault.Names() like the crash matrix does.
+package single
+
+import "repro/internal/fault"
+
+var (
+	fpWrite = fault.Register("single.write")
+	fpBad   = fault.Register("NotDotted") // want `does not match the layer.site convention`
+	fpOne   = fault.Register("single")    // want `does not match the layer.site convention`
+)
+
+var dynamicName = "single." + "dynamic"
+
+// registerLazily registers inside a function body: fault.Names() cannot
+// see the point until the first call.
+func registerLazily() *fault.Point {
+	return fault.Register("single.lazy") // want `fault.Register inside a function body`
+}
+
+// registerDynamic uses a non-constant name.
+func registerDynamic() *fault.Point {
+	return fault.Register(dynamicName) // want `non-constant name`
+}
+
+// armAll arms a registered point (fine), a typo (whole-program rule),
+// and a computed name (ignored — only constants are auditable).
+func armAll() error {
+	if err := fault.Arm("single.write", fault.Spec{Action: fault.Error}); err != nil {
+		return err
+	}
+	if err := fault.Arm("single.wrtie", fault.Spec{Action: fault.Error}); err != nil { // want `fault.Arm of unregistered point "single.wrtie"`
+		return err
+	}
+	return fault.Arm(dynamicName, fault.Spec{Action: fault.Error})
+}
+
+// matrix enumerates every registered point, marking this package as a
+// crash matrix for the coverage rule.
+func matrix() []string {
+	return fault.Names()
+}
+
+var _ = []*fault.Point{fpWrite, fpBad, fpOne}

@@ -1,0 +1,28 @@
+// Package flagged exercises the metricname analyzer: constant messi_*
+// snake_case names with kind-appropriate unit suffixes.
+package flagged
+
+import "repro/internal/metrics"
+
+func register(r *metrics.Registry, dynamic string) {
+	// Clean registrations, one per kind.
+	r.Counter("messi_queries_total", "queries served")
+	r.Gauge("messi_queue_depth", "waiting queries")
+	r.GaugeFunc("messi_live_series", "series in the live index", func() float64 { return 0 })
+	r.Histogram("messi_query_duration_seconds", "query latency")
+	r.Histogram("messi_snapshot_bytes", "snapshot size")
+
+	// Naming violations.
+	r.Counter(dynamic, "dynamic names defeat review")                   // want `must be a compile-time constant`
+	r.Counter("queries_total", "missing prefix")                        // want `does not match`
+	r.Counter("messi_Queries_total", "not snake case")                  // want `does not match`
+	r.Counter("messi__queries_total", "empty segment")                  // want `does not match`
+	r.Counter("messi_queries", "counter without _total")                // want `counter "messi_queries" must end in _total`
+	r.Histogram("messi_query_duration", "histogram without a unit")     // want `must carry its unit`
+	r.Gauge("messi_rebuilds_total", "gauge pretending to be a counter") // want `must not end in _total`
+}
+
+func suppressed(r *metrics.Registry) {
+	//messi-vet:ignore metricname testdata exercises the suppression comment
+	r.Counter("messi_queries", "reviewed exception")
+}

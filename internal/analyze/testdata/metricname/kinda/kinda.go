@@ -1,0 +1,12 @@
+// Package kinda registers messi_flip_seconds as a histogram; package
+// kindb reuses the name as a gauge. The whole-program rule flags the
+// later registration.
+package kinda
+
+import "repro/internal/metrics"
+
+func register(r *metrics.Registry) {
+	r.Histogram("messi_flip_seconds", "as a histogram")
+}
+
+var _ = register

@@ -1,0 +1,11 @@
+// Package kindb re-registers kinda's histogram name as a gauge: one
+// name, one kind, everywhere.
+package kindb
+
+import "repro/internal/metrics"
+
+func register(r *metrics.Registry) {
+	r.Gauge("messi_flip_seconds", "as a gauge") // want `registered as gauge here but as histogram`
+}
+
+var _ = register

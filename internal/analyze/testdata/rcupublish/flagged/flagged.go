@@ -1,0 +1,90 @@
+// Package flagged exercises the rcupublish analyzer: values obtained
+// from an atomic.Pointer/atomic.Value Load are published RCU
+// generations and must never be written through.
+package flagged
+
+import "sync/atomic"
+
+type node struct {
+	key  int
+	dist float64
+}
+
+type generation struct {
+	nodes []node
+	count int
+	next  *generation
+}
+
+type index struct {
+	live atomic.Pointer[generation]
+	anyv atomic.Value
+}
+
+// mutateDirect writes through the Load result inline.
+func mutateDirect(ix *index) {
+	ix.live.Load().count = 7 // want `write through a value obtained from an atomic Load`
+}
+
+// mutateViaLocal is the common shape: bind, then write.
+func mutateViaLocal(ix *index) {
+	gen := ix.live.Load()
+	gen.count++            // want `write through a value obtained from an atomic Load`
+	gen.nodes[0].dist = 42 // want `write through a value obtained from an atomic Load`
+}
+
+// mutateAliasedSlice mutates shared backing storage reached through a
+// field copy: the slice header is a copy but the array is published.
+func mutateAliasedSlice(ix *index) {
+	nodes := ix.live.Load().nodes
+	nodes[3] = node{} // want `write through a value obtained from an atomic Load`
+}
+
+// mutateThroughChain follows a pointer field of the loaded value.
+func mutateThroughChain(ix *index) {
+	gen := ix.live.Load()
+	next := gen.next
+	next.count = 1 // want `write through a value obtained from an atomic Load`
+}
+
+// mutateValueLoad covers atomic.Value with a type assertion.
+func mutateValueLoad(ix *index) {
+	gen := ix.anyv.Load().(*generation)
+	gen.count = 2 // want `write through a value obtained from an atomic Load`
+}
+
+// copyOnWrite is the sanctioned pattern: read the old generation, build
+// a fresh value, publish it whole.
+func copyOnWrite(ix *index) {
+	old := ix.live.Load()
+	fresh := &generation{
+		nodes: append([]node(nil), old.nodes...),
+		count: old.count + 1,
+	}
+	fresh.nodes[0].dist = 42 // fresh value, not the published one
+	ix.live.Store(fresh)
+}
+
+// valueCopy dereferences into a local struct copy; writes touch the
+// copy, not the published generation.
+func valueCopy(ix *index) {
+	snap := *ix.live.Load()
+	snap.count = 9
+	_ = snap
+}
+
+// rebind reassigning the loaded variable itself is not a write through
+// the generation.
+func rebind(ix *index) {
+	gen := ix.live.Load()
+	gen = &generation{}
+	gen.count = 1 // gen now holds a fresh, unpublished value
+	_ = gen
+}
+
+// suppressed shows the reviewed escape hatch.
+func suppressed(ix *index) {
+	gen := ix.live.Load()
+	//messi-vet:ignore rcupublish testdata exercises the suppression comment
+	gen.count = 3
+}

@@ -32,7 +32,7 @@ func (ix *Index) SearchDTW(query []float32, window int, opt SearchOptions) (Matc
 		return Match{}, err
 	}
 	if err := dtw.CheckWindow(ix.Data.Length, window); err != nil {
-		return Match{}, fmt.Errorf("%w: %v", ErrBadWindow, err)
+		return Match{}, fmt.Errorf("%w: %w", ErrBadWindow, err)
 	}
 	opt = opt.withDefaults(ix.Opts)
 	bd := opt.Breakdown
@@ -261,7 +261,7 @@ func (ix *Index) ApproxDTW(query []float32, window int, opt SearchOptions) (Matc
 		return Match{}, err
 	}
 	if err := dtw.CheckWindow(ix.Data.Length, window); err != nil {
-		return Match{}, fmt.Errorf("%w: %v", ErrBadWindow, err)
+		return Match{}, fmt.Errorf("%w: %w", ErrBadWindow, err)
 	}
 	env := ix.newDTWQuery(query, window)
 	defer ix.putTable(env.tab)

@@ -30,7 +30,7 @@ func (ix *Index) Do(req core.Request) (core.Result, error) {
 			return core.Result{}, fmt.Errorf("live: k-NN under DTW is not supported (k=%d)", k)
 		}
 		if err := dtw.CheckWindow(ix.seriesLen, req.Window); err != nil {
-			return core.Result{}, fmt.Errorf("%w: %v", core.ErrBadWindow, err)
+			return core.Result{}, fmt.Errorf("%w: %w", core.ErrBadWindow, err)
 		}
 	}
 

@@ -120,7 +120,7 @@ func ParseManifest(b []byte) (Manifest, error) {
 		return m, fmt.Errorf("%w: %d trailing bytes after the manifest checksum", ErrCorrupt, rest)
 	}
 	if err := json.Unmarshal(payload, &m); err != nil {
-		return m, fmt.Errorf("%w: manifest payload: %v", ErrCorrupt, err)
+		return m, fmt.Errorf("%w: manifest payload: %w", ErrCorrupt, err)
 	}
 	if m.Version != ManifestVersion {
 		return m, fmt.Errorf("%w: manifest version %d, this reader understands %d", ErrVersion, m.Version, ManifestVersion)
@@ -388,7 +388,7 @@ func readShardedDirOnce(dir string) (*shard.Index, bool, error) {
 
 	x, err := shard.FromCores(cores)
 	if err != nil {
-		return nil, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, false, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if x.Len() != m.SeriesCount || x.SeriesLen() != m.SeriesLen {
 		return nil, false, fmt.Errorf("%w: manifest declares %d series × %d points, shards hold %d × %d",

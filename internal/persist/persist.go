@@ -281,7 +281,7 @@ func Read(r io.Reader) (*core.Index, bool, error) {
 	// hosts the bytes are read straight into the float storage.
 	col, err := series.NewEmptyCollection(h.SeriesCount, h.SeriesLen)
 	if err != nil {
-		return nil, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, false, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	var sum uint32
 	if hostLittleEndian {
@@ -343,7 +343,7 @@ func Read(r io.Reader) (*core.Index, bool, error) {
 		},
 	})
 	if err != nil {
-		return nil, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, false, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	return ix, h.Normalize, nil
 }
@@ -680,7 +680,7 @@ func decodeMapped(b []byte) (*core.Index, bool, error) {
 	data := unsafe.Slice((*float32)(unsafe.Pointer(&raw[0])), h.SeriesCount*h.SeriesLen)
 	col, err := series.NewCollection(data, h.SeriesLen)
 	if err != nil {
-		return nil, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, false, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	treeStart := HeaderSize + blockBytes + 4
 	payload := b[treeStart : treeStart+int(h.TreeBytes)]
@@ -697,7 +697,7 @@ func decodeMapped(b []byte) (*core.Index, bool, error) {
 		Opts: core.Options{Segments: h.Segments, CardBits: h.CardBits, LeafCapacity: h.LeafCapacity},
 	})
 	if err != nil {
-		return nil, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, false, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	return ix, h.Normalize, nil
 }

@@ -293,7 +293,7 @@ func (l *Log) validateSegment(s segMeta, wantPos int64, last bool) (end, tailOff
 	end, goodOff, scanErr := forEachRecord(f, l.seriesLen, firstPos, nil)
 	if scanErr != nil {
 		if !last {
-			return 0, -1, fmt.Errorf("%w: %s: %v", ErrCorrupt, filepath.Base(s.path), scanErr)
+			return 0, -1, fmt.Errorf("%w: %s: %w", ErrCorrupt, filepath.Base(s.path), scanErr)
 		}
 		return end, goodOff, nil
 	}

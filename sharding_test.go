@@ -1,6 +1,7 @@
 package messi
 
 import (
+	"errors"
 	"math"
 	"path/filepath"
 	"strings"
@@ -97,7 +98,7 @@ func TestShardedSnapshotDirRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Streaming a sharded snapshot is a directory-shaped operation.
-	if err := sharded.WriteSnapshot(nopWriter{}); err != ErrShardedStream {
+	if err := sharded.WriteSnapshot(nopWriter{}); !errors.Is(err, ErrShardedStream) {
 		t.Fatalf("WriteSnapshot on a sharded index: %v, want ErrShardedStream", err)
 	}
 

@@ -2,6 +2,7 @@ package messi
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -290,7 +291,7 @@ func TestLiveSaveEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer lix.Close()
-	if err := lix.Save(filepath.Join(t.TempDir(), "x.snap")); err != ErrNoGeneration {
+	if err := lix.Save(filepath.Join(t.TempDir(), "x.snap")); !errors.Is(err, ErrNoGeneration) {
 		t.Fatalf("err = %v, want ErrNoGeneration", err)
 	}
 }
